@@ -1,0 +1,87 @@
+// Experiment E1 / Benchmark B6: the SET(nat) specification of §2.1 by
+// rewriting, and congruence-closure throughput.
+//
+// google-benchmark binary: measures normalization cost as set terms
+// grow, MEM evaluation cost, and congruence closure on chains of
+// f-applications.
+#include <benchmark/benchmark.h>
+
+#include "awr/spec/builtin_specs.h"
+#include "awr/spec/congruence.h"
+#include "awr/spec/rewrite.h"
+
+using namespace awr;        // NOLINT
+using namespace awr::spec;  // NOLINT
+
+namespace {
+
+const RewriteSystem& SetRs() {
+  static const RewriteSystem* rs = [] {
+    auto r = RewriteSystem::FromSpec(SetNatSpec());
+    return new RewriteSystem(std::move(*r));
+  }();
+  return *rs;
+}
+
+std::vector<uint64_t> ShuffledRange(int n) {
+  std::vector<uint64_t> v;
+  for (int i = 0; i < n; ++i) v.push_back((i * 7 + 3) % n);
+  return v;
+}
+
+}  // namespace
+
+// Canonicalizing an n-element set term built in scrambled order.
+static void BM_SetNormalize(benchmark::State& state) {
+  Term t = SetTerm(ShuffledRange(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    auto nf = SetRs().Normalize(t);
+    if (!nf.ok()) state.SkipWithError(nf.status().ToString().c_str());
+    benchmark::DoNotOptimize(nf);
+  }
+}
+BENCHMARK(BM_SetNormalize)->Arg(4)->Arg(8)->Arg(16);
+
+// Membership on an already-canonical n-element set.
+static void BM_SetMembership(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Term s = *SetRs().Normalize(SetTerm(ShuffledRange(n)));
+  Term probe = MemTerm(n / 2, s);
+  for (auto _ : state) {
+    auto r = SetRs().Normalize(probe);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SetMembership)->Arg(4)->Arg(8)->Arg(16);
+
+// Nat equality EQ(n, n) — linear in n.
+static void BM_NatEquality(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Term probe = Term::Op("EQ", {NatTerm(n), NatTerm(n)});
+  for (auto _ : state) {
+    auto r = SetRs().Normalize(probe);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NatEquality)->Arg(8)->Arg(32)->Arg(128);
+
+// Congruence closure on f-chains: f^n(a) = a plus f^{n+1}... classic.
+static void BM_CongruenceChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CongruenceClosure cc;
+    Term a = Term::Op("a");
+    Term fn = a, fn1 = a;
+    for (int i = 0; i < n; ++i) fn = Term::Op("f", {fn});
+    for (int i = 0; i < n + 1; ++i) fn1 = Term::Op("f", {fn1});
+    benchmark::DoNotOptimize(cc.AddEquation(fn, a));
+    benchmark::DoNotOptimize(cc.AddEquation(fn1, a));
+    auto eq = cc.AreEqual(Term::Op("f", {a}), a);
+    if (!eq.ok() || !*eq) state.SkipWithError("congruence failed");
+  }
+}
+BENCHMARK(BM_CongruenceChain)->Arg(4)->Arg(16)->Arg(64);
+
+BENCHMARK_MAIN();

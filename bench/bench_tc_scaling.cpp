@@ -1,0 +1,87 @@
+// Benchmark B1: transitive-closure scaling across the four evaluation
+// routes the paper relates:
+//   * deduction, naive least model;
+//   * deduction, semi-naive least model;
+//   * positive IFP-algebra (direct inflationary IFP);
+//   * algebra= equation system under the valid semantics
+//     (the Proposition 6.1 rendering of the deductive program).
+//
+// Expected shape: semi-naive beats naive with a growing gap; the
+// algebra= valid evaluation pays the alternation overhead even though
+// the program is positive.
+#include <benchmark/benchmark.h>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/valid_eval.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+static void BM_TcNaive(benchmark::State& state) {
+  datalog::Database edb = ChainEdges(static_cast<int>(state.range(0)));
+  datalog::EvalOptions opts;
+  opts.seminaive = false;
+  for (auto _ : state) {
+    auto r = EvalMinimalModel(TcProgram(), edb, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["tc_facts"] = static_cast<double>(
+      EvalMinimalModel(TcProgram(), edb, opts)->Extent("tc").size());
+}
+BENCHMARK(BM_TcNaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_TcSeminaive(benchmark::State& state) {
+  datalog::Database edb = ChainEdges(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = EvalMinimalModel(TcProgram(), edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TcSeminaive)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_TcIfpAlgebra(benchmark::State& state) {
+  datalog::Database edb = ChainEdges(static_cast<int>(state.range(0)));
+  algebra::SetDb db = RelationSetDb(edb, "edge");
+  algebra::AlgebraExpr query = TcIfpQuery();
+  algebra::AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Large();
+  for (auto _ : state) {
+    auto r = algebra::EvalAlgebra(query, db, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TcIfpAlgebra)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_TcAlgebraEqValid(benchmark::State& state) {
+  datalog::Database edb = ChainEdges(static_cast<int>(state.range(0)));
+  auto system = translate::DatalogToAlgebra(TcProgram());
+  algebra::SetDb db = translate::EdbToSetDb(edb);
+  algebra::AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Large();
+  for (auto _ : state) {
+    auto r = algebra::EvalAlgebraValid(*system, db, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TcAlgebraEqValid)->Arg(8)->Arg(16)->Arg(24);
+
+// Random (cyclic) graphs exercise the same engines off the chain shape.
+static void BM_TcSeminaiveRandom(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  datalog::Database edb = RandomEdges(n, 2 * n, /*seed=*/7);
+  for (auto _ : state) {
+    auto r = EvalMinimalModel(TcProgram(), edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TcSeminaiveRandom)->Arg(32)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Benchmark B4: translation blow-up and evaluation overhead for the
+// paper's constructions, as the input grows.
+//
+//   D2A   datalog → algebra= (Prop 6.1): expression-size growth and
+//         valid-evaluation slowdown vs native WFS;
+//   A2D   algebra → datalog (Prop 5.1): rule-count growth and
+//         inflationary-evaluation slowdown vs native IFP;
+//   SIX   step-indexing (Prop 5.2): rule and fact multiplication.
+#include <benchmark/benchmark.h>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/valid_eval.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/wellfounded.h"
+#include "awr/translate/alg_to_datalog.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/step_index.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+// Native WFS vs algebra=-translated valid evaluation on win-move.
+static void BM_NativeWfsWinMove(benchmark::State& state) {
+  datalog::Database edb =
+      RandomGame(static_cast<int>(state.range(0)), 2, 11);
+  datalog::Program p = WinMoveProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NativeWfsWinMove)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_TranslatedD2AWinMove(benchmark::State& state) {
+  datalog::Database edb =
+      RandomGame(static_cast<int>(state.range(0)), 2, 11);
+  auto system = translate::DatalogToAlgebra(WinMoveProgram());
+  algebra::SetDb db = translate::EdbToSetDb(edb);
+  algebra::AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Large();
+  for (auto _ : state) {
+    auto r = algebra::EvalAlgebraValid(*system, db, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TranslatedD2AWinMove)->Arg(8)->Arg(16)->Arg(32);
+
+// Native IFP vs datalog-translated inflationary evaluation on TC.
+static void BM_NativeIfpTc(benchmark::State& state) {
+  datalog::Database chain = ChainEdges(static_cast<int>(state.range(0)));
+  algebra::SetDb db = RelationSetDb(chain, "edge");
+  algebra::AlgebraExpr q = TcIfpQuery();
+  algebra::AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Large();
+  for (auto _ : state) {
+    auto r = algebra::EvalAlgebra(q, db, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NativeIfpTc)->Arg(8)->Arg(16)->Arg(32);
+
+static void BM_TranslatedA2DTc(benchmark::State& state) {
+  datalog::Database chain = ChainEdges(static_cast<int>(state.range(0)));
+  algebra::SetDb db = RelationSetDb(chain, "edge");
+  auto compiled =
+      translate::CompileAlgebraQuery(TcIfpQuery(), algebra::AlgebraProgram{});
+  datalog::Database edb = translate::SetDbToEdb(db);
+  for (auto _ : state) {
+    auto r = datalog::EvalInflationary(compiled->program, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TranslatedA2DTc)->Arg(8)->Arg(16)->Arg(32);
+
+// Step-indexing: transformation itself plus the valid evaluation of the
+// indexed program, vs the plain inflationary run it simulates.
+static void BM_StepIndexedWinMove(benchmark::State& state) {
+  datalog::Database edb = RandomGame(static_cast<int>(state.range(0)), 0, 13);
+  datalog::Program p = WinMoveProgram();
+  auto indexed = translate::StepIndexAuto(p, edb);
+  if (!indexed.ok()) {
+    state.SkipWithError(indexed.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(indexed->program, indexed->edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rules"] = static_cast<double>(indexed->program.rules.size());
+  state.counters["bound"] = static_cast<double>(indexed->bound);
+}
+BENCHMARK(BM_StepIndexedWinMove)->Arg(6)->Arg(10)->Arg(14);
+
+static void BM_PlainInflationaryWinMove(benchmark::State& state) {
+  datalog::Database edb = RandomGame(static_cast<int>(state.range(0)), 0, 13);
+  datalog::Program p = WinMoveProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalInflationary(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlainInflationaryWinMove)->Arg(6)->Arg(10)->Arg(14);
+
+BENCHMARK_MAIN();

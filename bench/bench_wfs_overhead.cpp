@@ -1,0 +1,73 @@
+// Benchmark B2: the cost of the valid/well-founded alternating fixpoint
+// versus stratified evaluation on *stratifiable* programs (where both
+// compute the same model), and versus inflationary evaluation.
+// Expected shape: stratified < inflationary < well-founded, with the
+// alternation roughly doubling-to-tripling the least-model work.
+#include <benchmark/benchmark.h>
+
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+static void BM_StratifiedReach(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  datalog::Database edb = ReachDb(n, 2 * n, 5);
+  datalog::Program p = ReachComplementProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalStratified(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StratifiedReach)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_WellFoundedReach(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  datalog::Database edb = ReachDb(n, 2 * n, 5);
+  datalog::Program p = ReachComplementProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WellFoundedReach)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_InflationaryReach(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  datalog::Database edb = ReachDb(n, 2 * n, 5);
+  datalog::Program p = ReachComplementProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalInflationary(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InflationaryReach)->Arg(32)->Arg(64)->Arg(128);
+
+// Non-stratifiable: well-founded is the only declarative option; cost
+// as the game grows, with and without drawn cycles.
+static void BM_WellFoundedGame(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  int cycles = static_cast<int>(state.range(1));
+  datalog::Database edb = RandomGame(n, cycles, 7);
+  datalog::Program p = WinMoveProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WellFoundedGame)
+    ->Args({32, 0})
+    ->Args({32, 4})
+    ->Args({64, 0})
+    ->Args({64, 8})
+    ->Args({128, 0})
+    ->Args({128, 16});
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Benchmark B5: classic deductive workloads (same-generation,
+// bill-of-materials reachability with negation) across the evaluators.
+#include <benchmark/benchmark.h>
+
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+static void BM_SameGenSeminaive(benchmark::State& state) {
+  datalog::Database edb = BinaryTreeParents(static_cast<int>(state.range(0)));
+  datalog::Program p = SameGenProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalMinimalModel(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["sg_facts"] = static_cast<double>(
+      datalog::EvalMinimalModel(p, edb)->Extent("sg").size());
+}
+BENCHMARK(BM_SameGenSeminaive)->Arg(3)->Arg(4)->Arg(5);
+
+static void BM_SameGenNaive(benchmark::State& state) {
+  datalog::Database edb = BinaryTreeParents(static_cast<int>(state.range(0)));
+  datalog::Program p = SameGenProgram();
+  datalog::EvalOptions opts;
+  opts.seminaive = false;
+  for (auto _ : state) {
+    auto r = datalog::EvalMinimalModel(p, edb, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SameGenNaive)->Arg(3)->Arg(4)->Arg(5);
+
+static void BM_SameGenWellFounded(benchmark::State& state) {
+  datalog::Database edb = BinaryTreeParents(static_cast<int>(state.range(0)));
+  datalog::Program p = SameGenProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SameGenWellFounded)->Arg(3)->Arg(4)->Arg(5);
+
+// Bill of materials: contains + buildable-with-negation over a random
+// part DAG (i contains parts with larger ids).
+static datalog::Database BomDb(int n, uint64_t seed) {
+  Rng rng(seed);
+  datalog::Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("part", {Value::Int(i)});
+    int fanout = static_cast<int>(rng.Below(3));
+    for (int f = 0; f < fanout && i + 1 < n; ++f) {
+      int64_t child = i + 1 + static_cast<int64_t>(rng.Below(n - i - 1));
+      db.AddFact("subpart", {Value::Int(i), Value::Int(child)});
+    }
+    if (rng.Below(10) != 0) db.AddFact("in_stock", {Value::Int(i)});
+  }
+  return db;
+}
+
+static datalog::Program BomProgram() {
+  using namespace datalog::build;  // NOLINT
+  datalog::Program p;
+  p.rules.push_back(
+      R(H("contains", V("x"), V("y")), {B("subpart", V("x"), V("y"))}));
+  p.rules.push_back(R(H("contains", V("x"), V("z")),
+                      {B("subpart", V("x"), V("y")), B("contains", V("y"), V("z"))}));
+  p.rules.push_back(
+      R(H("missing", V("x")), {B("part", V("x")), N("in_stock", V("x"))}));
+  p.rules.push_back(R(H("blocked", V("x")),
+                      {B("contains", V("x"), V("y")), B("missing", V("y"))}));
+  p.rules.push_back(
+      R(H("buildable", V("x")), {B("part", V("x")), N("blocked", V("x")),
+                                 N("missing", V("x"))}));
+  return p;
+}
+
+static void BM_BomStratified(benchmark::State& state) {
+  datalog::Database edb = BomDb(static_cast<int>(state.range(0)), 9);
+  datalog::Program p = BomProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalStratified(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BomStratified)->Arg(32)->Arg(64)->Arg(128);
+
+static void BM_BomWellFounded(benchmark::State& state) {
+  datalog::Database edb = BomDb(static_cast<int>(state.range(0)), 9);
+  datalog::Program p = BomProgram();
+  for (auto _ : state) {
+    auto r = datalog::EvalWellFounded(p, edb);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_BomWellFounded)->Arg(32)->Arg(64)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,203 @@
+#ifndef AWR_BENCH_WORKLOADS_H_
+#define AWR_BENCH_WORKLOADS_H_
+
+// Shared workload generators for the experiment and benchmark binaries.
+// Deterministic (seeded LCG) so every run regenerates the same series.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "awr/algebra/ast.h"
+#include "awr/algebra/program.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/builders.h"
+#include "awr/datalog/database.h"
+
+namespace awr::bench {
+
+/// Tiny deterministic PRNG (numerical recipes LCG).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+// ----------------------------------------------------------------------
+// Graph EDBs.
+
+/// edge(i, i+1) for i in [0, n).
+inline datalog::Database ChainEdges(int n) {
+  datalog::Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+/// A random graph with `n` nodes and `m` edges.
+inline datalog::Database RandomEdges(int n, int m, uint64_t seed) {
+  Rng rng(seed);
+  datalog::Database db;
+  for (int i = 0; i < m; ++i) {
+    db.AddFact("edge", {Value::Int(static_cast<int64_t>(rng.Below(n))),
+                        Value::Int(static_cast<int64_t>(rng.Below(n)))});
+  }
+  return db;
+}
+
+/// A game graph for WIN–MOVE: `n` positions; each gets out-degree in
+/// [0, 2] at random, plus `cycles` disjoint 2-cycles (draw candidates).
+inline datalog::Database RandomGame(int n, int cycles, uint64_t seed) {
+  Rng rng(seed);
+  datalog::Database db;
+  for (int i = 0; i < n; ++i) {
+    int degree = static_cast<int>(rng.Below(3));
+    for (int d = 0; d < degree; ++d) {
+      db.AddFact("move", {Value::Int(i),
+                          Value::Int(static_cast<int64_t>(rng.Below(n)))});
+    }
+  }
+  for (int c = 0; c < cycles; ++c) {
+    int64_t a = n + 2 * c, b = n + 2 * c + 1;
+    db.AddFact("move", {Value::Int(a), Value::Int(b)});
+    db.AddFact("move", {Value::Int(b), Value::Int(a)});
+  }
+  return db;
+}
+
+// ----------------------------------------------------------------------
+// Deductive programs.
+
+/// tc(x,y) :- edge(x,y).  tc(x,z) :- edge(x,y), tc(y,z).
+inline datalog::Program TcProgram() {
+  using namespace datalog::build;  // NOLINT
+  datalog::Program p;
+  p.rules.push_back(R(H("tc", V("x"), V("y")), {B("edge", V("x"), V("y"))}));
+  p.rules.push_back(R(H("tc", V("x"), V("z")),
+                      {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))}));
+  return p;
+}
+
+/// win(x) :- move(x,y), not win(y).
+inline datalog::Program WinMoveProgram() {
+  using namespace datalog::build;  // NOLINT
+  datalog::Program p;
+  p.rules.push_back(
+      R(H("win", V("x")), {B("move", V("x"), V("y")), N("win", V("y"))}));
+  return p;
+}
+
+/// Same generation: sg(x,x) :- person(x).
+/// sg(x,y) :- parent(xp,x), sg(xp,yp), parent(yp,y).
+inline datalog::Program SameGenProgram() {
+  using namespace datalog::build;  // NOLINT
+  datalog::Program p;
+  p.rules.push_back(R(H("sg", V("x"), V("x")), {B("person", V("x"))}));
+  p.rules.push_back(R(H("sg", V("x"), V("y")),
+                      {B("parent", V("xp"), V("x")), B("sg", V("xp"), V("yp")),
+                       B("parent", V("yp"), V("y"))}));
+  return p;
+}
+
+/// A balanced binary ancestry tree of the given depth for same-gen.
+inline datalog::Database BinaryTreeParents(int depth) {
+  datalog::Database db;
+  int next = 1;
+  std::vector<int> frontier = {0};
+  db.AddFact("person", {Value::Int(0)});
+  for (int d = 0; d < depth; ++d) {
+    std::vector<int> nf;
+    for (int p : frontier) {
+      for (int c = 0; c < 2; ++c) {
+        db.AddFact("parent", {Value::Int(p), Value::Int(next)});
+        db.AddFact("person", {Value::Int(next)});
+        nf.push_back(next++);
+      }
+    }
+    frontier = std::move(nf);
+  }
+  return db;
+}
+
+/// reach/unreached: stratified negation workload.
+inline datalog::Program ReachComplementProgram() {
+  using namespace datalog::build;  // NOLINT
+  datalog::Program p;
+  p.rules.push_back(R(H("reach", V("x")), {B("source", V("x"))}));
+  p.rules.push_back(
+      R(H("reach", V("y")), {B("reach", V("x")), B("edge", V("x"), V("y"))}));
+  p.rules.push_back(
+      R(H("unreached", V("x")), {B("node", V("x")), N("reach", V("x"))}));
+  return p;
+}
+
+inline datalog::Database ReachDb(int n, int m, uint64_t seed) {
+  datalog::Database db = RandomEdges(n, m, seed);
+  for (int i = 0; i < n; ++i) db.AddFact("node", {Value::Int(i)});
+  db.AddFact("source", {Value::Int(0)});
+  return db;
+}
+
+// ----------------------------------------------------------------------
+// Algebra queries.
+
+/// Transitive closure as a positive IFP over pair values.
+inline algebra::AlgebraExpr TcIfpQuery(const std::string& edge_rel = "edge") {
+  using E = algebra::AlgebraExpr;
+  using algebra::FnExpr;
+  FnExpr match = FnExpr::Eq(FnExpr::Get(algebra::fn::Proj(0), 1),
+                            FnExpr::Get(algebra::fn::Proj(1), 0));
+  FnExpr compose = FnExpr::MkTuple({FnExpr::Get(algebra::fn::Proj(0), 0),
+                                    FnExpr::Get(algebra::fn::Proj(1), 1)});
+  return E::Ifp(E::Union(
+      E::Relation(edge_rel),
+      E::Map(compose,
+             E::Select(match, E::Product(E::IterVar(0), E::Relation(edge_rel))))));
+}
+
+/// WIN = π₁(MOVE − (π₁MOVE × WIN)) as an algebra= program.
+inline algebra::AlgebraProgram WinMoveAlgebra() {
+  using E = algebra::AlgebraExpr;
+  E pi1_move = E::Map(algebra::fn::Proj(0), E::Relation("MOVE"));
+  algebra::AlgebraProgram prog;
+  prog.DefineConstant(
+      "WIN", E::Map(algebra::fn::Proj(0),
+                    E::Diff(E::Relation("MOVE"),
+                            E::Product(pi1_move, E::Relation("WIN")))));
+  return prog;
+}
+
+/// An algebra database with the named set holding a datalog relation's
+/// fact tuples.  (Use this instead of iterating `Extent()` of a
+/// temporary Database, whose lifetime ends before the loop body runs.)
+inline algebra::SetDb RelationSetDb(const datalog::Database& edb,
+                                    const std::string& pred,
+                                    const std::string& as = "") {
+  algebra::SetDb db;
+  ValueSet s;
+  for (const Value& f : edb.Extent(pred)) s.Insert(f);
+  db.Define(as.empty() ? pred : as, std::move(s));
+  return db;
+}
+
+/// Move facts (as tuples in a datalog database) to a MOVE pair set.
+inline algebra::SetDb GameToSetDb(const datalog::Database& edb) {
+  algebra::SetDb db;
+  ValueSet moves;
+  for (const Value& fact : edb.Extent("move")) moves.Insert(fact);
+  db.Define("MOVE", moves);
+  return db;
+}
+
+}  // namespace awr::bench
+
+#endif  // AWR_BENCH_WORKLOADS_H_

@@ -1,0 +1,104 @@
+// A bill-of-materials workload on the deductive engine — the kind of
+// recursive + negation query the paper's languages are built for:
+//
+//   contains(P, C)  — part P transitively contains part C;
+//   basic(P)        — P has no sub-parts;
+//   buildable(P)    — every (transitive) sub-part is in stock
+//                     (computed via its stratified complement).
+//
+// The stratified program is then translated to the *positive
+// IFP-algebra* (Theorem 4.3) and both evaluations are compared.
+//
+//   ./build/examples/awr_company_bom
+#include <iostream>
+
+#include "awr/algebra/eval.h"
+#include "awr/datalog/builders.h"
+#include "awr/datalog/stratified.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/stratified_ifp.h"
+
+using namespace awr;             // NOLINT
+using namespace datalog::build;  // NOLINT
+
+int main() {
+  // Part hierarchy: bike → frame, wheel×2; wheel → rim, spoke; ...
+  datalog::Database edb;
+  auto part = [&](const char* p, const char* c) {
+    edb.AddFact("subpart", {Value::Atom(p), Value::Atom(c)});
+  };
+  part("bike", "frame");
+  part("bike", "wheel");
+  part("wheel", "rim");
+  part("wheel", "spoke");
+  part("frame", "tube");
+  part("ebike", "bike");
+  part("ebike", "motor");
+  for (const char* p :
+       {"bike", "frame", "wheel", "rim", "spoke", "tube", "ebike", "motor"}) {
+    edb.AddFact("part", {Value::Atom(p)});
+  }
+  // The motor is out of stock.
+  for (const char* p : {"frame", "wheel", "rim", "spoke", "tube"}) {
+    edb.AddFact("in_stock", {Value::Atom(p)});
+  }
+
+  datalog::Program p;
+  // contains: transitive closure of subpart.
+  p.rules.push_back(
+      R(H("contains", V("x"), V("y")), {B("subpart", V("x"), V("y"))}));
+  p.rules.push_back(R(H("contains", V("x"), V("z")),
+                      {B("subpart", V("x"), V("y")), B("contains", V("y"), V("z"))}));
+  // basic: no subparts.
+  p.rules.push_back(R(H("has_sub", V("x")), {B("subpart", V("x"), V("y"))}));
+  p.rules.push_back(
+      R(H("basic", V("x")), {B("part", V("x")), N("has_sub", V("x"))}));
+  // blocked: some transitive basic subpart is missing.
+  p.rules.push_back(R(H("missing", V("x")),
+                      {B("part", V("x")), B("basic", V("x")),
+                       N("in_stock", V("x"))}));
+  p.rules.push_back(R(H("blocked", V("x")),
+                      {B("contains", V("x"), V("y")), B("missing", V("y"))}));
+  p.rules.push_back(R(H("blocked", V("x")), {B("missing", V("x"))}));
+  p.rules.push_back(
+      R(H("buildable", V("x")), {B("part", V("x")), N("blocked", V("x"))}));
+
+  auto result = datalog::EvalStratified(p, edb);
+  if (!result.ok()) {
+    std::cerr << "evaluation failed: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << "basic parts:  " << result->Extent("basic").ToString() << "\n";
+  std::cout << "blocked:      " << result->Extent("blocked").ToString() << "\n";
+  std::cout << "buildable:    " << result->Extent("buildable").ToString()
+            << "\n";
+
+  // ------------------------------------------------------------------
+  // Theorem 4.3: the stratified program as a positive IFP-algebra
+  // program; evaluate the translation and compare.
+  auto alg = translate::StratifiedToPositiveIfp(p);
+  if (!alg.ok()) {
+    std::cerr << "translation failed: " << alg.status() << "\n";
+    return 1;
+  }
+  algebra::SetDb db = translate::EdbToSetDb(edb);
+  bool agree = true;
+  for (const char* pred : {"contains", "basic", "blocked", "buildable"}) {
+    auto got = algebra::EvalAlgebra(algebra::AlgebraExpr::Relation(pred), *alg, db);
+    if (!got.ok()) {
+      std::cerr << "algebra evaluation of " << pred
+                << " failed: " << got.status() << "\n";
+      return 1;
+    }
+    ValueSet want;
+    for (const Value& f : result->Extent(pred)) want.Insert(f);
+    if (*got != want) {
+      agree = false;
+      std::cerr << "MISMATCH on " << pred << "\n";
+    }
+  }
+  std::cout << (agree ? "positive IFP-algebra translation AGREES "
+                        "(Theorem 4.3)\n"
+                      : "translation mismatch — bug!\n");
+  return agree ? 0 : 1;
+}

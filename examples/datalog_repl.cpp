@@ -1,0 +1,147 @@
+// An interactive deductive-database shell on the awr engine.
+//
+//   ./build/examples/awr_datalog_repl
+//
+// Commands:
+//   <rule>.                      add a rule (or ground fact)
+//   ?pred                        show pred's extent under the chosen semantics
+//   :semantics valid|stratified|inflationary|stable
+//   :list                        show the current program
+//   :clear                       drop all rules
+//   :quit
+//
+// Example session:
+//   > move(a, b). move(b, a). move(b, c).
+//   > win(X) :- move(X, Y), not win(Y).
+//   > ?win
+//   win: certain {<b>}  undefined {}
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/parser.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+
+using namespace awr;  // NOLINT
+
+namespace {
+
+enum class Semantics { kValid, kStratified, kInflationary, kStable };
+
+void ShowPredicate(const datalog::Program& program, const std::string& pred,
+                   Semantics semantics) {
+  datalog::Database empty_edb;  // facts live in the program as rules
+  switch (semantics) {
+    case Semantics::kValid: {
+      auto wfs = datalog::EvalWellFounded(program, empty_edb);
+      if (!wfs.ok()) {
+        std::cout << "error: " << wfs.status() << "\n";
+        return;
+      }
+      std::cout << pred << ": certain "
+                << wfs->certain.Extent(pred).ToString();
+      datalog::Interpretation undef = wfs->UndefinedFacts();
+      if (undef.Extent(pred).size() > 0) {
+        std::cout << "  undefined " << undef.Extent(pred).ToString();
+      }
+      std::cout << "\n";
+      return;
+    }
+    case Semantics::kStratified: {
+      auto r = datalog::EvalStratified(program, empty_edb);
+      if (!r.ok()) {
+        std::cout << "error: " << r.status() << "\n";
+        return;
+      }
+      std::cout << pred << ": " << r->Extent(pred).ToString() << "\n";
+      return;
+    }
+    case Semantics::kInflationary: {
+      auto r = datalog::EvalInflationary(program, empty_edb);
+      if (!r.ok()) {
+        std::cout << "error: " << r.status() << "\n";
+        return;
+      }
+      std::cout << pred << ": " << r->Extent(pred).ToString() << "\n";
+      return;
+    }
+    case Semantics::kStable: {
+      auto models = datalog::EvalStableModels(program, empty_edb);
+      if (!models.ok()) {
+        std::cout << "error: " << models.status() << "\n";
+        return;
+      }
+      std::cout << pred << ": " << models->size() << " stable model(s)\n";
+      for (const auto& m : *models) {
+        std::cout << "  " << m.Extent(pred).ToString() << "\n";
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  datalog::Program program;
+  Semantics semantics = Semantics::kValid;
+
+  std::cout << "awr deductive shell — :semantics valid|stratified|"
+               "inflationary|stable, ?pred queries, :quit exits\n";
+  std::string line;
+  while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q") break;
+    if (line == ":list") {
+      std::cout << program.ToString();
+      continue;
+    }
+    if (line == ":clear") {
+      program.rules.clear();
+      std::cout << "cleared\n";
+      continue;
+    }
+    if (line.rfind(":semantics", 0) == 0) {
+      std::istringstream ss(line.substr(10));
+      std::string which;
+      ss >> which;
+      if (which == "valid") {
+        semantics = Semantics::kValid;
+      } else if (which == "stratified") {
+        semantics = Semantics::kStratified;
+      } else if (which == "inflationary") {
+        semantics = Semantics::kInflationary;
+      } else if (which == "stable") {
+        semantics = Semantics::kStable;
+      } else {
+        std::cout << "unknown semantics '" << which << "'\n";
+        continue;
+      }
+      std::cout << "semantics set\n";
+      continue;
+    }
+    if (line[0] == '?') {
+      std::string pred = line.substr(1);
+      while (!pred.empty() && pred.back() == ' ') pred.pop_back();
+      ShowPredicate(program, pred, semantics);
+      continue;
+    }
+    auto parsed = datalog::ParseProgram(line);
+    if (!parsed.ok()) {
+      std::cout << "parse error: " << parsed.status() << "\n";
+      continue;
+    }
+    for (auto& rule : parsed->rules) {
+      auto safe = datalog::CheckRuleSafe(rule);
+      if (!safe.ok()) {
+        std::cout << "rejected: " << safe << "\n";
+        continue;
+      }
+      program.rules.push_back(std::move(rule));
+    }
+  }
+  return 0;
+}

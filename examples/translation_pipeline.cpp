@@ -1,0 +1,83 @@
+// Walks the full Theorem 3.5 pipeline on a non-monotone query,
+// printing every intermediate program:
+//
+//   IFP_{{a} − x}                                (IFP-algebra, = {a})
+//     → deductive program, inflationary (5.1)
+//     → step-indexed program, valid (5.2)
+//     → algebra= equation system (6.1)
+//
+// The direct recursive equation S = {a} − S is *undefined* on a; the
+// pipeline is how algebra= nevertheless expresses the IFP faithfully.
+//
+//   ./build/examples/awr_translation_pipeline
+#include <iostream>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/valid_eval.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/wellfounded.h"
+#include "awr/translate/alg_to_datalog.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/pipeline.h"
+#include "awr/translate/step_index.h"
+
+using namespace awr;  // NOLINT
+using E = algebra::AlgebraExpr;
+
+int main() {
+  E query = E::Ifp(E::Diff(E::Singleton(Value::Atom("a")), E::IterVar(0)));
+  std::cout << "IFP-algebra query:  " << query.ToString() << "\n";
+
+  auto direct = algebra::EvalAlgebra(query, algebra::SetDb{});
+  std::cout << "direct IFP value:   " << direct->ToString() << "\n\n";
+
+  // The naive recursive equation is 3-valued:
+  algebra::AlgebraProgram naive;
+  naive.DefineConstant(
+      "S", E::Diff(E::Singleton(Value::Atom("a")), E::Relation("S")));
+  auto nm = algebra::EvalAlgebraValid(naive, algebra::SetDb{});
+  std::cout << "naive S = {a} − S:  MEM(a, S) is "
+            << datalog::TruthToString(nm->Member("S", Value::Atom("a")))
+            << "  — the equation is not well-defined (§3.2)\n\n";
+
+  // Stage 1 (Prop 5.1): compile to deduction.
+  auto compiled = translate::CompileAlgebraQuery(query, algebra::AlgebraProgram{});
+  std::cout << "=== deductive program (inflationary semantics) ===\n"
+            << compiled->program.ToString();
+  datalog::Database edb;
+  auto infl = datalog::EvalInflationary(compiled->program, edb);
+  std::cout << "inflationary result: "
+            << infl->Extent(compiled->query_predicate).ToString() << "\n";
+  auto wfs0 = datalog::EvalWellFounded(compiled->program, edb);
+  std::cout << "...but its valid model leaves "
+            << wfs0->UndefinedFacts().TotalFacts()
+            << " fact(s) undefined (Example 4)\n\n";
+
+  // Stage 2 (Prop 5.2): step-indexing repairs the valid semantics.
+  auto indexed = translate::StepIndexAuto(compiled->program, edb);
+  std::cout << "=== step-indexed program (bound " << indexed->bound
+            << ") ===\n"
+            << indexed->program.ToString();
+  auto wfs = datalog::EvalWellFounded(indexed->program, indexed->edb);
+  std::cout << "valid model is 2-valued: "
+            << (wfs->IsTwoValued() ? "yes" : "no") << ", "
+            << compiled->query_predicate << " = "
+            << wfs->certain.Extent(compiled->query_predicate).ToString()
+            << "\n\n";
+
+  // Stage 3 (Prop 6.1): back into algebra=.
+  auto pipe =
+      translate::IfpAlgebraToAlgebraEq(query, algebra::AlgebraProgram{},
+                                       algebra::SetDb{});
+  auto model = algebra::EvalAlgebraValid(pipe->program, pipe->db);
+  auto answer = translate::UnwrapUnary(model->Get(pipe->result_constant).lower);
+  std::cout << "=== algebra= equation system ===\n"
+            << pipe->program.ToString() << "\n";
+  std::cout << "algebra= result:    " << answer->ToString() << "  ("
+            << pipe->datalog_rules << " intermediate rules, step bound "
+            << pipe->step_bound << ")\n";
+  std::cout << ((*answer == *direct)
+                    ? "pipeline result MATCHES the direct IFP (Theorem 3.5)\n"
+                    : "MISMATCH — bug!\n");
+  return (*answer == *direct) ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#include "awr/algebra/eval.h"
+
+#include <unordered_set>
+
+namespace awr::algebra {
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const SetDb& db, const std::unordered_set<std::string>& recursive,
+            const AlgebraEvalOptions& opts, EvalBudget* budget)
+      : db_(db), recursive_(recursive), opts_(opts), budget_(budget) {}
+
+  Result<ValueSet> Eval(const AlgebraExpr& e) {
+    switch (e.kind()) {
+      case AlgebraExpr::Kind::kRelation: {
+        if (recursive_.count(e.name()) > 0) {
+          return Status::FailedPrecondition(
+              "set constant " + e.name() +
+              " is recursively defined; its meaning is the valid model — "
+              "use EvalAlgebraValid");
+        }
+        // A name with no defined extent denotes the empty set, exactly
+        // as a deductive EDB predicate with no facts (keeps the
+        // translation theorems meaningful on empty relations).
+        return db_.Extent(e.name());
+      }
+      case AlgebraExpr::Kind::kLiteralSet:
+        return e.literal();
+      case AlgebraExpr::Kind::kUnion: {
+        AWR_ASSIGN_OR_RETURN(ValueSet l, Eval(e.children()[0]));
+        AWR_ASSIGN_OR_RETURN(ValueSet r, Eval(e.children()[1]));
+        return SetUnion(l, r);
+      }
+      case AlgebraExpr::Kind::kDiff: {
+        AWR_ASSIGN_OR_RETURN(ValueSet l, Eval(e.children()[0]));
+        AWR_ASSIGN_OR_RETURN(ValueSet r, Eval(e.children()[1]));
+        return SetDifference(l, r);
+      }
+      case AlgebraExpr::Kind::kProduct: {
+        AWR_ASSIGN_OR_RETURN(ValueSet l, Eval(e.children()[0]));
+        AWR_ASSIGN_OR_RETURN(ValueSet r, Eval(e.children()[1]));
+        AWR_RETURN_IF_ERROR(
+            budget_->ChargeFacts(l.size() * r.size(), "algebra ×"));
+        return SetProduct(l, r);
+      }
+      case AlgebraExpr::Kind::kSelect: {
+        AWR_ASSIGN_OR_RETURN(ValueSet sub, Eval(e.children()[0]));
+        ValueSet out;
+        for (const Value& v : sub) {
+          AWR_ASSIGN_OR_RETURN(bool keep, e.fn().EvalTest(v, opts_.functions));
+          if (keep) out.Insert(v);
+        }
+        return out;
+      }
+      case AlgebraExpr::Kind::kMap: {
+        AWR_ASSIGN_OR_RETURN(ValueSet sub, Eval(e.children()[0]));
+        ValueSet out;
+        for (const Value& v : sub) {
+          AWR_ASSIGN_OR_RETURN(Value mapped, e.fn().Eval(v, opts_.functions));
+          out.Insert(std::move(mapped));
+        }
+        return out;
+      }
+      case AlgebraExpr::Kind::kIfp: {
+        // Inflationary fixed point: IFP_exp = ∪_i F_exp(i) (§3.1).
+        ValueSet acc;
+        for (;;) {
+          AWR_RETURN_IF_ERROR(budget_->ChargeRound("IFP"));
+          iters_.push_back(&acc);
+          auto step = Eval(e.children()[0]);
+          iters_.pop_back();
+          AWR_RETURN_IF_ERROR(step.status());
+          size_t added = acc.InsertAll(*step);
+          if (added == 0) break;
+          AWR_RETURN_IF_ERROR(budget_->ChargeFacts(added, "IFP"));
+        }
+        return acc;
+      }
+      case AlgebraExpr::Kind::kIterVar: {
+        if (e.index() >= iters_.size()) {
+          return Status::Internal("IterVar escapes IFP nesting");
+        }
+        return *iters_[iters_.size() - 1 - e.index()];
+      }
+      case AlgebraExpr::Kind::kParam:
+      case AlgebraExpr::Kind::kCall:
+        return Status::Internal(
+            "parameter/call survived inlining: " + e.ToString());
+    }
+    return Status::Internal("unknown algebra expression kind");
+  }
+
+ private:
+  const SetDb& db_;
+  const std::unordered_set<std::string>& recursive_;
+  const AlgebraEvalOptions& opts_;
+  EvalBudget* budget_;
+  std::vector<const ValueSet*> iters_;
+};
+
+}  // namespace
+
+Result<ValueSet> EvalAlgebra(const AlgebraExpr& query,
+                             const AlgebraProgram& program, const SetDb& db,
+                             const AlgebraEvalOptions& opts) {
+  AWR_RETURN_IF_ERROR(program.Validate());
+  AWR_RETURN_IF_ERROR(query.CheckIterVars());
+  AWR_ASSIGN_OR_RETURN(AlgebraExpr inlined, InlineCalls(query, program));
+  std::vector<std::string> rec = program.RecursiveDefs();
+  std::unordered_set<std::string> recursive(rec.begin(), rec.end());
+  EvalBudget budget(opts.limits);
+  Evaluator evaluator(db, recursive, opts, &budget);
+  return evaluator.Eval(inlined);
+}
+
+Result<ValueSet> EvalAlgebra(const AlgebraExpr& query, const SetDb& db,
+                             const AlgebraEvalOptions& opts) {
+  return EvalAlgebra(query, AlgebraProgram{}, db, opts);
+}
+
+}  // namespace awr::algebra

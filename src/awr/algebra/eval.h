@@ -1,0 +1,42 @@
+#ifndef AWR_ALGEBRA_EVAL_H_
+#define AWR_ALGEBRA_EVAL_H_
+
+#include "awr/algebra/program.h"
+#include "awr/common/limits.h"
+#include "awr/common/result.h"
+#include "awr/datalog/functions.h"
+#include "awr/value/value_set.h"
+
+namespace awr::algebra {
+
+/// Evaluation configuration shared by the algebra evaluators.
+struct AlgebraEvalOptions {
+  FunctionRegistry functions = FunctionRegistry::Default();
+  EvalLimits limits = EvalLimits::Default();
+};
+
+/// Evaluates an (IFP-)algebra query: a 2-valued, terminating-by-budget
+/// evaluation of an expression over the database.
+///
+/// Calls to *non-recursive* definitions are macro-expanded (the paper:
+/// instantiation of defined operations "is a macro, i.e. a code
+/// duplication will take place", §3.1 footnote).  IFP computes the
+/// inflationary fixed point: starting from the empty set, the body is
+/// applied to the accumulation and the result accumulated (§3.1) —
+/// note this is well-defined for *any* body, monotone or not
+/// (Theorem 3.1); `IFP_{{a}−x} = {a}` per §3.2.
+///
+/// References to recursive set constants are rejected with
+/// FailedPrecondition: their meaning is the valid model, computed by
+/// EvalAlgebraValid (valid_eval.h).
+Result<ValueSet> EvalAlgebra(const AlgebraExpr& query,
+                             const AlgebraProgram& program, const SetDb& db,
+                             const AlgebraEvalOptions& opts = {});
+
+/// Convenience for programs with no definitions.
+Result<ValueSet> EvalAlgebra(const AlgebraExpr& query, const SetDb& db,
+                             const AlgebraEvalOptions& opts = {});
+
+}  // namespace awr::algebra
+
+#endif  // AWR_ALGEBRA_EVAL_H_

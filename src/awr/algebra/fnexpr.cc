@@ -1,0 +1,221 @@
+#include "awr/algebra/fnexpr.h"
+
+#include <sstream>
+
+#include "awr/common/strings.h"
+
+namespace awr::algebra {
+
+namespace {
+std::shared_ptr<FnExpr::Rep> NewRep(FnExpr::Kind kind) {
+  auto rep = std::make_shared<FnExpr::Rep>();
+  rep->kind = kind;
+  return rep;
+}
+}  // namespace
+
+FnExpr FnExpr::Arg() { return FnExpr(NewRep(Kind::kArg)); }
+
+FnExpr FnExpr::Cst(Value v) {
+  auto rep = NewRep(Kind::kConst);
+  rep->constant = std::move(v);
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::Get(FnExpr sub, size_t index) {
+  auto rep = NewRep(Kind::kGet);
+  rep->children.push_back(std::move(sub));
+  rep->index = index;
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::MkTuple(std::vector<FnExpr> items) {
+  auto rep = NewRep(Kind::kMkTuple);
+  rep->children = std::move(items);
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::Apply(std::string fn, std::vector<FnExpr> args) {
+  auto rep = NewRep(Kind::kApply);
+  rep->fn = std::move(fn);
+  rep->children = std::move(args);
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::Cmp(CmpKind op, FnExpr lhs, FnExpr rhs) {
+  auto rep = NewRep(Kind::kCmp);
+  rep->cmp = op;
+  rep->children.push_back(std::move(lhs));
+  rep->children.push_back(std::move(rhs));
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::And(FnExpr lhs, FnExpr rhs) {
+  auto rep = NewRep(Kind::kAnd);
+  rep->children.push_back(std::move(lhs));
+  rep->children.push_back(std::move(rhs));
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::Or(FnExpr lhs, FnExpr rhs) {
+  auto rep = NewRep(Kind::kOr);
+  rep->children.push_back(std::move(lhs));
+  rep->children.push_back(std::move(rhs));
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::Not(FnExpr sub) {
+  auto rep = NewRep(Kind::kNot);
+  rep->children.push_back(std::move(sub));
+  return FnExpr(std::move(rep));
+}
+
+FnExpr FnExpr::If(FnExpr cond, FnExpr then_e, FnExpr else_e) {
+  auto rep = NewRep(Kind::kIf);
+  rep->children.push_back(std::move(cond));
+  rep->children.push_back(std::move(then_e));
+  rep->children.push_back(std::move(else_e));
+  return FnExpr(std::move(rep));
+}
+
+namespace {
+Status WantBool(const Value& v, const char* where) {
+  if (v.is_bool()) return Status::OK();
+  return Status::InvalidArgument(std::string(where) + ": expected bool, got " +
+                                 v.ToString());
+}
+}  // namespace
+
+Result<Value> FnExpr::Eval(const Value& element,
+                           const FunctionRegistry& fns) const {
+  switch (kind()) {
+    case Kind::kArg:
+      return element;
+    case Kind::kConst:
+      return constant();
+    case Kind::kGet: {
+      AWR_ASSIGN_OR_RETURN(Value sub, children()[0].Eval(element, fns));
+      if (!sub.is_tuple()) {
+        return Status::InvalidArgument("projection applied to non-tuple " +
+                                       sub.ToString());
+      }
+      if (index() >= sub.size()) {
+        return Status::InvalidArgument(
+            "projection index " + std::to_string(index()) +
+            " out of range for " + sub.ToString());
+      }
+      return sub.items()[index()];
+    }
+    case Kind::kMkTuple: {
+      std::vector<Value> items;
+      items.reserve(children().size());
+      for (const FnExpr& c : children()) {
+        AWR_ASSIGN_OR_RETURN(Value v, c.Eval(element, fns));
+        items.push_back(std::move(v));
+      }
+      return Value::Tuple(std::move(items));
+    }
+    case Kind::kApply: {
+      std::vector<Value> args;
+      args.reserve(children().size());
+      for (const FnExpr& c : children()) {
+        AWR_ASSIGN_OR_RETURN(Value v, c.Eval(element, fns));
+        args.push_back(std::move(v));
+      }
+      return fns.Apply(fn_name(), args);
+    }
+    case Kind::kCmp: {
+      AWR_ASSIGN_OR_RETURN(Value l, children()[0].Eval(element, fns));
+      AWR_ASSIGN_OR_RETURN(Value r, children()[1].Eval(element, fns));
+      int c = Value::Compare(l, r);
+      switch (cmp_kind()) {
+        case CmpKind::kEq:
+          return Value::Boolean(c == 0);
+        case CmpKind::kNe:
+          return Value::Boolean(c != 0);
+        case CmpKind::kLt:
+          return Value::Boolean(c < 0);
+        case CmpKind::kLe:
+          return Value::Boolean(c <= 0);
+      }
+      return Status::Internal("unknown comparison");
+    }
+    case Kind::kAnd: {
+      AWR_ASSIGN_OR_RETURN(Value l, children()[0].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(l, "and"));
+      if (!l.bool_value()) return Value::Boolean(false);
+      AWR_ASSIGN_OR_RETURN(Value r, children()[1].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(r, "and"));
+      return r;
+    }
+    case Kind::kOr: {
+      AWR_ASSIGN_OR_RETURN(Value l, children()[0].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(l, "or"));
+      if (l.bool_value()) return Value::Boolean(true);
+      AWR_ASSIGN_OR_RETURN(Value r, children()[1].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(r, "or"));
+      return r;
+    }
+    case Kind::kNot: {
+      AWR_ASSIGN_OR_RETURN(Value v, children()[0].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(v, "not"));
+      return Value::Boolean(!v.bool_value());
+    }
+    case Kind::kIf: {
+      AWR_ASSIGN_OR_RETURN(Value c, children()[0].Eval(element, fns));
+      AWR_RETURN_IF_ERROR(WantBool(c, "if"));
+      return children()[c.bool_value() ? 1 : 2].Eval(element, fns);
+    }
+  }
+  return Status::Internal("unknown FnExpr kind");
+}
+
+Result<bool> FnExpr::EvalTest(const Value& element,
+                              const FunctionRegistry& fns) const {
+  AWR_ASSIGN_OR_RETURN(Value v, Eval(element, fns));
+  AWR_RETURN_IF_ERROR(WantBool(v, "selection test"));
+  return v.bool_value();
+}
+
+std::string FnExpr::ToString() const {
+  switch (kind()) {
+    case Kind::kArg:
+      return "x";
+    case Kind::kConst:
+      return constant().ToString();
+    case Kind::kGet:
+      return children()[0].ToString() + "." + std::to_string(index());
+    case Kind::kMkTuple:
+      return "<" +
+             JoinMapped(children(), ", ",
+                        [](const FnExpr& e) { return e.ToString(); }) +
+             ">";
+    case Kind::kApply:
+      return fn_name() + "(" +
+             JoinMapped(children(), ", ",
+                        [](const FnExpr& e) { return e.ToString(); }) +
+             ")";
+    case Kind::kCmp: {
+      const char* op = cmp_kind() == CmpKind::kEq   ? "="
+                       : cmp_kind() == CmpKind::kNe ? "!="
+                       : cmp_kind() == CmpKind::kLt ? "<"
+                                                    : "<=";
+      return "(" + children()[0].ToString() + " " + op + " " +
+             children()[1].ToString() + ")";
+    }
+    case Kind::kAnd:
+      return "(" + children()[0].ToString() + " and " +
+             children()[1].ToString() + ")";
+    case Kind::kOr:
+      return "(" + children()[0].ToString() + " or " +
+             children()[1].ToString() + ")";
+    case Kind::kNot:
+      return "not " + children()[0].ToString();
+    case Kind::kIf:
+      return "if " + children()[0].ToString() + " then " +
+             children()[1].ToString() + " else " + children()[2].ToString();
+  }
+  return "?";
+}
+
+}  // namespace awr::algebra

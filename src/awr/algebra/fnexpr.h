@@ -1,0 +1,120 @@
+#ifndef AWR_ALGEBRA_FNEXPR_H_
+#define AWR_ALGEBRA_FNEXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/functions.h"
+#include "awr/value/value.h"
+
+namespace awr::algebra {
+
+using datalog::FunctionRegistry;
+
+/// The element-function language: the `test` of σ_test and the `f` of
+/// MAP_f (paper §3.1).
+///
+/// An FnExpr is a pure function of a single element (the member of the
+/// set being selected/restructured), built from tuple projection, tuple
+/// construction, interpreted functions, comparisons and boolean
+/// connectives.  The paper's π_i shorthand (`MAP_{x.i}`, Example 3) is
+/// `Get(Arg(), i)`; the `+2` map of the even-numbers set is
+/// `Apply("add", {Arg(), Cst(2)})`.
+///
+/// Crucially, an FnExpr cannot reference any database set: all set-level
+/// recursion flows through the algebra expressions, which keeps element
+/// functions 2-valued even under the 3-valued valid evaluation of
+/// recursive programs.
+class FnExpr {
+ public:
+  enum class Kind {
+    kArg,      // the element
+    kConst,    // literal value
+    kGet,      // tuple projection arg[i]
+    kMkTuple,  // tuple construction
+    kApply,    // interpreted function
+    kCmp,      // comparison -> bool
+    kAnd,
+    kOr,
+    kNot,
+    kIf,  // conditional value
+  };
+
+  enum class CmpKind { kEq, kNe, kLt, kLe };
+
+  /// Factories.
+  static FnExpr Arg();
+  static FnExpr Cst(Value v);
+  static FnExpr Get(FnExpr sub, size_t index);
+  static FnExpr MkTuple(std::vector<FnExpr> items);
+  static FnExpr Apply(std::string fn, std::vector<FnExpr> args);
+  static FnExpr Cmp(CmpKind op, FnExpr lhs, FnExpr rhs);
+  static FnExpr Eq(FnExpr lhs, FnExpr rhs) {
+    return Cmp(CmpKind::kEq, std::move(lhs), std::move(rhs));
+  }
+  static FnExpr Ne(FnExpr lhs, FnExpr rhs) {
+    return Cmp(CmpKind::kNe, std::move(lhs), std::move(rhs));
+  }
+  static FnExpr Lt(FnExpr lhs, FnExpr rhs) {
+    return Cmp(CmpKind::kLt, std::move(lhs), std::move(rhs));
+  }
+  static FnExpr Le(FnExpr lhs, FnExpr rhs) {
+    return Cmp(CmpKind::kLe, std::move(lhs), std::move(rhs));
+  }
+  static FnExpr And(FnExpr lhs, FnExpr rhs);
+  static FnExpr Or(FnExpr lhs, FnExpr rhs);
+  static FnExpr Not(FnExpr sub);
+  static FnExpr If(FnExpr cond, FnExpr then_e, FnExpr else_e);
+
+  Kind kind() const { return rep_->kind; }
+  CmpKind cmp_kind() const { return rep_->cmp; }
+  const Value& constant() const { return rep_->constant; }
+  size_t index() const { return rep_->index; }
+  const std::string& fn_name() const { return rep_->fn; }
+  const std::vector<FnExpr>& children() const { return rep_->children; }
+
+  /// Evaluates the function on `element`.
+  Result<Value> Eval(const Value& element, const FunctionRegistry& fns) const;
+
+  /// Evaluates as a selection test; fails unless the result is boolean.
+  Result<bool> EvalTest(const Value& element, const FunctionRegistry& fns) const;
+
+  std::string ToString() const;
+
+  /// Opaque implementation record (public only for the implementation
+  /// file's helpers; not part of the API).
+  struct Rep {
+    Kind kind;
+    CmpKind cmp = CmpKind::kEq;
+    Value constant;
+    size_t index = 0;
+    std::string fn;
+    std::vector<FnExpr> children;
+  };
+
+ private:
+  explicit FnExpr(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Common shorthands.
+namespace fn {
+/// The identity element function.
+inline FnExpr Id() { return FnExpr::Arg(); }
+/// π_i: i-th tuple component (0-based).
+inline FnExpr Proj(size_t i) { return FnExpr::Get(FnExpr::Arg(), i); }
+/// x + k on integer elements.
+inline FnExpr AddConst(int64_t k) {
+  return FnExpr::Apply("add", {FnExpr::Arg(), FnExpr::Cst(Value::Int(k))});
+}
+/// Test: element equals the given value (the paper's σ_{EQ(x,a)}).
+inline FnExpr EqConst(Value v) {
+  return FnExpr::Eq(FnExpr::Arg(), FnExpr::Cst(std::move(v)));
+}
+}  // namespace fn
+
+}  // namespace awr::algebra
+
+#endif  // AWR_ALGEBRA_FNEXPR_H_

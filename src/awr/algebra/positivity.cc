@@ -1,0 +1,97 @@
+#include "awr/algebra/positivity.h"
+
+namespace awr::algebra {
+
+Polarity CombinePolarity(Polarity a, Polarity b) {
+  if (a == Polarity::kAbsent) return b;
+  if (b == Polarity::kAbsent) return a;
+  if (a == b) return a;
+  return Polarity::kMixed;
+}
+
+namespace {
+
+Polarity Flip(Polarity p) {
+  switch (p) {
+    case Polarity::kPositive:
+      return Polarity::kNegative;
+    case Polarity::kNegative:
+      return Polarity::kPositive;
+    default:
+      return p;
+  }
+}
+
+// Generic polarity walk; `hit` decides whether a leaf node references
+// the target at the current IFP nesting depth.
+template <typename HitFn>
+Polarity Walk(const AlgebraExpr& e, size_t depth, const HitFn& hit) {
+  if (hit(e, depth)) return Polarity::kPositive;
+  switch (e.kind()) {
+    case AlgebraExpr::Kind::kDiff:
+      return CombinePolarity(Walk(e.children()[0], depth, hit),
+                             Flip(Walk(e.children()[1], depth, hit)));
+    case AlgebraExpr::Kind::kIfp:
+      return Walk(e.children()[0], depth + 1, hit);
+    default: {
+      Polarity p = Polarity::kAbsent;
+      for (const AlgebraExpr& c : e.children()) {
+        p = CombinePolarity(p, Walk(c, depth, hit));
+      }
+      return p;
+    }
+  }
+}
+
+}  // namespace
+
+Polarity RelationPolarity(const AlgebraExpr& e, const std::string& name) {
+  return Walk(e, 0, [&name](const AlgebraExpr& node, size_t) {
+    return node.kind() == AlgebraExpr::Kind::kRelation && node.name() == name;
+  });
+}
+
+Polarity IterVarPolarity(const AlgebraExpr& body) {
+  return Walk(body, 0, [](const AlgebraExpr& node, size_t depth) {
+    return node.kind() == AlgebraExpr::Kind::kIterVar && node.index() == depth;
+  });
+}
+
+bool AllIfpsPositive(const AlgebraExpr& e) {
+  if (e.kind() == AlgebraExpr::Kind::kIfp) {
+    Polarity p = IterVarPolarity(e.children()[0]);
+    if (p == Polarity::kNegative || p == Polarity::kMixed) return false;
+  }
+  for (const AlgebraExpr& c : e.children()) {
+    if (!AllIfpsPositive(c)) return false;
+  }
+  return true;
+}
+
+bool SystemIsPositive(const AlgebraProgram& normalized) {
+  for (const Definition& outer : normalized.defs()) {
+    for (const Definition& inner : normalized.defs()) {
+      Polarity p = RelationPolarity(outer.body, inner.name);
+      if (p == Polarity::kNegative || p == Polarity::kMixed) return false;
+    }
+  }
+  return true;
+}
+
+Status CheckPositiveIfpAlgebra(const AlgebraExpr& query,
+                               const AlgebraProgram& program) {
+  if (!program.IsNonRecursive()) {
+    return Status::FailedPrecondition(
+        "positive IFP-algebra does not admit recursive definitions "
+        "(that is the algebra= extension)");
+  }
+  AWR_ASSIGN_OR_RETURN(AlgebraExpr inlined, InlineCalls(query, program));
+  if (!AllIfpsPositive(inlined)) {
+    return Status::FailedPrecondition(
+        "expression applies IFP to a body whose iteration variable "
+        "occurs negatively");
+  }
+  return Status::OK();
+}
+
+}  // namespace awr::algebra

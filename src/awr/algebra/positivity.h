@@ -1,0 +1,56 @@
+#ifndef AWR_ALGEBRA_POSITIVITY_H_
+#define AWR_ALGEBRA_POSITIVITY_H_
+
+#include <string>
+
+#include "awr/algebra/ast.h"
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+
+namespace awr::algebra {
+
+/// Occurrence polarity of a set name / iteration variable inside an
+/// expression.  An occurrence is *negative* when it sits under an odd
+/// number of right-hand sides of `−` (set difference); everything else
+/// preserves polarity (∪, ×, σ, MAP, IFP bodies and call arguments are
+/// monotone positions).
+enum class Polarity {
+  kAbsent,
+  kPositive,
+  kNegative,
+  kMixed,
+};
+
+Polarity CombinePolarity(Polarity a, Polarity b);
+
+/// Polarity of the named relation's occurrences in `e`.
+Polarity RelationPolarity(const AlgebraExpr& e, const std::string& name);
+
+/// Polarity, within an IFP *body*, of references to that IFP's own
+/// accumulator (IterVar level 0 at the body's top, shifted under nested
+/// IFPs).
+Polarity IterVarPolarity(const AlgebraExpr& body);
+
+/// True iff `e` only applies IFP to bodies whose iteration variable
+/// occurs positively — the paper's **positive IFP-algebra** ("the fixed
+/// point operator is applied only to expressions where the variable
+/// does not appear negatively, i.e. does not appear in a sub-expression
+/// being subtracted"; such expressions are certainly monotone, §4).
+bool AllIfpsPositive(const AlgebraExpr& e);
+
+/// True iff the normalized equation system is syntactically positive:
+/// every defined constant occurs only positively in every definition
+/// body.  By the paper's Definition 3.3 / Proposition 3.4, such systems
+/// are monotone and their declared fixed points coincide with the
+/// inflationary ones.
+bool SystemIsPositive(const AlgebraProgram& normalized);
+
+/// Checks the full positive-IFP-algebra fragment of Theorem 4.3: the
+/// program has no recursive definitions and every IFP in every body and
+/// in `query` is positive.
+Status CheckPositiveIfpAlgebra(const AlgebraExpr& query,
+                               const AlgebraProgram& program);
+
+}  // namespace awr::algebra
+
+#endif  // AWR_ALGEBRA_POSITIVITY_H_

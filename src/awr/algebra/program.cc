@@ -1,0 +1,332 @@
+#include "awr/algebra/program.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace awr::algebra {
+
+std::string SetDb::ToString() const {
+  std::ostringstream os;
+  for (const auto& [name, extent] : sets_) {
+    os << name << " = " << extent.ToString() << "\n";
+  }
+  return os.str();
+}
+
+const Definition* AlgebraProgram::FindDef(const std::string& name) const {
+  for (const Definition& d : defs_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+Status ValidateExpr(const AlgebraExpr& e, const AlgebraProgram& program,
+                    size_t n_params) {
+  if (e.kind() == AlgebraExpr::Kind::kParam && e.index() >= n_params) {
+    return Status::InvalidArgument("parameter $" + std::to_string(e.index()) +
+                                   " out of range (definition has " +
+                                   std::to_string(n_params) + " parameters)");
+  }
+  if (e.kind() == AlgebraExpr::Kind::kCall) {
+    const Definition* callee = program.FindDef(e.name());
+    if (callee == nullptr) {
+      return Status::NotFound("call of undefined operation " + e.name());
+    }
+    if (callee->n_params != e.children().size()) {
+      return Status::InvalidArgument(
+          "call of " + e.name() + " with " +
+          std::to_string(e.children().size()) + " argument(s); definition has " +
+          std::to_string(callee->n_params));
+    }
+  }
+  for (const AlgebraExpr& c : e.children()) {
+    AWR_RETURN_IF_ERROR(ValidateExpr(c, program, n_params));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AlgebraProgram::Validate() const {
+  std::unordered_set<std::string> names;
+  for (const Definition& d : defs_) {
+    if (!names.insert(d.name).second) {
+      return Status::InvalidArgument("duplicate definition of " + d.name);
+    }
+  }
+  for (const Definition& d : defs_) {
+    if (d.body.MaxParamIndex() >= static_cast<int>(d.n_params)) {
+      return Status::InvalidArgument(
+          "definition " + d.name + " uses parameter $" +
+          std::to_string(d.body.MaxParamIndex()) + " but declares only " +
+          std::to_string(d.n_params));
+    }
+    AWR_RETURN_IF_ERROR(d.body.CheckIterVars());
+    AWR_RETURN_IF_ERROR(ValidateExpr(d.body, *this, d.n_params));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> AlgebraProgram::RecursiveDefs() const {
+  std::unordered_set<std::string> def_names;
+  for (const Definition& d : defs_) def_names.insert(d.name);
+  // def -> defs it references directly, whether through a call f(...)
+  // or by naming a set constant as a relation (both spellings denote
+  // the defined operation; a 0-ary constant is most naturally written
+  // as a relation name, as in `S = {0} ∪ MAP₊₂(S)`).
+  std::unordered_map<std::string, std::vector<std::string>> calls;
+  for (const Definition& d : defs_) {
+    std::vector<std::string> out;
+    d.body.CollectCalls(&out);
+    std::vector<std::string> rels;
+    d.body.CollectRelations(&rels);
+    for (std::string& r : rels) {
+      if (def_names.count(r) > 0) out.push_back(std::move(r));
+    }
+    calls[d.name] = std::move(out);
+  }
+  // d is recursive iff d is reachable from d.
+  std::vector<std::string> recursive;
+  for (const Definition& d : defs_) {
+    std::unordered_set<std::string> seen;
+    std::vector<std::string> stack = calls[d.name];
+    bool cyclic = false;
+    while (!stack.empty() && !cyclic) {
+      std::string cur = stack.back();
+      stack.pop_back();
+      if (cur == d.name) {
+        cyclic = true;
+        break;
+      }
+      if (!seen.insert(cur).second) continue;
+      auto it = calls.find(cur);
+      if (it != calls.end()) {
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+      }
+    }
+    if (cyclic) recursive.push_back(d.name);
+  }
+  return recursive;
+}
+
+std::string AlgebraProgram::ToString() const {
+  std::ostringstream os;
+  for (const Definition& d : defs_) os << d.ToString() << "\n";
+  return os.str();
+}
+
+namespace {
+
+// Shifts the *free* IterVar indices of `e` up by `delta` (indices bound
+// by IFPs inside `e` itself, i.e. below `cutoff`, are untouched).
+AlgebraExpr ShiftIterVars(const AlgebraExpr& e, size_t delta, size_t cutoff) {
+  if (delta == 0) return e;
+  switch (e.kind()) {
+    case AlgebraExpr::Kind::kIterVar:
+      return e.index() >= cutoff ? AlgebraExpr::IterVar(e.index() + delta) : e;
+    case AlgebraExpr::Kind::kIfp:
+      return AlgebraExpr::Ifp(ShiftIterVars(e.children()[0], delta, cutoff + 1));
+    case AlgebraExpr::Kind::kUnion:
+      return AlgebraExpr::Union(ShiftIterVars(e.children()[0], delta, cutoff),
+                                ShiftIterVars(e.children()[1], delta, cutoff));
+    case AlgebraExpr::Kind::kDiff:
+      return AlgebraExpr::Diff(ShiftIterVars(e.children()[0], delta, cutoff),
+                               ShiftIterVars(e.children()[1], delta, cutoff));
+    case AlgebraExpr::Kind::kProduct:
+      return AlgebraExpr::Product(ShiftIterVars(e.children()[0], delta, cutoff),
+                                  ShiftIterVars(e.children()[1], delta, cutoff));
+    case AlgebraExpr::Kind::kSelect:
+      return AlgebraExpr::Select(e.fn(),
+                                 ShiftIterVars(e.children()[0], delta, cutoff));
+    case AlgebraExpr::Kind::kMap:
+      return AlgebraExpr::Map(e.fn(),
+                              ShiftIterVars(e.children()[0], delta, cutoff));
+    case AlgebraExpr::Kind::kCall: {
+      std::vector<AlgebraExpr> args;
+      args.reserve(e.children().size());
+      for (const AlgebraExpr& a : e.children()) {
+        args.push_back(ShiftIterVars(a, delta, cutoff));
+      }
+      return AlgebraExpr::Call(e.name(), std::move(args));
+    }
+    default:
+      return e;  // Relation, Param, LiteralSet: no iter vars inside
+  }
+}
+
+// Substitutes `args` for the parameters of a definition body.  `depth`
+// counts IFPs entered inside the body so far: an argument spliced in at
+// that depth has its free IterVars shifted by `depth` so they still
+// refer to the IFPs enclosing the original call site.
+AlgebraExpr SubstParams(const AlgebraExpr& body,
+                        const std::vector<AlgebraExpr>& args, size_t depth) {
+  switch (body.kind()) {
+    case AlgebraExpr::Kind::kParam:
+      return ShiftIterVars(args[body.index()], depth, 0);
+    case AlgebraExpr::Kind::kIfp:
+      return AlgebraExpr::Ifp(SubstParams(body.children()[0], args, depth + 1));
+    case AlgebraExpr::Kind::kUnion:
+      return AlgebraExpr::Union(SubstParams(body.children()[0], args, depth),
+                                SubstParams(body.children()[1], args, depth));
+    case AlgebraExpr::Kind::kDiff:
+      return AlgebraExpr::Diff(SubstParams(body.children()[0], args, depth),
+                               SubstParams(body.children()[1], args, depth));
+    case AlgebraExpr::Kind::kProduct:
+      return AlgebraExpr::Product(SubstParams(body.children()[0], args, depth),
+                                  SubstParams(body.children()[1], args, depth));
+    case AlgebraExpr::Kind::kSelect:
+      return AlgebraExpr::Select(body.fn(),
+                                 SubstParams(body.children()[0], args, depth));
+    case AlgebraExpr::Kind::kMap:
+      return AlgebraExpr::Map(body.fn(),
+                              SubstParams(body.children()[0], args, depth));
+    case AlgebraExpr::Kind::kCall: {
+      std::vector<AlgebraExpr> call_args;
+      call_args.reserve(body.children().size());
+      for (const AlgebraExpr& a : body.children()) {
+        call_args.push_back(SubstParams(a, args, depth));
+      }
+      return AlgebraExpr::Call(body.name(), std::move(call_args));
+    }
+    default:
+      return body;
+  }
+}
+
+class Inliner {
+ public:
+  // Definitions named in `keep` stay as relation references; everything
+  // else is macro-expanded.
+  Inliner(const AlgebraProgram& program, std::unordered_set<std::string> keep)
+      : program_(program), keep_(std::move(keep)) {}
+
+  Result<AlgebraExpr> Expand(const AlgebraExpr& e, size_t fuel) {
+    if (fuel == 0) {
+      return Status::ResourceExhausted(
+          "definition inlining exceeded depth limit (deeply nested "
+          "non-recursive calls?)");
+    }
+    switch (e.kind()) {
+      case AlgebraExpr::Kind::kRelation: {
+        // A relation name may denote a defined set constant; kept
+        // constants stay as references, other 0-ary defs are expanded
+        // like calls.
+        const Definition* def = program_.FindDef(e.name());
+        if (def == nullptr || keep_.count(e.name()) > 0) return e;
+        if (def->n_params != 0) {
+          return Status::InvalidArgument(
+              "operation " + e.name() + " (with " +
+              std::to_string(def->n_params) +
+              " parameters) referenced as a set constant");
+        }
+        return Expand(def->body, fuel - 1);
+      }
+      case AlgebraExpr::Kind::kCall: {
+        std::vector<AlgebraExpr> args;
+        args.reserve(e.children().size());
+        for (const AlgebraExpr& a : e.children()) {
+          AWR_ASSIGN_OR_RETURN(AlgebraExpr ea, Expand(a, fuel - 1));
+          args.push_back(std::move(ea));
+        }
+        if (keep_.count(e.name()) > 0) {
+          // A kept definition must be a set constant in the §6 normal
+          // form; its reference becomes a relation name.
+          if (!args.empty()) {
+            return Status::NotImplemented(
+                "recursive parameterized definition " + e.name() +
+                " is outside the supported §6 normal form (recursive "
+                "definitions must be set constants)");
+          }
+          return AlgebraExpr::Relation(e.name());
+        }
+        const Definition* def = program_.FindDef(e.name());
+        if (def == nullptr) {
+          return Status::NotFound("call of undefined operation " + e.name());
+        }
+        AlgebraExpr substituted = SubstParams(def->body, args, 0);
+        return Expand(substituted, fuel - 1);
+      }
+      case AlgebraExpr::Kind::kUnion: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr l, Expand(e.children()[0], fuel - 1));
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr r, Expand(e.children()[1], fuel - 1));
+        return AlgebraExpr::Union(std::move(l), std::move(r));
+      }
+      case AlgebraExpr::Kind::kDiff: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr l, Expand(e.children()[0], fuel - 1));
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr r, Expand(e.children()[1], fuel - 1));
+        return AlgebraExpr::Diff(std::move(l), std::move(r));
+      }
+      case AlgebraExpr::Kind::kProduct: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr l, Expand(e.children()[0], fuel - 1));
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr r, Expand(e.children()[1], fuel - 1));
+        return AlgebraExpr::Product(std::move(l), std::move(r));
+      }
+      case AlgebraExpr::Kind::kSelect: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr s, Expand(e.children()[0], fuel - 1));
+        return AlgebraExpr::Select(e.fn(), std::move(s));
+      }
+      case AlgebraExpr::Kind::kMap: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr s, Expand(e.children()[0], fuel - 1));
+        return AlgebraExpr::Map(e.fn(), std::move(s));
+      }
+      case AlgebraExpr::Kind::kIfp: {
+        AWR_ASSIGN_OR_RETURN(AlgebraExpr s, Expand(e.children()[0], fuel - 1));
+        return AlgebraExpr::Ifp(std::move(s));
+      }
+      default:
+        return e;
+    }
+  }
+
+ private:
+  const AlgebraProgram& program_;
+  std::unordered_set<std::string> keep_;
+};
+
+constexpr size_t kInlineFuel = 4096;
+
+}  // namespace
+
+Result<AlgebraProgram> NormalizeProgram(const AlgebraProgram& program) {
+  AWR_RETURN_IF_ERROR(program.Validate());
+  std::vector<std::string> rec = program.RecursiveDefs();
+  std::unordered_set<std::string> recursive(rec.begin(), rec.end());
+  for (const Definition& d : program.defs()) {
+    if (recursive.count(d.name) > 0 && d.n_params > 0) {
+      return Status::NotImplemented(
+          "recursive parameterized definition " + d.name +
+          " is outside the supported §6 normal form (recursive definitions "
+          "must be set constants)");
+    }
+  }
+  // Every set constant (0-ary definition) survives normalization as an
+  // equation of the system — recursive or not (a deductive program's
+  // non-recursive predicates still denote sets in its valid model).
+  // Only parameterized (necessarily non-recursive) definitions are
+  // macro-expanded away.
+  std::unordered_set<std::string> keep;
+  for (const Definition& d : program.defs()) {
+    if (d.n_params == 0) keep.insert(d.name);
+  }
+  Inliner inliner(program, keep);
+  AlgebraProgram out;
+  for (const Definition& d : program.defs()) {
+    if (d.n_params != 0) continue;  // fully inlined away
+    AWR_ASSIGN_OR_RETURN(AlgebraExpr body, inliner.Expand(d.body, kInlineFuel));
+    out.AddDef(Definition{d.name, 0, std::move(body)});
+  }
+  return out;
+}
+
+Result<AlgebraExpr> InlineCalls(const AlgebraExpr& expr,
+                                const AlgebraProgram& program) {
+  std::vector<std::string> rec = program.RecursiveDefs();
+  std::unordered_set<std::string> recursive(rec.begin(), rec.end());
+  Inliner inliner(program, std::move(recursive));
+  return inliner.Expand(expr, kInlineFuel);
+}
+
+}  // namespace awr::algebra

@@ -1,0 +1,109 @@
+#ifndef AWR_ALGEBRA_PROGRAM_H_
+#define AWR_ALGEBRA_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "awr/algebra/ast.h"
+#include "awr/common/result.h"
+#include "awr/value/value_set.h"
+
+namespace awr::algebra {
+
+/// A database for the algebraic languages: named sets of values (each
+/// named set is a database "relation" represented by a constant, §3).
+class SetDb {
+ public:
+  SetDb() = default;
+
+  bool Has(const std::string& name) const { return sets_.count(name) > 0; }
+
+  const ValueSet& Extent(const std::string& name) const {
+    static const ValueSet kEmpty;
+    auto it = sets_.find(name);
+    return it == sets_.end() ? kEmpty : it->second;
+  }
+
+  void Define(const std::string& name, ValueSet extent) {
+    sets_[name] = std::move(extent);
+  }
+
+  /// Convenience: defines `name` as a set of pair values.
+  void DefinePairs(const std::string& name,
+                   const std::vector<std::pair<Value, Value>>& pairs) {
+    ValueSet s;
+    for (const auto& [a, b] : pairs) s.Insert(Value::Pair(a, b));
+    sets_[name] = std::move(s);
+  }
+
+  auto begin() const { return sets_.begin(); }
+  auto end() const { return sets_.end(); }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, ValueSet> sets_;
+};
+
+/// An algebra= / IFP-algebra= program: a collection of operation
+/// definitions (paper §3.2).  Queries are expressions over the database
+/// relations and the defined operations.
+class AlgebraProgram {
+ public:
+  AlgebraProgram() = default;
+  explicit AlgebraProgram(std::vector<Definition> defs)
+      : defs_(std::move(defs)) {}
+
+  const std::vector<Definition>& defs() const { return defs_; }
+  void AddDef(Definition def) { defs_.push_back(std::move(def)); }
+
+  /// Defines the set constant `name = body` (a 0-ary definition — the
+  /// §6 normal form `P_i^a = exp_i(...)`).
+  void DefineConstant(std::string name, AlgebraExpr body) {
+    defs_.push_back(Definition{std::move(name), 0, std::move(body)});
+  }
+
+  /// The definition named `name`, or nullptr.
+  const Definition* FindDef(const std::string& name) const;
+
+  /// Structural validation: unique names, call arities match, parameter
+  /// indices in range, IterVar levels inside their IFPs.
+  Status Validate() const;
+
+  /// Names of definitions involved in recursion (appearing in a call
+  /// cycle, including self-recursion).
+  std::vector<std::string> RecursiveDefs() const;
+
+  /// True iff no definition is recursive.
+  bool IsNonRecursive() const { return RecursiveDefs().empty(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Definition> defs_;
+};
+
+/// Rewrites `program` into the §6 normal form used by the valid
+/// evaluator and the algebra=→deduction translation:
+///
+///  * every *non-recursive* definition is inlined into its callers
+///    (the paper: non-recursive definitions are "just a convenience for
+///    modular programming" and can be macro-expanded away);
+///  * what remains are definitions that are 0-ary constants (possibly
+///    mutually recursive), exactly the equation systems
+///    `P_i = exp_i(P_1, ..., P_n, R_1, ..., R_m)` of §6.
+///
+/// Fails with NotImplemented if a *parameterized* definition is
+/// recursive (outside the supported normal form).
+Result<AlgebraProgram> NormalizeProgram(const AlgebraProgram& program);
+
+/// Inlines non-recursive definition calls inside `expr` (used for
+/// queries against a normalized program).  IterVar indices in argument
+/// expressions are shifted correctly when substituted under IFPs.
+Result<AlgebraExpr> InlineCalls(const AlgebraExpr& expr,
+                                const AlgebraProgram& normalized);
+
+}  // namespace awr::algebra
+
+#endif  // AWR_ALGEBRA_PROGRAM_H_

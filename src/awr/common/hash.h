@@ -1,0 +1,27 @@
+#ifndef AWR_COMMON_HASH_H_
+#define AWR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace awr {
+
+/// Mixes `v` into seed `h` (boost::hash_combine recipe, 64-bit constant).
+inline std::size_t HashCombine(std::size_t h, std::size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Hashes a range of hashable elements into one value.
+template <typename It>
+std::size_t HashRange(It begin, It end, std::size_t seed = 0) {
+  for (It it = begin; it != end; ++it) {
+    seed = HashCombine(seed, std::hash<std::decay_t<decltype(*it)>>{}(*it));
+  }
+  return seed;
+}
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_HASH_H_

@@ -1,0 +1,35 @@
+#include "awr/common/intern.h"
+
+#include <cassert>
+
+namespace awr {
+
+Interner& Interner::Global() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+uint32_t Interner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  auto [pos, inserted] = ids_.emplace(std::string(s), id);
+  assert(inserted);
+  (void)inserted;
+  strings_.push_back(&pos->first);
+  return id;
+}
+
+const std::string& Interner::Lookup(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < strings_.size());
+  return *strings_[id];
+}
+
+size_t Interner::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace awr

@@ -1,0 +1,50 @@
+#ifndef AWR_COMMON_INTERN_H_
+#define AWR_COMMON_INTERN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace awr {
+
+/// A process-wide string interner.  Atoms, sort names and symbol names
+/// are interned so that values and terms can compare identifiers by
+/// integer id.  Thread-safe; ids are stable for the process lifetime.
+class Interner {
+ public:
+  /// Returns the singleton interner.
+  static Interner& Global();
+
+  /// Interns `s`, returning its id.  Idempotent.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the string for a previously returned id.
+  const std::string& Lookup(uint32_t id) const;
+
+  /// Number of distinct interned strings.
+  size_t size() const;
+
+ private:
+  Interner() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<const std::string*> strings_;
+};
+
+/// Convenience: interns `s` in the global interner.
+inline uint32_t InternString(std::string_view s) {
+  return Interner::Global().Intern(s);
+}
+
+/// Convenience: looks up `id` in the global interner.
+inline const std::string& InternedString(uint32_t id) {
+  return Interner::Global().Lookup(id);
+}
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_INTERN_H_

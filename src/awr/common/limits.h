@@ -1,0 +1,69 @@
+#ifndef AWR_COMMON_LIMITS_H_
+#define AWR_COMMON_LIMITS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "awr/common/status.h"
+
+namespace awr {
+
+/// Budget for a fixpoint computation.
+///
+/// The paper's languages admit interpreted functions on infinite domains
+/// (Example 1 defines the set of all even naturals), so any faithful
+/// evaluator can diverge.  Every awr fixpoint loop charges this budget
+/// and fails with ResourceExhausted instead of looping forever.
+struct EvalLimits {
+  /// Maximum number of fixpoint rounds (outer iterations).
+  size_t max_rounds = 10000;
+  /// Maximum number of facts / set elements ever derived.
+  size_t max_facts = 10'000'000;
+
+  /// A small budget for unit tests of divergence behaviour.
+  static EvalLimits Tiny() { return EvalLimits{16, 4096}; }
+  /// The default budget.
+  static EvalLimits Default() { return EvalLimits{}; }
+  /// A large budget for benchmarks.
+  static EvalLimits Large() { return EvalLimits{1'000'000, 100'000'000}; }
+};
+
+/// Mutable per-run accounting against an EvalLimits budget.
+class EvalBudget {
+ public:
+  explicit EvalBudget(EvalLimits limits) : limits_(limits) {}
+
+  /// Charges one fixpoint round; fails when the budget is exceeded.
+  Status ChargeRound(std::string_view what) {
+    if (++rounds_ > limits_.max_rounds) {
+      return Status::ResourceExhausted(
+          std::string(what) + ": exceeded max_rounds=" +
+          std::to_string(limits_.max_rounds));
+    }
+    return Status::OK();
+  }
+
+  /// Charges `n` derived facts; fails when the budget is exceeded.
+  Status ChargeFacts(size_t n, std::string_view what) {
+    facts_ += n;
+    if (facts_ > limits_.max_facts) {
+      return Status::ResourceExhausted(
+          std::string(what) + ": exceeded max_facts=" +
+          std::to_string(limits_.max_facts));
+    }
+    return Status::OK();
+  }
+
+  size_t rounds() const { return rounds_; }
+  size_t facts() const { return facts_; }
+  const EvalLimits& limits() const { return limits_; }
+
+ private:
+  EvalLimits limits_;
+  size_t rounds_ = 0;
+  size_t facts_ = 0;
+};
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_LIMITS_H_

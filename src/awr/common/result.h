@@ -1,0 +1,82 @@
+#ifndef AWR_COMMON_RESULT_H_
+#define AWR_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "awr/common/status.h"
+
+namespace awr {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// style of arrow::Result.  Construction from T and from Status is
+/// implicit so that `return value;` and `return Status::...;` both work
+/// inside functions returning Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding a failure.  `status` must be non-OK:
+  /// an OK status carries no value and is converted to kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// Returns true iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the held status (OK if a value is held).
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Returns the held value.  Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` on failure.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace awr
+
+/// Evaluates `expr` (a Result<T>), propagating its Status on failure and
+/// otherwise assigning the value to `lhs` (a declaration or lvalue).
+#define AWR_ASSIGN_OR_RETURN(lhs, expr)                       \
+  AWR_ASSIGN_OR_RETURN_IMPL_(                                 \
+      AWR_CONCAT_(_awr_result_, __LINE__), lhs, expr)
+
+#define AWR_CONCAT_INNER_(a, b) a##b
+#define AWR_CONCAT_(a, b) AWR_CONCAT_INNER_(a, b)
+
+#define AWR_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // AWR_COMMON_RESULT_H_

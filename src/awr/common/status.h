@@ -1,0 +1,129 @@
+#ifndef AWR_COMMON_STATUS_H_
+#define AWR_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace awr {
+
+/// Machine-readable classification of a failure.
+///
+/// The set of codes follows the Arrow / RocksDB convention of a small,
+/// closed enumeration; everything a caller might branch on is a code,
+/// everything a human might read goes into the message.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input: unparsable program, ill-typed expression, arity
+  /// mismatch, unknown symbol.
+  kInvalidArgument,
+  /// The request is well-formed but violates a semantic precondition:
+  /// unsafe rule, unstratifiable program passed to the stratified
+  /// evaluator, non-monotone expression where monotonicity is required.
+  kFailedPrecondition,
+  /// A fixpoint computation exceeded its EvalLimits budget.  The paper's
+  /// languages can define infinite sets (Example 1); this code is how the
+  /// engines report a (potentially) diverging computation.
+  kResourceExhausted,
+  /// The queried object does not exist (unknown relation, definition...).
+  kNotFound,
+  /// The answer is not 2-valued: a membership fact is *undefined* in the
+  /// valid model and the caller demanded a definite answer (paper §3.2).
+  kUndefined,
+  /// Internal invariant violation; indicates a bug in this library.
+  kInternal,
+  /// Feature intentionally outside the supported fragment (e.g. a
+  /// recursive parameterized definition not in §6 normal form).
+  kNotImplemented,
+};
+
+/// Returns the canonical name of a code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// An Arrow-style status object: cheap to pass around when OK (a single
+/// null pointer), carries a code + message on failure.  All fallible awr
+/// APIs return Status or Result<T>; exceptions never cross library
+/// boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.  `code` must
+  /// not be kOk (use the default constructor for success).
+  Status(StatusCode code, std::string message);
+
+  /// Returns true iff this status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// Returns the status code (kOk for success).
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  /// Returns the failure message ("" for success).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->message;
+  }
+
+  /// Returns "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Factory helpers, one per failure code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Undefined(std::string msg) {
+    return Status(StatusCode::kUndefined, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsUndefined() const { return code() == StatusCode::kUndefined; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK; shared so Status is cheap to copy.
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace awr
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define AWR_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::awr::Status _awr_status = (expr);            \
+    if (!_awr_status.ok()) return _awr_status;     \
+  } while (false)
+
+#endif  // AWR_COMMON_STATUS_H_

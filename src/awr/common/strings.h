@@ -1,0 +1,31 @@
+#ifndef AWR_COMMON_STRINGS_H_
+#define AWR_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace awr {
+
+/// Joins the elements of `range` with `sep`, using each element's
+/// operator<< or a caller-supplied stringifier.
+template <typename Range, typename Fn>
+std::string JoinMapped(const Range& range, std::string_view sep, Fn&& fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+template <typename Range>
+std::string Join(const Range& range, std::string_view sep) {
+  return JoinMapped(range, sep, [](const auto& x) -> const auto& { return x; });
+}
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_STRINGS_H_

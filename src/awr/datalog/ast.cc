@@ -1,0 +1,180 @@
+#include "awr/datalog/ast.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+#include "awr/common/strings.h"
+
+namespace awr::datalog {
+
+TermExpr TermExpr::Variable(Var v) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kVar;
+  rep->var_id = v.id;
+  return TermExpr(std::move(rep));
+}
+
+TermExpr TermExpr::Constant(Value value) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kConst;
+  rep->constant = std::move(value);
+  return TermExpr(std::move(rep));
+}
+
+TermExpr TermExpr::Apply(std::string fn, std::vector<TermExpr> args) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = Kind::kApply;
+  rep->fn = std::move(fn);
+  rep->args = std::move(args);
+  return TermExpr(std::move(rep));
+}
+
+Var TermExpr::var() const {
+  assert(is_var());
+  return Var(rep_->var_id);
+}
+
+const Value& TermExpr::constant() const {
+  assert(is_const());
+  return rep_->constant;
+}
+
+const std::string& TermExpr::fn_name() const {
+  assert(is_apply());
+  return rep_->fn;
+}
+
+const std::vector<TermExpr>& TermExpr::args() const {
+  assert(is_apply());
+  return rep_->args;
+}
+
+void TermExpr::CollectVars(std::vector<Var>* out) const {
+  switch (kind()) {
+    case Kind::kVar:
+      out->push_back(var());
+      return;
+    case Kind::kConst:
+      return;
+    case Kind::kApply:
+      for (const TermExpr& arg : args()) arg.CollectVars(out);
+      return;
+  }
+}
+
+std::string TermExpr::ToString() const {
+  switch (kind()) {
+    case Kind::kVar:
+      return var().name();
+    case Kind::kConst:
+      return constant().ToString();
+    case Kind::kApply:
+      return fn_name() + "(" +
+             JoinMapped(args(), ", ",
+                        [](const TermExpr& t) { return t.ToString(); }) +
+             ")";
+  }
+  return "?";
+}
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  return predicate + "(" +
+         JoinMapped(args, ", ", [](const TermExpr& t) { return t.ToString(); }) +
+         ")";
+}
+
+void Literal::CollectVars(std::vector<Var>* out) const {
+  if (is_atom()) {
+    for (const TermExpr& t : atom.args) t.CollectVars(out);
+  } else {
+    lhs.CollectVars(out);
+    rhs.CollectVars(out);
+  }
+}
+
+std::string Literal::ToString() const {
+  if (is_atom()) {
+    return (positive ? "" : "not ") + atom.ToString();
+  }
+  return lhs.ToString() + " " + std::string(CmpOpToString(op)) + " " +
+         rhs.ToString();
+}
+
+void Rule::CollectVars(std::vector<Var>* out) const {
+  for (const TermExpr& t : head.args) t.CollectVars(out);
+  for (const Literal& l : body) l.CollectVars(out);
+}
+
+std::string Rule::ToString() const {
+  if (body.empty()) return head.ToString() + ".";
+  return head.ToString() + " :- " +
+         JoinMapped(body, ", ", [](const Literal& l) { return l.ToString(); }) +
+         ".";
+}
+
+std::vector<std::string> Program::IdbPredicates() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const Rule& r : rules) {
+    if (seen.insert(r.head.predicate).second) out.push_back(r.head.predicate);
+  }
+  return out;
+}
+
+std::vector<std::string> Program::AllPredicates() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  auto add = [&](const std::string& p) {
+    if (seen.insert(p).second) out.push_back(p);
+  };
+  for (const Rule& r : rules) {
+    add(r.head.predicate);
+    for (const Literal& l : r.body) {
+      if (l.is_atom()) add(l.atom.predicate);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Program::EdbPredicates() const {
+  std::unordered_set<std::string> idb;
+  for (const Rule& r : rules) idb.insert(r.head.predicate);
+  std::vector<std::string> out;
+  for (const std::string& p : AllPredicates()) {
+    if (idb.count(p) == 0) out.push_back(p);
+  }
+  return out;
+}
+
+bool Program::UsesNegation() const {
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (l.is_atom() && !l.positive) return true;
+    }
+  }
+  return false;
+}
+
+std::string Program::ToString() const {
+  std::ostringstream os;
+  for (const Rule& r : rules) os << r.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace awr::datalog

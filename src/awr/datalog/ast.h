@@ -1,0 +1,170 @@
+#ifndef AWR_DATALOG_AST_H_
+#define AWR_DATALOG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "awr/common/intern.h"
+#include "awr/value/value.h"
+
+namespace awr::datalog {
+
+/// A rule variable, identified by interned name.
+struct Var {
+  uint32_t id;
+
+  explicit Var(std::string_view name) : id(InternString(name)) {}
+  explicit Var(uint32_t interned_id) : id(interned_id) {}
+
+  const std::string& name() const { return InternedString(id); }
+  bool operator==(const Var& o) const { return id == o.id; }
+  bool operator!=(const Var& o) const { return id != o.id; }
+  bool operator<(const Var& o) const { return id < o.id; }
+};
+
+/// A term in a rule: a variable, a constant value, or the application of
+/// an interpreted function to sub-terms.
+///
+/// The paper's deductive language allows "functions on the domains, such
+/// as addition on numbers" (§3.1); Apply nodes are how those appear in
+/// rules.  Function symbols are resolved against a FunctionRegistry at
+/// evaluation time.
+class TermExpr {
+ public:
+  enum class Kind { kVar, kConst, kApply };
+
+  /// Factories.
+  static TermExpr Variable(Var v);
+  static TermExpr Constant(Value value);
+  static TermExpr Apply(std::string fn, std::vector<TermExpr> args);
+
+  Kind kind() const { return rep_->kind; }
+  bool is_var() const { return kind() == Kind::kVar; }
+  bool is_const() const { return kind() == Kind::kConst; }
+  bool is_apply() const { return kind() == Kind::kApply; }
+
+  Var var() const;
+  const Value& constant() const;
+  const std::string& fn_name() const;
+  const std::vector<TermExpr>& args() const;
+
+  /// Appends the variables occurring in this term to `out`.
+  void CollectVars(std::vector<Var>* out) const;
+
+  /// Renders the term: `X`, `42`, `add(X, 1)`.
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Kind kind;
+    uint32_t var_id = 0;
+    Value constant;
+    std::string fn;
+    std::vector<TermExpr> args;
+  };
+  explicit TermExpr(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  std::shared_ptr<const Rep> rep_;
+};
+
+/// Comparison operators usable in rule bodies.
+enum class CmpOp { kEq, kNe, kLt, kLe };
+
+std::string_view CmpOpToString(CmpOp op);
+
+/// A predicate atom `P(t1, ..., tn)`.
+struct Atom {
+  std::string predicate;
+  std::vector<TermExpr> args;
+
+  size_t arity() const { return args.size(); }
+  std::string ToString() const;
+};
+
+/// One body literal: a (possibly negated) predicate atom, or a
+/// comparison `t1 op t2`.
+///
+/// An equality with exactly one unbound variable side acts as an
+/// assignment (the range-formula clause `y = exp` of Definition 4.1);
+/// all other comparisons are tests over bound variables.
+struct Literal {
+  enum class Kind { kAtom, kCompare };
+
+  Kind kind;
+  // kAtom:
+  Atom atom;
+  bool positive = true;
+  // kCompare:
+  CmpOp op = CmpOp::kEq;
+  TermExpr lhs = TermExpr::Constant(Value::Boolean(false));
+  TermExpr rhs = TermExpr::Constant(Value::Boolean(false));
+
+  static Literal Positive(Atom a) {
+    Literal l;
+    l.kind = Kind::kAtom;
+    l.atom = std::move(a);
+    l.positive = true;
+    return l;
+  }
+  static Literal Negative(Atom a) {
+    Literal l;
+    l.kind = Kind::kAtom;
+    l.atom = std::move(a);
+    l.positive = false;
+    return l;
+  }
+  static Literal Compare(CmpOp op, TermExpr lhs, TermExpr rhs) {
+    Literal l;
+    l.kind = Kind::kCompare;
+    l.op = op;
+    l.lhs = std::move(lhs);
+    l.rhs = std::move(rhs);
+    return l;
+  }
+
+  bool is_atom() const { return kind == Kind::kAtom; }
+  bool is_compare() const { return kind == Kind::kCompare; }
+
+  /// Appends every variable occurring in the literal to `out`.
+  void CollectVars(std::vector<Var>* out) const;
+
+  std::string ToString() const;
+};
+
+/// A rule `body → head`.  Facts are rules with an empty body and ground
+/// head.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  /// Appends every variable occurring in the rule to `out`.
+  void CollectVars(std::vector<Var>* out) const;
+
+  std::string ToString() const;
+};
+
+/// A deductive program: rules over a set of predicates.  Predicates that
+/// appear only in bodies and have no rules are extensional (EDB) and are
+/// supplied by a Database at evaluation time; predicates with rules are
+/// intensional (IDB).
+struct Program {
+  std::vector<Rule> rules;
+
+  /// Names of predicates that occur as some rule head.
+  std::vector<std::string> IdbPredicates() const;
+  /// Names of predicates that occur in the program but never as a head.
+  std::vector<std::string> EdbPredicates() const;
+  /// Names of all predicates in order of first occurrence.
+  std::vector<std::string> AllPredicates() const;
+
+  /// True iff some body literal is a negated atom.
+  bool UsesNegation() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_AST_H_

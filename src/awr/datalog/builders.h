@@ -1,0 +1,79 @@
+#ifndef AWR_DATALOG_BUILDERS_H_
+#define AWR_DATALOG_BUILDERS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "awr/datalog/ast.h"
+
+namespace awr::datalog {
+
+/// Terse construction helpers for rules, used throughout the tests,
+/// examples and translators:
+///
+///   using namespace awr::datalog::build;
+///   Program p;
+///   p.rules.push_back(R(H("tc", V("x"), V("y")), {B("edge", V("x"), V("y"))}));
+///   p.rules.push_back(R(H("tc", V("x"), V("z")),
+///                       {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))}));
+namespace build {
+
+/// Variable term.
+inline TermExpr V(std::string_view name) {
+  return TermExpr::Variable(Var(name));
+}
+/// Integer constant term.
+inline TermExpr I(int64_t i) { return TermExpr::Constant(Value::Int(i)); }
+/// Atom constant term.
+inline TermExpr A(std::string_view name) {
+  return TermExpr::Constant(Value::Atom(name));
+}
+/// Constant term from an arbitrary value.
+inline TermExpr C(Value v) { return TermExpr::Constant(std::move(v)); }
+/// Interpreted-function application.
+inline TermExpr F(std::string fn, std::vector<TermExpr> args) {
+  return TermExpr::Apply(std::move(fn), std::move(args));
+}
+
+/// Head atom.
+template <typename... Terms>
+Atom H(std::string predicate, Terms... args) {
+  return Atom{std::move(predicate), {std::move(args)...}};
+}
+
+/// Positive body literal.
+template <typename... Terms>
+Literal B(std::string predicate, Terms... args) {
+  return Literal::Positive(Atom{std::move(predicate), {std::move(args)...}});
+}
+
+/// Negative body literal.
+template <typename... Terms>
+Literal N(std::string predicate, Terms... args) {
+  return Literal::Negative(Atom{std::move(predicate), {std::move(args)...}});
+}
+
+/// Comparison literals.
+inline Literal Eq(TermExpr l, TermExpr r) {
+  return Literal::Compare(CmpOp::kEq, std::move(l), std::move(r));
+}
+inline Literal Ne(TermExpr l, TermExpr r) {
+  return Literal::Compare(CmpOp::kNe, std::move(l), std::move(r));
+}
+inline Literal Lt(TermExpr l, TermExpr r) {
+  return Literal::Compare(CmpOp::kLt, std::move(l), std::move(r));
+}
+inline Literal Le(TermExpr l, TermExpr r) {
+  return Literal::Compare(CmpOp::kLe, std::move(l), std::move(r));
+}
+
+/// Rule from head and body.
+inline Rule R(Atom head, std::vector<Literal> body = {}) {
+  return Rule{std::move(head), std::move(body)};
+}
+
+}  // namespace build
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_BUILDERS_H_

@@ -1,0 +1,47 @@
+#include "awr/datalog/database.h"
+
+#include <sstream>
+
+namespace awr::datalog {
+
+std::string Interpretation::ToString() const {
+  std::ostringstream os;
+  for (const auto& [pred, extent] : relations_) {
+    os << pred << " = " << extent.ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::string_view TruthToString(Truth t) {
+  switch (t) {
+    case Truth::kFalse:
+      return "false";
+    case Truth::kUndefined:
+      return "undefined";
+    case Truth::kTrue:
+      return "true";
+  }
+  return "?";
+}
+
+Interpretation ThreeValuedInterp::UndefinedFacts() const {
+  Interpretation out;
+  for (const auto& [pred, extent] : possible) {
+    for (const Value& fact : extent) {
+      if (!certain.Holds(pred, fact)) out.AddFactTuple(pred, fact);
+    }
+  }
+  return out;
+}
+
+std::string ThreeValuedInterp::ToString() const {
+  std::ostringstream os;
+  os << "certain:\n" << certain.ToString();
+  Interpretation undef = UndefinedFacts();
+  if (undef.TotalFacts() > 0) {
+    os << "undefined:\n" << undef.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace awr::datalog

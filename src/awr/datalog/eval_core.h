@@ -1,0 +1,83 @@
+#ifndef AWR_DATALOG_EVAL_CORE_H_
+#define AWR_DATALOG_EVAL_CORE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/functions.h"
+#include "awr/datalog/safety.h"
+
+namespace awr::datalog {
+
+/// A variable binding environment for one rule instantiation.
+class Env {
+ public:
+  /// Returns the binding of `v`, or nullptr when unbound.
+  const Value* Lookup(Var v) const {
+    auto it = bindings_.find(v.id);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  /// Binds `v` (must be unbound).
+  void Bind(Var v, Value value) { bindings_.emplace(v.id, std::move(value)); }
+
+  /// Removes the binding of `v`.
+  void Unbind(Var v) { bindings_.erase(v.id); }
+
+ private:
+  std::unordered_map<uint32_t, Value> bindings_;
+};
+
+/// Evaluates a term under `env`.  Fails on unbound variables and on
+/// interpreted-function errors.
+Result<Value> EvalTerm(const TermExpr& term, const Env& env,
+                       const FunctionRegistry& fns);
+
+/// The evaluation context abstracts *which* extents a rule body reads,
+/// so the same join machinery serves naive, semi-naive, inflationary and
+/// alternating-fixpoint evaluation:
+///
+///  * `positive_extent(pred, body_index)` — the extent a positive atom
+///    at that body position scans (semi-naive substitutes the delta for
+///    one occurrence at a time);
+///  * `negation_holds(pred, fact)` — whether `not pred(fact)` is
+///    satisfied.  The choice of this test is exactly the semantic knob
+///    the paper turns: "was not derived so far" (inflationary) versus
+///    "cannot be derived at all" (valid / well-founded).
+struct BodyContext {
+  const FunctionRegistry* fns;
+  std::function<const ValueSet&(const std::string& pred, size_t body_index)>
+      positive_extent;
+  std::function<bool(const std::string& pred, const Value& fact)>
+      negation_holds;
+};
+
+/// Enumerates every satisfying assignment of `rule`'s body (processed in
+/// `plan` order) and invokes `on_match(env)` for each.  A non-OK status
+/// from the callback aborts the enumeration.
+Status ForEachBodyMatch(const Rule& rule, const RulePlan& plan,
+                        const BodyContext& ctx,
+                        const std::function<Status(const Env&)>& on_match);
+
+/// Evaluates the head atom's arguments under `env`, packing them as the
+/// fact tuple.
+Result<Value> EvalHead(const Rule& rule, const Env& env,
+                       const FunctionRegistry& fns);
+
+/// A rule paired with its precomputed evaluation plan.
+struct PlannedRule {
+  Rule rule;
+  RulePlan plan;
+};
+
+/// Plans every rule of `program`; fails if any rule is unsafe.
+Result<std::vector<PlannedRule>> PlanProgram(const Program& program);
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_EVAL_CORE_H_

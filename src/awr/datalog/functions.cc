@@ -1,0 +1,158 @@
+#include "awr/datalog/functions.h"
+
+namespace awr::datalog {
+
+namespace {
+
+Status WrongArity(const std::string& name, size_t want, size_t got) {
+  return Status::InvalidArgument("function " + name + " expects " +
+                                 std::to_string(want) + " argument(s), got " +
+                                 std::to_string(got));
+}
+
+Status WantInt(const std::string& name, const Value& v) {
+  return Status::InvalidArgument("function " + name +
+                                 ": expected int, got " + v.ToString());
+}
+
+Status WantTuple(const std::string& name, const Value& v) {
+  return Status::InvalidArgument("function " + name +
+                                 ": expected tuple, got " + v.ToString());
+}
+
+}  // namespace
+
+void FunctionRegistry::Register(std::string name, InterpretedFn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+Result<Value> FunctionRegistry::Apply(const std::string& name,
+                                      const std::vector<Value>& args) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound("unknown function symbol: " + name);
+  }
+  return it->second(args);
+}
+
+bool FunctionRegistry::Contains(const std::string& name) const {
+  return fns_.count(name) > 0;
+}
+
+FunctionRegistry FunctionRegistry::Default() {
+  FunctionRegistry reg;
+
+  auto int_unop = [](std::string name, auto op) {
+    return [name = std::move(name), op](const std::vector<Value>& args)
+               -> Result<Value> {
+      if (args.size() != 1) return WrongArity(name, 1, args.size());
+      if (!args[0].is_int()) return WantInt(name, args[0]);
+      return Value::Int(op(args[0].int_value()));
+    };
+  };
+  auto int_binop = [](std::string name, auto op) {
+    return [name = std::move(name), op](const std::vector<Value>& args)
+               -> Result<Value> {
+      if (args.size() != 2) return WrongArity(name, 2, args.size());
+      if (!args[0].is_int()) return WantInt(name, args[0]);
+      if (!args[1].is_int()) return WantInt(name, args[1]);
+      return Value::Int(op(args[0].int_value(), args[1].int_value()));
+    };
+  };
+
+  reg.Register("succ", int_unop("succ", [](int64_t i) { return i + 1; }));
+  reg.Register("pred", int_unop("pred", [](int64_t i) { return i - 1; }));
+  reg.Register("add", int_binop("add", [](int64_t a, int64_t b) { return a + b; }));
+  reg.Register("sub", int_binop("sub", [](int64_t a, int64_t b) { return a - b; }));
+  reg.Register("mul", int_binop("mul", [](int64_t a, int64_t b) { return a * b; }));
+
+  reg.Register("pair", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("pair", 2, args.size());
+    return Value::Pair(args[0], args[1]);
+  });
+  reg.Register("tuple", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value::Tuple(args);
+  });
+  reg.Register("nth", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("nth", 2, args.size());
+    if (!args[0].is_tuple()) return WantTuple("nth", args[0]);
+    if (!args[1].is_int()) return WantInt("nth", args[1]);
+    int64_t i = args[1].int_value();
+    if (i < 0 || static_cast<size_t>(i) >= args[0].size()) {
+      return Status::InvalidArgument("nth: index " + std::to_string(i) +
+                                     " out of range for " +
+                                     args[0].ToString());
+    }
+    return args[0].items()[static_cast<size_t>(i)];
+  });
+  reg.Register("fst", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArity("fst", 1, args.size());
+    if (!args[0].is_tuple() || args[0].size() < 1) {
+      return WantTuple("fst", args[0]);
+    }
+    return args[0].items()[0];
+  });
+  reg.Register("snd", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return WrongArity("snd", 1, args.size());
+    if (!args[0].is_tuple() || args[0].size() < 2) {
+      return WantTuple("snd", args[0]);
+    }
+    return args[0].items()[1];
+  });
+
+  auto want_bool = [](const std::string& name,
+                      const Value& v) -> Status {
+    if (v.is_bool()) return Status::OK();
+    return Status::InvalidArgument("function " + name +
+                                   ": expected bool, got " + v.ToString());
+  };
+
+  reg.Register("eq", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("eq", 2, args.size());
+    return Value::Boolean(args[0] == args[1]);
+  });
+  reg.Register("ne", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("ne", 2, args.size());
+    return Value::Boolean(args[0] != args[1]);
+  });
+  reg.Register("lt", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("lt", 2, args.size());
+    return Value::Boolean(Value::Compare(args[0], args[1]) < 0);
+  });
+  reg.Register("le", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 2) return WrongArity("le", 2, args.size());
+    return Value::Boolean(Value::Compare(args[0], args[1]) <= 0);
+  });
+  reg.Register("and",
+               [want_bool](const std::vector<Value>& args) -> Result<Value> {
+                 if (args.size() != 2) return WrongArity("and", 2, args.size());
+                 AWR_RETURN_IF_ERROR(want_bool("and", args[0]));
+                 AWR_RETURN_IF_ERROR(want_bool("and", args[1]));
+                 return Value::Boolean(args[0].bool_value() &&
+                                       args[1].bool_value());
+               });
+  reg.Register("or",
+               [want_bool](const std::vector<Value>& args) -> Result<Value> {
+                 if (args.size() != 2) return WrongArity("or", 2, args.size());
+                 AWR_RETURN_IF_ERROR(want_bool("or", args[0]));
+                 AWR_RETURN_IF_ERROR(want_bool("or", args[1]));
+                 return Value::Boolean(args[0].bool_value() ||
+                                       args[1].bool_value());
+               });
+  reg.Register("not",
+               [want_bool](const std::vector<Value>& args) -> Result<Value> {
+                 if (args.size() != 1) return WrongArity("not", 1, args.size());
+                 AWR_RETURN_IF_ERROR(want_bool("not", args[0]));
+                 return Value::Boolean(!args[0].bool_value());
+               });
+  reg.Register("cond",
+               [want_bool](const std::vector<Value>& args) -> Result<Value> {
+                 if (args.size() != 3) return WrongArity("cond", 3, args.size());
+                 AWR_RETURN_IF_ERROR(want_bool("cond", args[0]));
+                 return args[0].bool_value() ? args[1] : args[2];
+               });
+
+  return reg;
+}
+
+}  // namespace awr::datalog

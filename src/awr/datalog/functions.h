@@ -1,0 +1,51 @@
+#ifndef AWR_DATALOG_FUNCTIONS_H_
+#define AWR_DATALOG_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/value/value.h"
+
+namespace awr::datalog {
+
+/// An interpreted function over values: `args -> value`.
+using InterpretedFn =
+    std::function<Result<Value>(const std::vector<Value>& args)>;
+
+/// Registry of interpreted function symbols usable in TermExpr::Apply.
+///
+/// The paper's framework is first-order with functions on domains (§3.1,
+/// §4); the registry is how a host application plugs its ADT operations
+/// into the deductive language.  The default registry carries the
+/// arithmetic and tuple operations the experiments use:
+///
+///   succ(i), pred(i), add(i, j), sub(i, j), mul(i, j),
+///   pair(x, y), tuple(x...), nth(t, i), fst(t), snd(t)
+class FunctionRegistry {
+ public:
+  /// A registry preloaded with the builtin functions above.
+  static FunctionRegistry Default();
+
+  /// An empty registry (no function symbols resolvable).
+  FunctionRegistry() = default;
+
+  /// Registers `fn` under `name`, replacing any existing binding.
+  void Register(std::string name, InterpretedFn fn);
+
+  /// Applies the function `name` to `args`.
+  Result<Value> Apply(const std::string& name,
+                      const std::vector<Value>& args) const;
+
+  /// True iff `name` is registered.
+  bool Contains(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, InterpretedFn> fns_;
+};
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_FUNCTIONS_H_

@@ -1,0 +1,73 @@
+#ifndef AWR_DATALOG_GROUND_H_
+#define AWR_DATALOG_GROUND_H_
+
+#include <string>
+#include <vector>
+
+#include "awr/common/hash.h"
+#include "awr/common/result.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+
+namespace awr::datalog {
+
+/// A ground (variable-free) fact: predicate plus argument tuple.
+struct GroundAtom {
+  std::string predicate;
+  Value args;  // tuple value
+
+  bool operator==(const GroundAtom& o) const {
+    return predicate == o.predicate && args == o.args;
+  }
+  bool operator<(const GroundAtom& o) const {
+    if (predicate != o.predicate) return predicate < o.predicate;
+    return Value::Compare(args, o.args) < 0;
+  }
+  std::string ToString() const;
+};
+
+struct GroundAtomHash {
+  size_t operator()(const GroundAtom& a) const {
+    return HashCombine(std::hash<std::string>{}(a.predicate), a.args.hash());
+  }
+};
+
+/// A ground rule `head :- pos..., not neg...` (comparisons have been
+/// evaluated away during grounding).
+struct GroundRule {
+  GroundAtom head;
+  std::vector<GroundAtom> pos;
+  std::vector<GroundAtom> neg;
+
+  std::string ToString() const;
+};
+
+/// A ground program: base facts (the EDB) plus ground rules.
+struct GroundProgram {
+  std::vector<GroundAtom> facts;
+  std::vector<GroundRule> rules;
+
+  std::string ToString() const;
+};
+
+/// Grounds `program` against `edb`, restricted to the *relevant*
+/// instantiations ("intelligent grounding"):
+///
+///  1. computes the well-founded model;
+///  2. instantiates each rule with positive body atoms ranging over the
+///     WFS *possible* facts — every stable model lies between WFS-true
+///     and WFS-possible, so no instantiation relevant to any stable
+///     model is lost;
+///  3. drops instances whose negative literal is certainly violated
+///     (`not Q(t)` with Q(t) WFS-true), and simplifies away negative
+///     literals that are certainly satisfied (Q(t) outside possible).
+///
+/// The result preserves the stable models and the well-founded model of
+/// the original (program, edb) pair.
+Result<GroundProgram> GroundProgramFor(const Program& program,
+                                       const Database& edb,
+                                       const EvalOptions& opts = {});
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_GROUND_H_

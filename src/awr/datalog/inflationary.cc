@@ -1,0 +1,53 @@
+#include "awr/datalog/inflationary.h"
+
+namespace awr::datalog {
+
+Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
+                                                  const Database& edb,
+                                                  const EvalOptions& opts,
+                                                  size_t* rounds_out) {
+  AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
+  EvalBudget budget(opts.limits);
+
+  Interpretation interp = edb;
+  size_t rounds = 0;
+  for (;;) {
+    AWR_RETURN_IF_ERROR(budget.ChargeRound("inflationary"));
+    // All rules fire simultaneously against the frozen snapshot: both
+    // positive and negative literals read the facts derived so far.
+    const Interpretation snapshot = interp;
+    BodyContext ctx{
+        &opts.functions,
+        [&snapshot](const std::string& pred, size_t) -> const ValueSet& {
+          return snapshot.Extent(pred);
+        },
+        [&snapshot](const std::string& pred, const Value& fact) {
+          return !snapshot.Holds(pred, fact);
+        }};
+    size_t added = 0;
+    for (const PlannedRule& pr : rules) {
+      AWR_RETURN_IF_ERROR(ForEachBodyMatch(
+          pr.rule, pr.plan, ctx, [&](const Env& env) -> Status {
+            AWR_ASSIGN_OR_RETURN(Value fact,
+                                 EvalHead(pr.rule, env, opts.functions));
+            if (interp.AddFactTuple(pr.rule.head.predicate, std::move(fact))) {
+              ++added;
+            }
+            return Status::OK();
+          }));
+    }
+    if (added == 0) break;
+    ++rounds;
+    AWR_RETURN_IF_ERROR(budget.ChargeFacts(added, "inflationary"));
+  }
+  if (rounds_out != nullptr) *rounds_out = rounds;
+  return interp;
+}
+
+Result<Interpretation> EvalInflationary(const Program& program,
+                                        const Database& edb,
+                                        const EvalOptions& opts) {
+  return EvalInflationaryWithRounds(program, edb, opts, nullptr);
+}
+
+}  // namespace awr::datalog

@@ -1,0 +1,33 @@
+#ifndef AWR_DATALOG_INFLATIONARY_H_
+#define AWR_DATALOG_INFLATIONARY_H_
+
+#include "awr/common/result.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+
+namespace awr::datalog {
+
+/// Inflationary fixed-point evaluation: starting from the EDB, every
+/// round simultaneously fires all rules against the facts accumulated so
+/// far, interpreting `not P(t)` as "P(t) was **not derived so far**"
+/// (paper §5, Example 4), and adds all derived heads.  Iterates until no
+/// new fact appears.
+///
+/// This is the deductive counterpart of the algebra's IFP operator: an
+/// IFP-algebra query translated to a deductive program is equivalent to
+/// it exactly under this semantics (Proposition 5.1).
+Result<Interpretation> EvalInflationary(const Program& program,
+                                        const Database& edb,
+                                        const EvalOptions& opts = {});
+
+/// As EvalInflationary, but also reports how many rounds the fixpoint
+/// took (used by the step-indexing translation of Proposition 5.2 to
+/// bound the index domain).
+Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
+                                                  const Database& edb,
+                                                  const EvalOptions& opts,
+                                                  size_t* rounds_out);
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_INFLATIONARY_H_

@@ -1,0 +1,132 @@
+#include "awr/datalog/leastmodel.h"
+
+#include <cassert>
+
+namespace awr::datalog {
+
+namespace {
+
+// Derives all heads of `rule` under `ctx` into `out` (skipping facts
+// already in `existing`); returns the number of new facts.
+Result<size_t> FireRule(const PlannedRule& pr, const BodyContext& ctx,
+                        const Interpretation& existing, Interpretation* out) {
+  size_t added = 0;
+  AWR_RETURN_IF_ERROR(ForEachBodyMatch(
+      pr.rule, pr.plan, ctx, [&](const Env& env) -> Status {
+        AWR_ASSIGN_OR_RETURN(Value fact, EvalHead(pr.rule, env, *ctx.fns));
+        if (!existing.Holds(pr.rule.head.predicate, fact) &&
+            out->AddFactTuple(pr.rule.head.predicate, std::move(fact))) {
+          ++added;
+        }
+        return Status::OK();
+      }));
+  return added;
+}
+
+}  // namespace
+
+Result<Interpretation> LeastModelWithFrozenNegation(
+    const std::vector<PlannedRule>& rules, const Interpretation& base,
+    const Interpretation& neg_context, const EvalOptions& opts,
+    EvalBudget* budget) {
+  Interpretation interp = base;
+
+  auto neg_holds = [&neg_context](const std::string& pred, const Value& fact) {
+    return !neg_context.Holds(pred, fact);
+  };
+
+  if (!opts.seminaive) {
+    // Naive iteration: every round fires every rule against the full
+    // interpretation.
+    for (;;) {
+      AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(naive)"));
+      Interpretation delta;
+      BodyContext ctx{
+          &opts.functions,
+          [&interp](const std::string& pred, size_t) -> const ValueSet& {
+            return interp.Extent(pred);
+          },
+          neg_holds};
+      size_t added = 0;
+      for (const PlannedRule& pr : rules) {
+        AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &delta));
+        added += n;
+      }
+      if (added == 0) break;
+      AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(naive)"));
+      interp.InsertAll(delta);
+    }
+    return interp;
+  }
+
+  // Semi-naive iteration.  Round 0 fires every rule against `base`;
+  // subsequent rounds fire only rules with a positive occurrence of a
+  // predicate that changed, substituting the delta for one occurrence
+  // at a time.
+  Interpretation delta;
+  {
+    AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(seminaive)"));
+    BodyContext ctx{
+        &opts.functions,
+        [&interp](const std::string& pred, size_t) -> const ValueSet& {
+          return interp.Extent(pred);
+        },
+        neg_holds};
+    size_t added = 0;
+    for (const PlannedRule& pr : rules) {
+      AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &delta));
+      added += n;
+    }
+    AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(seminaive)"));
+    interp.InsertAll(delta);
+  }
+
+  while (delta.TotalFacts() > 0) {
+    AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(seminaive)"));
+    Interpretation next_delta;
+    size_t added = 0;
+    for (const PlannedRule& pr : rules) {
+      // Occurrences of changed predicates in this rule's body.
+      std::vector<size_t> delta_occurrences;
+      for (size_t i = 0; i < pr.rule.body.size(); ++i) {
+        const Literal& lit = pr.rule.body[i];
+        if (lit.is_atom() && lit.positive &&
+            delta.Extent(lit.atom.predicate).size() > 0) {
+          delta_occurrences.push_back(i);
+        }
+      }
+      for (size_t occ : delta_occurrences) {
+        BodyContext ctx{
+            &opts.functions,
+            [&interp, &delta, occ](const std::string& pred,
+                                   size_t body_index) -> const ValueSet& {
+              return body_index == occ ? delta.Extent(pred)
+                                       : interp.Extent(pred);
+            },
+            neg_holds};
+        AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &next_delta));
+        added += n;
+      }
+    }
+    AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(seminaive)"));
+    interp.InsertAll(next_delta);
+    delta = std::move(next_delta);
+  }
+  return interp;
+}
+
+Result<Interpretation> EvalMinimalModel(const Program& program,
+                                        const Database& edb,
+                                        const EvalOptions& opts) {
+  if (program.UsesNegation()) {
+    return Status::FailedPrecondition(
+        "EvalMinimalModel requires a positive program; use EvalStratified, "
+        "EvalInflationary or EvalWellFounded for programs with negation");
+  }
+  AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
+  EvalBudget budget(opts.limits);
+  Interpretation empty;
+  return LeastModelWithFrozenNegation(rules, edb, empty, opts, &budget);
+}
+
+}  // namespace awr::datalog

@@ -1,0 +1,53 @@
+#ifndef AWR_DATALOG_LEASTMODEL_H_
+#define AWR_DATALOG_LEASTMODEL_H_
+
+#include <vector>
+
+#include "awr/common/limits.h"
+#include "awr/common/result.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/eval_core.h"
+#include "awr/datalog/functions.h"
+
+namespace awr::datalog {
+
+/// Shared evaluation configuration for all datalog evaluators.
+struct EvalOptions {
+  FunctionRegistry functions = FunctionRegistry::Default();
+  EvalLimits limits = EvalLimits::Default();
+  /// Use semi-naive (differential) iteration for least-model
+  /// computations; naive iteration otherwise.  Both compute the same
+  /// model — the flag exists for benchmarking (bench_tc_scaling).
+  bool seminaive = true;
+};
+
+/// Computes the least model of `rules` + `edb` where every *negative*
+/// literal is tested against the FIXED interpretation `neg_context`:
+/// `not P(t)` holds iff `neg_context` does not contain P(t).
+///
+/// This is the operator S(J) of the alternating-fixpoint construction:
+/// the paper's "derivations starting from the current set T of true
+/// facts, where only facts not in T are allowed to be used negatively"
+/// (§2.2).  Positive programs get their ordinary minimal model (any
+/// `neg_context` is vacuous).  The result contains the EDB facts as
+/// well as the derived ones.
+///
+/// `rules` may be restricted to a subset of the program (stratified
+/// evaluation passes one stratum at a time); derived facts accumulate
+/// on top of `base`, which must already contain everything lower
+/// strata / the EDB established.
+Result<Interpretation> LeastModelWithFrozenNegation(
+    const std::vector<PlannedRule>& rules, const Interpretation& base,
+    const Interpretation& neg_context, const EvalOptions& opts,
+    EvalBudget* budget);
+
+/// Minimal-model evaluation of a *positive* program (no negated atoms):
+/// the classical datalog semantics.  Fails with FailedPrecondition if
+/// the program uses negation.
+Result<Interpretation> EvalMinimalModel(const Program& program,
+                                        const Database& edb,
+                                        const EvalOptions& opts = {});
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_LEASTMODEL_H_

@@ -1,0 +1,206 @@
+#include "awr/datalog/magic.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "awr/datalog/safety.h"
+
+namespace awr::datalog {
+
+std::string QuerySpec::Adornment() const {
+  std::string out;
+  for (const auto& slot : pattern) out += slot.has_value() ? 'b' : 'f';
+  return out;
+}
+
+std::string QuerySpec::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += pattern[i].has_value() ? pattern[i]->ToString() : "_";
+  }
+  return out + ")";
+}
+
+namespace {
+
+std::string AdornedName(const std::string& pred, const std::string& adorn) {
+  return pred + "__" + adorn;
+}
+std::string MagicName(const std::string& pred, const std::string& adorn) {
+  return "m_" + pred + "__" + adorn;
+}
+
+using VarSet = std::unordered_set<uint32_t>;
+
+bool TermBound(const TermExpr& t, const VarSet& bound) {
+  std::vector<Var> vars;
+  t.CollectVars(&vars);
+  for (const Var& v : vars) {
+    if (bound.count(v.id) == 0) return false;
+  }
+  return true;
+}
+
+void BindTermVars(const TermExpr& t, VarSet* bound) {
+  std::vector<Var> vars;
+  t.CollectVars(&vars);
+  for (const Var& v : vars) bound->insert(v.id);
+}
+
+class MagicRewriter {
+ public:
+  MagicRewriter(const Program& program, const QuerySpec& query)
+      : program_(program), query_(query) {
+    for (const Rule& r : program.rules) idb_.insert(r.head.predicate);
+  }
+
+  Result<MagicProgram> Run() {
+    if (program_.UsesNegation()) {
+      return Status::FailedPrecondition(
+          "magic-set transformation supports positive programs only");
+    }
+    if (idb_.count(query_.predicate) == 0) {
+      return Status::NotFound("query predicate " + query_.predicate +
+                              " has no rules");
+    }
+
+    MagicProgram out;
+    std::string query_adorn = query_.Adornment();
+    EnqueueAdornment(query_.predicate, query_adorn);
+    while (!worklist_.empty()) {
+      auto [pred, adorn] = worklist_.front();
+      worklist_.pop_front();
+      AWR_RETURN_IF_ERROR(ProcessAdornment(pred, adorn, &out.program));
+    }
+
+    // Seed: the magic fact for the query's bound constants.
+    std::vector<Value> seed_args;
+    for (const auto& slot : query_.pattern) {
+      if (slot.has_value()) seed_args.push_back(*slot);
+    }
+    out.seeds.AddFact(MagicName(query_.predicate, query_adorn),
+                      std::move(seed_args));
+    out.answer_predicate = AdornedName(query_.predicate, query_adorn);
+    return out;
+  }
+
+ private:
+  void EnqueueAdornment(const std::string& pred, const std::string& adorn) {
+    if (seen_.insert(pred + "/" + adorn).second) {
+      worklist_.emplace_back(pred, adorn);
+    }
+  }
+
+  // Emits the adorned rules and magic rules for p^adorn.
+  Status ProcessAdornment(const std::string& pred, const std::string& adorn,
+                          Program* out) {
+    for (const Rule& rule : program_.rules) {
+      if (rule.head.predicate != pred) continue;
+      AWR_ASSIGN_OR_RETURN(RulePlan plan, PlanRule(rule));
+      if (rule.head.arity() != adorn.size()) {
+        return Status::InvalidArgument(
+            "adornment arity mismatch for " + pred + ": rule arity " +
+            std::to_string(rule.head.arity()) + " vs pattern " + adorn);
+      }
+
+      // Variables bound at rule entry: those in bound head positions.
+      VarSet bound;
+      std::vector<TermExpr> magic_head_args;
+      for (size_t i = 0; i < adorn.size(); ++i) {
+        if (adorn[i] == 'b') {
+          BindTermVars(rule.head.args[i], &bound);
+          magic_head_args.push_back(rule.head.args[i]);
+        }
+      }
+
+      // The modified rule's body, built in plan (SIP) order.
+      Rule modified;
+      modified.head.predicate = AdornedName(pred, adorn);
+      modified.head.args = rule.head.args;
+      modified.body.push_back(Literal::Positive(
+          Atom{MagicName(pred, adorn), magic_head_args}));
+
+      for (size_t k = 0; k < plan.size(); ++k) {
+        const Literal& lit = rule.body[plan[k]];
+        if (lit.is_atom() && idb_.count(lit.atom.predicate) > 0) {
+          // Adorn the IDB atom from the current bound set.
+          std::string sub_adorn;
+          std::vector<TermExpr> sub_bound_args;
+          for (const TermExpr& arg : lit.atom.args) {
+            if (TermBound(arg, bound)) {
+              sub_adorn += 'b';
+              sub_bound_args.push_back(arg);
+            } else {
+              sub_adorn += 'f';
+            }
+          }
+          EnqueueAdornment(lit.atom.predicate, sub_adorn);
+
+          // Magic rule: m_q^β(bound args) :- m_p^α(...), prefix.
+          Rule magic_rule;
+          magic_rule.head.predicate =
+              MagicName(lit.atom.predicate, sub_adorn);
+          magic_rule.head.args = sub_bound_args;
+          magic_rule.body = modified.body;  // magic atom + processed prefix
+          out->rules.push_back(std::move(magic_rule));
+
+          // The modified rule references the adorned predicate.
+          Atom adorned_atom;
+          adorned_atom.predicate = AdornedName(lit.atom.predicate, sub_adorn);
+          adorned_atom.args = lit.atom.args;
+          modified.body.push_back(Literal::Positive(std::move(adorned_atom)));
+          for (const TermExpr& arg : lit.atom.args) BindTermVars(arg, &bound);
+          continue;
+        }
+        // EDB atom or comparison: copy verbatim; it binds its variables.
+        modified.body.push_back(lit);
+        if (lit.is_atom()) {
+          for (const TermExpr& arg : lit.atom.args) BindTermVars(arg, &bound);
+        } else if (lit.op == CmpOp::kEq) {
+          BindTermVars(lit.lhs, &bound);
+          BindTermVars(lit.rhs, &bound);
+        }
+      }
+      out->rules.push_back(std::move(modified));
+    }
+    return Status::OK();
+  }
+
+  const Program& program_;
+  const QuerySpec& query_;
+  std::unordered_set<std::string> idb_;
+  std::unordered_set<std::string> seen_;
+  std::deque<std::pair<std::string, std::string>> worklist_;
+};
+
+}  // namespace
+
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const QuerySpec& query) {
+  return MagicRewriter(program, query).Run();
+}
+
+Result<ValueSet> MagicAnswers(const Interpretation& interp,
+                              const MagicProgram& magic,
+                              const QuerySpec& query) {
+  ValueSet out;
+  for (const Value& fact : interp.Extent(magic.answer_predicate)) {
+    if (!fact.is_tuple() || fact.size() != query.pattern.size()) {
+      return Status::InvalidArgument("answer arity mismatch: " +
+                                     fact.ToString());
+    }
+    bool matches = true;
+    for (size_t i = 0; i < query.pattern.size() && matches; ++i) {
+      if (query.pattern[i].has_value() &&
+          fact.items()[i] != *query.pattern[i]) {
+        matches = false;
+      }
+    }
+    if (matches) out.Insert(fact);
+  }
+  return out;
+}
+
+}  // namespace awr::datalog

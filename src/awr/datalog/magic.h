@@ -1,0 +1,57 @@
+#ifndef AWR_DATALOG_MAGIC_H_
+#define AWR_DATALOG_MAGIC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+
+namespace awr::datalog {
+
+/// A point/partial query against one predicate: each argument is either
+/// a bound constant or free.
+struct QuerySpec {
+  std::string predicate;
+  std::vector<std::optional<Value>> pattern;  // nullopt = free
+
+  /// The adornment string, e.g. "bf" for tc(0, X).
+  std::string Adornment() const;
+  std::string ToString() const;
+};
+
+/// Result of the magic-set transformation.
+struct MagicProgram {
+  Program program;
+  /// Seed facts (the magic fact for the query constants).
+  Database seeds;
+  /// The adorned predicate holding the query's answers.
+  std::string answer_predicate;
+};
+
+/// The magic-set transformation [Bancilhon–Maier–Sagiv–Ullman] for
+/// *positive* programs: rewrites `program` so that bottom-up evaluation
+/// computes only the facts relevant to `query`.
+///
+/// This is the classic query-directed-evaluation optimization of the
+/// deductive paradigm — the kind of engine work the paper's equivalence
+/// results make portable to the algebraic side.  Sideways information
+/// passing follows the safety plan order of each rule.
+///
+/// Fails with FailedPrecondition on programs with negation (the
+/// unstratified interplay of magic predicates and negation is out of
+/// scope) and NotFound if the query predicate has no rules.
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const QuerySpec& query);
+
+/// Filters an evaluated interpretation down to the query's answers
+/// (tuples of the answer predicate matching the bound constants).
+Result<ValueSet> MagicAnswers(const Interpretation& interp,
+                              const MagicProgram& magic,
+                              const QuerySpec& query);
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_MAGIC_H_

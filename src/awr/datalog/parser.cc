@@ -1,0 +1,426 @@
+#include "awr/datalog/parser.h"
+
+#include <cctype>
+#include <optional>
+
+namespace awr::datalog {
+
+namespace {
+
+struct Token {
+  enum class Kind {
+    kIdent,    // lowercase identifier
+    kVar,      // Uppercase / _ identifier
+    kInt,
+    kLParen,
+    kRParen,
+    kLAngle,   // <  (tuple open; also the comparison '<' — disambiguated
+               // by the parser from context)
+    kRAngle,
+    kLBrace,
+    kRBrace,
+    kComma,
+    kDot,
+    kTurnstile,  // :-
+    kEq,
+    kNe,
+    kLe,
+    kEnd,
+  };
+  Kind kind;
+  std::string text;
+  int64_t int_value = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (pos_ >= text_.size()) break;
+      size_t start = pos_;
+      char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident = LexIdent();
+        Token t;
+        t.pos = start;
+        t.text = ident;
+        t.kind = (std::isupper(static_cast<unsigned char>(ident[0])) ||
+                  ident[0] == '_')
+                     ? Token::Kind::kVar
+                     : Token::Kind::kIdent;
+        out.push_back(std::move(t));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        out.push_back(LexInt());
+        continue;
+      }
+      ++pos_;
+      auto simple = [&](Token::Kind k) {
+        Token t;
+        t.kind = k;
+        t.pos = start;
+        t.text = std::string(1, c);
+        return t;
+      };
+      switch (c) {
+        case '(':
+          out.push_back(simple(Token::Kind::kLParen));
+          break;
+        case ')':
+          out.push_back(simple(Token::Kind::kRParen));
+          break;
+        case '{':
+          out.push_back(simple(Token::Kind::kLBrace));
+          break;
+        case '}':
+          out.push_back(simple(Token::Kind::kRBrace));
+          break;
+        case ',':
+          out.push_back(simple(Token::Kind::kComma));
+          break;
+        case '.':
+          out.push_back(simple(Token::Kind::kDot));
+          break;
+        case '>':
+          out.push_back(simple(Token::Kind::kRAngle));
+          break;
+        case '<':
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            ++pos_;
+            Token t = simple(Token::Kind::kLe);
+            t.text = "<=";
+            out.push_back(t);
+          } else {
+            out.push_back(simple(Token::Kind::kLAngle));
+          }
+          break;
+        case '=':
+          out.push_back(simple(Token::Kind::kEq));
+          break;
+        case '!':
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            ++pos_;
+            Token t = simple(Token::Kind::kNe);
+            t.text = "!=";
+            out.push_back(t);
+          } else {
+            return Err(start, "unexpected '!'");
+          }
+          break;
+        case ':':
+          if (pos_ < text_.size() && text_[pos_] == '-') {
+            ++pos_;
+            Token t = simple(Token::Kind::kTurnstile);
+            t.text = ":-";
+            out.push_back(t);
+          } else {
+            return Err(start, "unexpected ':'");
+          }
+          break;
+        default:
+          return Err(start, std::string("unexpected character '") + c + "'");
+      }
+    }
+    Token end;
+    end.kind = Token::Kind::kEnd;
+    end.pos = text_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  Status Err(size_t pos, const std::string& msg) {
+    return Status::InvalidArgument(msg + " at offset " + std::to_string(pos));
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '%') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string LexIdent() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Token LexInt() {
+    Token t;
+    t.kind = Token::Kind::kInt;
+    t.pos = pos_;
+    size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    t.text = std::string(text_.substr(start, pos_ - start));
+    t.int_value = std::stoll(t.text);
+    return t;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgramAll() {
+    Program out;
+    while (Peek().kind != Token::Kind::kEnd) {
+      AWR_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+      AWR_RETURN_IF_ERROR(Expect(Token::Kind::kDot, "'.'"));
+      out.rules.push_back(std::move(rule));
+    }
+    return out;
+  }
+
+  Result<Rule> ParseSingleRule() {
+    AWR_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+    if (Peek().kind == Token::Kind::kDot) Advance();
+    AWR_RETURN_IF_ERROR(Expect(Token::Kind::kEnd, "end of input"));
+    return rule;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(Token::Kind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Status::InvalidArgument("expected " + what + " at offset " +
+                                     std::to_string(Peek().pos) + ", got '" +
+                                     Peek().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Rule> ParseOneRule() {
+    AWR_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+    Rule rule;
+    rule.head = std::move(head);
+    if (Peek().kind == Token::Kind::kTurnstile) {
+      Advance();
+      for (;;) {
+        AWR_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        rule.body.push_back(std::move(lit));
+        if (Peek().kind != Token::Kind::kComma) break;
+        Advance();
+      }
+    }
+    return rule;
+  }
+
+  Result<Atom> ParseAtom() {
+    if (Peek().kind != Token::Kind::kIdent) {
+      return Status::InvalidArgument("expected predicate name at offset " +
+                                     std::to_string(Peek().pos) + ", got '" +
+                                     Peek().text + "'");
+    }
+    Atom atom;
+    atom.predicate = Advance().text;
+    AWR_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
+    if (Peek().kind != Token::Kind::kRParen) {
+      for (;;) {
+        AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm());
+        atom.args.push_back(std::move(t));
+        if (Peek().kind != Token::Kind::kComma) break;
+        Advance();
+      }
+    }
+    AWR_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+    return atom;
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (Peek().kind == Token::Kind::kIdent && Peek().text == "not") {
+      Advance();
+      AWR_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      return Literal::Negative(std::move(atom));
+    }
+    // A positive atom iff an identifier directly followed by '(' AND not
+    // followed by a comparison operator after the closing paren...  The
+    // reliable way: parse a term first; if the next token is a
+    // comparison, it was the left side; otherwise it must have been a
+    // plain predicate atom.
+    if (Peek().kind == Token::Kind::kIdent &&
+        Peek(1).kind == Token::Kind::kLParen) {
+      // Could be pred(args) or fn(args) = rhs.  Parse as atom, then
+      // check for a trailing comparison and reinterpret.
+      size_t save = pos_;
+      AWR_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      auto cmp = PeekCompareOp();
+      if (!cmp.has_value()) return Literal::Positive(std::move(atom));
+      pos_ = save;  // it was a function-application term
+    }
+    AWR_ASSIGN_OR_RETURN(TermExpr lhs, ParseTerm());
+    auto cmp = PeekCompareOp();
+    if (!cmp.has_value()) {
+      return Status::InvalidArgument(
+          "expected a comparison operator after term at offset " +
+          std::to_string(Peek().pos));
+    }
+    Advance();
+    AWR_ASSIGN_OR_RETURN(TermExpr rhs, ParseTerm());
+    return Literal::Compare(*cmp, std::move(lhs), std::move(rhs));
+  }
+
+  std::optional<CmpOp> PeekCompareOp() {
+    switch (Peek().kind) {
+      case Token::Kind::kEq:
+        return CmpOp::kEq;
+      case Token::Kind::kNe:
+        return CmpOp::kNe;
+      case Token::Kind::kLAngle:
+        return CmpOp::kLt;
+      case Token::Kind::kLe:
+        return CmpOp::kLe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<TermExpr> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case Token::Kind::kVar: {
+        Advance();
+        return TermExpr::Variable(Var(t.text));
+      }
+      case Token::Kind::kInt: {
+        Advance();
+        return TermExpr::Constant(Value::Int(t.int_value));
+      }
+      case Token::Kind::kIdent: {
+        std::string name = Advance().text;
+        if (Peek().kind == Token::Kind::kLParen) {
+          Advance();
+          std::vector<TermExpr> args;
+          if (Peek().kind != Token::Kind::kRParen) {
+            for (;;) {
+              AWR_ASSIGN_OR_RETURN(TermExpr a, ParseTerm());
+              args.push_back(std::move(a));
+              if (Peek().kind != Token::Kind::kComma) break;
+              Advance();
+            }
+          }
+          AWR_RETURN_IF_ERROR(Expect(Token::Kind::kRParen, "')'"));
+          return TermExpr::Apply(std::move(name), std::move(args));
+        }
+        if (name == "true") return TermExpr::Constant(Value::Boolean(true));
+        if (name == "false") return TermExpr::Constant(Value::Boolean(false));
+        return TermExpr::Constant(Value::Atom(name));
+      }
+      case Token::Kind::kLAngle: {
+        // Tuple value: ground components required.
+        Advance();
+        std::vector<Value> items;
+        if (Peek().kind != Token::Kind::kRAngle) {
+          for (;;) {
+            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue());
+            items.push_back(std::move(v));
+            if (Peek().kind != Token::Kind::kComma) break;
+            Advance();
+          }
+        }
+        AWR_RETURN_IF_ERROR(Expect(Token::Kind::kRAngle, "'>'"));
+        return TermExpr::Constant(Value::Tuple(std::move(items)));
+      }
+      case Token::Kind::kLBrace: {
+        Advance();
+        std::vector<Value> items;
+        if (Peek().kind != Token::Kind::kRBrace) {
+          for (;;) {
+            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue());
+            items.push_back(std::move(v));
+            if (Peek().kind != Token::Kind::kComma) break;
+            Advance();
+          }
+        }
+        AWR_RETURN_IF_ERROR(Expect(Token::Kind::kRBrace, "'}'"));
+        return TermExpr::Constant(Value::Set(std::move(items)));
+      }
+      default:
+        return Status::InvalidArgument("expected a term at offset " +
+                                       std::to_string(t.pos) + ", got '" +
+                                       t.text + "'");
+    }
+  }
+
+  Result<Value> ParseGroundValue() {
+    AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm());
+    if (!t.is_const()) {
+      return Status::InvalidArgument(
+          "tuple/set values must be ground (no variables or functions)");
+    }
+    return t.constant();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  Lexer lexer(text);
+  AWR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseProgramAll();
+}
+
+Result<Rule> ParseRule(std::string_view text) {
+  Lexer lexer(text);
+  AWR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleRule();
+}
+
+Result<Database> ParseFacts(std::string_view text) {
+  AWR_ASSIGN_OR_RETURN(Program program, ParseProgram(text));
+  Database db;
+  for (const Rule& rule : program.rules) {
+    if (!rule.body.empty()) {
+      return Status::InvalidArgument("not a fact (has a body): " +
+                                     rule.ToString());
+    }
+    std::vector<Value> args;
+    for (const TermExpr& t : rule.head.args) {
+      if (!t.is_const()) {
+        return Status::InvalidArgument("fact arguments must be ground: " +
+                                       rule.ToString());
+      }
+      args.push_back(t.constant());
+    }
+    db.AddFact(rule.head.predicate, std::move(args));
+  }
+  return db;
+}
+
+}  // namespace awr::datalog

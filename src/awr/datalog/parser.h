@@ -1,0 +1,44 @@
+#ifndef AWR_DATALOG_PARSER_H_
+#define AWR_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+
+namespace awr::datalog {
+
+/// Parses a deductive program from its textual form.
+///
+/// Syntax (one clause per '.'-terminated statement; '%' starts a
+/// comment that runs to end of line):
+///
+///   tc(X, Y) :- edge(X, Y).
+///   tc(X, Z) :- edge(X, Y), tc(Y, Z).
+///   win(X)   :- move(X, Y), not win(Y).
+///   bumped(W):- base(X), X < 3, W = add(X, 100).
+///   move(a, b).                    % a ground fact
+///
+/// Lexical conventions (Prolog-flavoured):
+///  * identifiers starting with an uppercase letter or '_' are
+///    variables; lowercase identifiers are predicate names in literal
+///    position, and atom constants or interpreted-function names in
+///    term position (`f(...)` in a term is a function application);
+///  * integers, `true` and `false` are value constants;
+///  * body literals are atoms, `not` atoms, or comparisons with
+///    `=  !=  <  <=`;
+///  * `<a, b>` builds a tuple value; `{v1, ..., vn}` a set value
+///    (ground elements only).
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a single rule or fact (without requiring the trailing '.').
+Result<Rule> ParseRule(std::string_view text);
+
+/// Parses a whitespace/comma-separated list of ground facts
+/// `pred(v1, ..., vn).` into a database.
+Result<Database> ParseFacts(std::string_view text);
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_PARSER_H_

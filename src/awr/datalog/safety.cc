@@ -1,0 +1,118 @@
+#include "awr/datalog/safety.h"
+
+#include <unordered_set>
+
+namespace awr::datalog {
+
+namespace {
+
+using VarSet = std::unordered_set<uint32_t>;
+
+bool AllVarsBound(const TermExpr& t, const VarSet& bound) {
+  std::vector<Var> vars;
+  t.CollectVars(&vars);
+  for (const Var& v : vars) {
+    if (bound.count(v.id) == 0) return false;
+  }
+  return true;
+}
+
+// Returns true if the literal can be processed given `bound`, and adds
+// the variables it would bind to `newly_bound`.
+bool LiteralReady(const Literal& lit, const VarSet& bound,
+                  std::vector<uint32_t>* newly_bound) {
+  newly_bound->clear();
+  if (lit.is_atom()) {
+    if (lit.positive) {
+      for (const TermExpr& arg : lit.atom.args) {
+        if (arg.is_var()) {
+          if (bound.count(arg.var().id) == 0) {
+            newly_bound->push_back(arg.var().id);
+          }
+        } else if (!AllVarsBound(arg, bound)) {
+          // A function application in a matching position cannot bind its
+          // variables (functions are not invertible here).
+          return false;
+        }
+      }
+      return true;
+    }
+    // Negative atom: pure test.
+    for (const TermExpr& arg : lit.atom.args) {
+      if (!AllVarsBound(arg, bound)) return false;
+    }
+    return true;
+  }
+  // Comparison.  Equality with a single unbound-variable side acts as an
+  // assignment.
+  if (lit.op == CmpOp::kEq) {
+    bool lhs_bound = AllVarsBound(lit.lhs, bound);
+    bool rhs_bound = AllVarsBound(lit.rhs, bound);
+    if (lhs_bound && rhs_bound) return true;
+    if (lhs_bound && lit.rhs.is_var()) {
+      newly_bound->push_back(lit.rhs.var().id);
+      return true;
+    }
+    if (rhs_bound && lit.lhs.is_var()) {
+      newly_bound->push_back(lit.lhs.var().id);
+      return true;
+    }
+    return false;
+  }
+  return AllVarsBound(lit.lhs, bound) && AllVarsBound(lit.rhs, bound);
+}
+
+}  // namespace
+
+Result<RulePlan> PlanRule(const Rule& rule) {
+  VarSet bound;
+  RulePlan plan;
+  std::vector<bool> used(rule.body.size(), false);
+  std::vector<uint32_t> newly;
+
+  for (size_t step = 0; step < rule.body.size(); ++step) {
+    bool progressed = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (used[i]) continue;
+      if (LiteralReady(rule.body[i], bound, &newly)) {
+        used[i] = true;
+        plan.push_back(i);
+        for (uint32_t v : newly) bound.insert(v);
+        progressed = true;
+        break;
+      }
+    }
+    if (!progressed) {
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (!used[i]) {
+          return Status::FailedPrecondition(
+              "unsafe rule (literal never becomes range-restricted): " +
+              rule.body[i].ToString() + " in: " + rule.ToString());
+        }
+      }
+    }
+  }
+
+  // All head variables must be restricted by the body (Definition 4.1).
+  std::vector<Var> head_vars;
+  for (const TermExpr& t : rule.head.args) t.CollectVars(&head_vars);
+  for (const Var& v : head_vars) {
+    if (bound.count(v.id) == 0) {
+      return Status::FailedPrecondition(
+          "unsafe rule (head variable " + v.name() +
+          " not restricted by body): " + rule.ToString());
+    }
+  }
+  return plan;
+}
+
+Status CheckRuleSafe(const Rule& rule) { return PlanRule(rule).status(); }
+
+Status CheckProgramSafe(const Program& program) {
+  for (const Rule& r : program.rules) {
+    AWR_RETURN_IF_ERROR(CheckRuleSafe(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace awr::datalog

@@ -1,0 +1,40 @@
+#ifndef AWR_DATALOG_SAFETY_H_
+#define AWR_DATALOG_SAFETY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+
+namespace awr::datalog {
+
+/// An evaluation order for a rule body: body-literal indices in the
+/// sequence they should be processed so that every literal only reads
+/// variables already bound.  This is the executable counterpart of the
+/// paper's *range formulas* (Definition 4.1): the plan exists iff the
+/// body is a range formula restricting all head variables.
+///
+/// Readiness rules:
+///  * a positive atom binds its direct variable arguments; any embedded
+///    function application must already be ground (basis (a), clause 1);
+///  * `x = ground-exp` and `y = exp(bound vars)` bind x / y (basis (b),
+///    clause 4);
+///  * all other comparisons and every negated atom require all their
+///    variables bound (clauses 2 and 3).
+using RulePlan = std::vector<size_t>;
+
+/// Computes a safe evaluation order for `rule`, or FailedPrecondition if
+/// the rule is unsafe (some literal can never become ready, or a head
+/// variable remains unrestricted).
+Result<RulePlan> PlanRule(const Rule& rule);
+
+/// Checks that `rule` is safe (Definition 4.1).
+Status CheckRuleSafe(const Rule& rule);
+
+/// Checks that every rule of `program` is safe.
+Status CheckProgramSafe(const Program& program);
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_SAFETY_H_

@@ -1,0 +1,256 @@
+#include "awr/datalog/stable.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace awr::datalog {
+
+namespace {
+
+// Integer-indexed view of a ground program for fast repeated fixpoints.
+struct AtomIndex {
+  std::vector<GroundAtom> atoms;
+  std::unordered_map<GroundAtom, int, GroundAtomHash> ids;
+
+  int Intern(const GroundAtom& a) {
+    auto it = ids.find(a);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(atoms.size());
+    ids.emplace(a, id);
+    atoms.push_back(a);
+    return id;
+  }
+  size_t size() const { return atoms.size(); }
+};
+
+struct IRule {
+  int head;
+  std::vector<int> pos;
+  std::vector<int> neg;
+};
+
+struct IProgram {
+  std::vector<int> facts;
+  std::vector<IRule> rules;
+  size_t n_atoms = 0;
+};
+
+using Assignment = std::vector<bool>;
+
+IProgram IndexGround(const GroundProgram& ground, AtomIndex* index) {
+  IProgram out;
+  for (const GroundAtom& f : ground.facts) out.facts.push_back(index->Intern(f));
+  for (const GroundRule& r : ground.rules) {
+    IRule ir;
+    ir.head = index->Intern(r.head);
+    for (const GroundAtom& a : r.pos) ir.pos.push_back(index->Intern(a));
+    for (const GroundAtom& a : r.neg) ir.neg.push_back(index->Intern(a));
+    out.rules.push_back(std::move(ir));
+  }
+  out.n_atoms = index->size();
+  return out;
+}
+
+// Least model of the positive part with `not a` frozen against `neg_ctx`
+// (holds iff !neg_ctx[a]); rules whose head is in `blocked` never fire.
+Assignment StepLfp(const IProgram& p, const Assignment& neg_ctx,
+                   const Assignment& blocked,
+                   const std::vector<int>& extra_facts) {
+  Assignment cur(p.n_atoms, false);
+  for (int f : p.facts) {
+    if (!blocked[f]) cur[f] = true;
+  }
+  for (int f : extra_facts) cur[f] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const IRule& r : p.rules) {
+      if (cur[r.head] || blocked[r.head]) continue;
+      bool fires = true;
+      for (int a : r.pos) {
+        if (!cur[a]) {
+          fires = false;
+          break;
+        }
+      }
+      if (fires) {
+        for (int a : r.neg) {
+          if (neg_ctx[a]) {
+            fires = false;
+            break;
+          }
+        }
+      }
+      if (fires) {
+        cur[r.head] = true;
+        changed = true;
+      }
+    }
+  }
+  return cur;
+}
+
+// Alternating fixpoint on the ground program under assumptions.
+// Returns {certain, possible}.
+std::pair<Assignment, Assignment> GroundWfs(const IProgram& p,
+                                            const std::vector<int>& assumed_true,
+                                            const Assignment& blocked) {
+  Assignment prev(p.n_atoms, false);  // I_0 = ∅
+  Assignment prev_prev;
+  bool have_two = false;
+  for (;;) {
+    Assignment next = StepLfp(p, prev, blocked, assumed_true);
+    if (next == prev) return {next, next};
+    if (have_two && next == prev_prev) {
+      // Period-2: the smaller iterate is the certain set.
+      auto leq = [&](const Assignment& a, const Assignment& b) {
+        for (size_t i = 0; i < a.size(); ++i) {
+          if (a[i] && !b[i]) return false;
+        }
+        return true;
+      };
+      if (leq(next, prev)) return {next, prev};
+      return {prev, next};
+    }
+    prev_prev = std::move(prev);
+    prev = std::move(next);
+    have_two = true;
+  }
+}
+
+// Exact Gelfond–Lifschitz check of candidate model M against the
+// original (unassumed) ground program.
+bool IsStableModel(const IProgram& p, const Assignment& m) {
+  // Reduct: drop rules with a negative literal true in M; then the lfp
+  // of the positive remainder must equal M exactly.
+  Assignment cur(p.n_atoms, false);
+  for (int f : p.facts) cur[f] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const IRule& r : p.rules) {
+      if (cur[r.head]) continue;
+      bool fires = true;
+      for (int a : r.neg) {
+        if (m[a]) {
+          fires = false;
+          break;
+        }
+      }
+      if (fires) {
+        for (int a : r.pos) {
+          if (!cur[a]) {
+            fires = false;
+            break;
+          }
+        }
+      }
+      if (fires) {
+        cur[r.head] = true;
+        changed = true;
+      }
+    }
+  }
+  return cur == m;
+}
+
+class StableSearch {
+ public:
+  StableSearch(const IProgram& program, const AtomIndex& index,
+               const StableOptions& opts)
+      : program_(program), index_(index), opts_(opts) {}
+
+  Status Run(std::vector<Interpretation>* models) {
+    Assignment blocked(program_.n_atoms, false);
+    std::vector<int> assumed_true;
+    AWR_RETURN_IF_ERROR(Dfs(&assumed_true, &blocked));
+    for (const Assignment& m : found_) {
+      Interpretation interp;
+      for (size_t i = 0; i < m.size(); ++i) {
+        if (m[i]) {
+          interp.AddFactTuple(index_.atoms[i].predicate, index_.atoms[i].args);
+        }
+      }
+      models->push_back(std::move(interp));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Dfs(std::vector<int>* assumed_true, Assignment* blocked) {
+    if (found_.size() >= opts_.max_models) return Status::OK();
+    if (++nodes_ > opts_.max_nodes) {
+      return Status::ResourceExhausted(
+          "stable-model search exceeded max_nodes=" +
+          std::to_string(opts_.max_nodes));
+    }
+    auto [certain, possible] = GroundWfs(program_, *assumed_true, *blocked);
+    // An assumed-false atom that is nevertheless certain (it was a base
+    // fact) contradicts the assumption.
+    for (size_t i = 0; i < certain.size(); ++i) {
+      if (certain[i] && (*blocked)[i]) return Status::OK();
+    }
+    int branch = -1;
+    for (size_t i = 0; i < certain.size(); ++i) {
+      if (possible[i] && !certain[i] && !(*blocked)[i]) {
+        branch = static_cast<int>(i);
+        break;
+      }
+    }
+    if (branch < 0) {
+      if (IsStableModel(program_, certain) && seen_.insert(certain).second) {
+        found_.push_back(std::move(certain));
+      }
+      return Status::OK();
+    }
+    assumed_true->push_back(branch);
+    AWR_RETURN_IF_ERROR(Dfs(assumed_true, blocked));
+    assumed_true->pop_back();
+    (*blocked)[branch] = true;
+    AWR_RETURN_IF_ERROR(Dfs(assumed_true, blocked));
+    (*blocked)[branch] = false;
+    return Status::OK();
+  }
+
+  const IProgram& program_;
+  const AtomIndex& index_;
+  const StableOptions& opts_;
+  size_t nodes_ = 0;
+  std::set<Assignment> seen_;
+  std::vector<Assignment> found_;
+};
+
+}  // namespace
+
+Result<std::vector<Interpretation>> EvalStableModels(
+    const Program& program, const Database& edb, const EvalOptions& opts,
+    const StableOptions& stable_opts) {
+  AWR_ASSIGN_OR_RETURN(GroundProgram ground,
+                       GroundProgramFor(program, edb, opts));
+  AtomIndex index;
+  IProgram indexed = IndexGround(ground, &index);
+
+  // Branching factor guard: count atoms undefined under no assumptions.
+  {
+    Assignment blocked(indexed.n_atoms, false);
+    auto [certain, possible] = GroundWfs(indexed, {}, blocked);
+    size_t undefined = 0;
+    for (size_t i = 0; i < certain.size(); ++i) {
+      if (possible[i] && !certain[i]) ++undefined;
+    }
+    if (undefined > stable_opts.max_branch_atoms) {
+      return Status::ResourceExhausted(
+          "stable-model search: " + std::to_string(undefined) +
+          " undefined atoms exceeds max_branch_atoms=" +
+          std::to_string(stable_opts.max_branch_atoms));
+    }
+  }
+
+  std::vector<Interpretation> models;
+  StableSearch search(indexed, index, stable_opts);
+  AWR_RETURN_IF_ERROR(search.Run(&models));
+  return models;
+}
+
+}  // namespace awr::datalog

@@ -1,0 +1,41 @@
+#include "awr/datalog/stratified.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "awr/datalog/depgraph.h"
+
+namespace awr::datalog {
+
+Result<Interpretation> EvalStratified(const Program& program,
+                                      const Database& edb,
+                                      const EvalOptions& opts) {
+  AWR_ASSIGN_OR_RETURN(auto strata, Stratify(program));
+  AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> planned, PlanProgram(program));
+
+  std::unordered_map<std::string, size_t> stratum_of;
+  for (size_t s = 0; s < strata.size(); ++s) {
+    for (const std::string& pred : strata[s]) stratum_of[pred] = s;
+  }
+
+  EvalBudget budget(opts.limits);
+  Interpretation interp = edb;
+  for (size_t s = 0; s < strata.size(); ++s) {
+    std::vector<PlannedRule> stratum_rules;
+    for (const PlannedRule& pr : planned) {
+      if (stratum_of.at(pr.rule.head.predicate) == s) {
+        stratum_rules.push_back(pr);
+      }
+    }
+    if (stratum_rules.empty()) continue;
+    // Negation refers only to strictly lower strata, whose extents are
+    // final in `interp`; freeze a copy as the negation context.
+    Interpretation before = interp;
+    AWR_ASSIGN_OR_RETURN(
+        interp, LeastModelWithFrozenNegation(stratum_rules, interp, before,
+                                             opts, &budget));
+  }
+  return interp;
+}
+
+}  // namespace awr::datalog

@@ -1,0 +1,23 @@
+#ifndef AWR_DATALOG_STRATIFIED_H_
+#define AWR_DATALOG_STRATIFIED_H_
+
+#include "awr/common/result.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+
+namespace awr::datalog {
+
+/// Stratified evaluation: partitions the predicates into strata (no
+/// recursion through negation), then computes the minimal model of each
+/// stratum in order, with negation evaluated against the completed lower
+/// strata ("the answer can be obtained by successively computing the
+/// minimal model of each stratum", paper §4).
+///
+/// Fails with FailedPrecondition when the program is not stratifiable.
+Result<Interpretation> EvalStratified(const Program& program,
+                                      const Database& edb,
+                                      const EvalOptions& opts = {});
+
+}  // namespace awr::datalog
+
+#endif  // AWR_DATALOG_STRATIFIED_H_

@@ -1,0 +1,41 @@
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::datalog {
+
+Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
+                                          const Database& edb,
+                                          const EvalOptions& opts) {
+  AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
+  EvalBudget budget(opts.limits);
+
+  // I_{k+1} = S(I_k), I_0 = ∅.  Track the last two iterates; the
+  // sequence converges when I_{k+1} == I_{k-1} (period 2) or
+  // I_{k+1} == I_k (2-valued).
+  Interpretation prev_prev;  // I_{k-1}
+  Interpretation prev;       // I_k, starts as I_0 = ∅
+  bool have_two = false;
+
+  for (;;) {
+    AWR_RETURN_IF_ERROR(budget.ChargeRound("well-founded(alternation)"));
+    AWR_ASSIGN_OR_RETURN(
+        Interpretation next,
+        LeastModelWithFrozenNegation(rules, edb, prev, opts, &budget));
+    if (next == prev) {
+      // Total (2-valued) fixpoint.
+      return ThreeValuedInterp{next, next};
+    }
+    if (have_two && next == prev_prev) {
+      // Period-2 limit: the smaller iterate is the certain set T, the
+      // larger is the possible set (complement of F).
+      if (next.IsSubsetOf(prev)) {
+        return ThreeValuedInterp{std::move(next), std::move(prev)};
+      }
+      return ThreeValuedInterp{std::move(prev), std::move(next)};
+    }
+    prev_prev = std::move(prev);
+    prev = std::move(next);
+    have_two = true;
+  }
+}
+
+}  // namespace awr::datalog

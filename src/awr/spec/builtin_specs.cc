@@ -1,0 +1,147 @@
+#include "awr/spec/builtin_specs.h"
+
+#include <cassert>
+
+namespace awr::spec {
+
+namespace {
+Term V(const char* name, const char* sort) { return Term::Var(name, sort); }
+Term Op(const char* name, std::vector<Term> children = {}) {
+  return Term::Op(name, std::move(children));
+}
+void MustAddOp(Signature* sig, term::OpDecl decl) {
+  Status st = sig->AddOp(std::move(decl));
+  assert(st.ok());
+  (void)st;
+}
+}  // namespace
+
+Specification BoolSpec() {
+  Specification spec;
+  spec.name = "BOOL";
+  spec.signature.AddSort("bool");
+  MustAddOp(&spec.signature, {"T", {}, "bool"});
+  MustAddOp(&spec.signature, {"F", {}, "bool"});
+  MustAddOp(&spec.signature, {"IF", {"bool", "bool", "bool"}, "bool"});
+  spec.equations.push_back(
+      {{}, Op("IF", {Op("T"), V("x", "bool"), V("y", "bool")}), V("x", "bool")});
+  spec.equations.push_back(
+      {{}, Op("IF", {Op("F"), V("x", "bool"), V("y", "bool")}), V("y", "bool")});
+  return spec;
+}
+
+Specification NatSpec() {
+  Specification spec = BoolSpec();
+  spec.name = "NAT";
+  spec.signature.AddSort("nat");
+  MustAddOp(&spec.signature, {"ZERO", {}, "nat"});
+  MustAddOp(&spec.signature, {"SUCC", {"nat"}, "nat"});
+  MustAddOp(&spec.signature, {"EQ", {"nat", "nat"}, "bool"});
+  Term x = V("x", "nat"), y = V("y", "nat");
+  spec.equations.push_back({{}, Op("EQ", {Op("ZERO"), Op("ZERO")}), Op("T")});
+  spec.equations.push_back(
+      {{}, Op("EQ", {Op("SUCC", {x}), Op("SUCC", {y})}), Op("EQ", {x, y})});
+  spec.equations.push_back(
+      {{}, Op("EQ", {Op("ZERO"), Op("SUCC", {y})}), Op("F")});
+  spec.equations.push_back(
+      {{}, Op("EQ", {Op("SUCC", {x}), Op("ZERO")}), Op("F")});
+  return spec;
+}
+
+Result<Specification> SetSpecFor(const Specification& base,
+                                 const std::string& elem_sort,
+                                 const std::string& eq_op) {
+  if (!base.signature.HasSort(elem_sort)) {
+    return Status::InvalidArgument("SetSpecFor: base has no sort " +
+                                   elem_sort);
+  }
+  if (!base.signature.HasSort("bool") ||
+      base.signature.FindOp("T") == nullptr ||
+      base.signature.FindOp("F") == nullptr ||
+      base.signature.FindOp("IF") == nullptr) {
+    return Status::InvalidArgument(
+        "SetSpecFor: base must provide bool with T, F and IF (import "
+        "BoolSpec)");
+  }
+  const term::OpDecl* eq = base.signature.FindOp(eq_op);
+  if (eq == nullptr ||
+      eq->arg_sorts != std::vector<std::string>{elem_sort, elem_sort} ||
+      eq->result_sort != "bool") {
+    return Status::InvalidArgument(
+        "SetSpecFor: " + eq_op + " must be declared as " + elem_sort + " × " +
+        elem_sort + " → bool (\"MEM iff equality is definable\", §2.1)");
+  }
+
+  Specification spec = base;
+  const std::string set_sort = "set(" + elem_sort + ")";
+  spec.name = "SET(" + elem_sort + ")";
+  spec.signature.AddSort(set_sort);
+  AWR_RETURN_IF_ERROR(spec.signature.AddOp({"EMPTY", {}, set_sort}));
+  AWR_RETURN_IF_ERROR(
+      spec.signature.AddOp({"INS", {elem_sort, set_sort}, set_sort}));
+  AWR_RETURN_IF_ERROR(
+      spec.signature.AddOp({"MEM", {elem_sort, set_sort}, "bool"}));
+  Term d = Term::Var("d", elem_sort), d2 = Term::Var("d2", elem_sort),
+       s = Term::Var("s", set_sort);
+  // INS(d, INS(d, s)) = INS(d, s).
+  spec.equations.push_back(
+      {{}, Op("INS", {d, Op("INS", {d, s})}), Op("INS", {d, s})});
+  // INS(d, INS(d', s)) = INS(d', INS(d, s))  — permutative; the rewrite
+  // system applies it only in the decreasing direction.
+  spec.equations.push_back({{},
+                            Op("INS", {d, Op("INS", {d2, s})}),
+                            Op("INS", {d2, Op("INS", {d, s})})});
+  // MEM(d, EMPTY) = F.
+  spec.equations.push_back({{}, Op("MEM", {d, Op("EMPTY")}), Op("F")});
+  // MEM(d, INS(d', s)) = IF(eq(d, d'), T, MEM(d, s)).
+  spec.equations.push_back(
+      {{},
+       Op("MEM", {d, Op("INS", {d2, s})}),
+       Op("IF", {Term::Op(eq_op, {d, d2}), Op("T"), Op("MEM", {d, s})})});
+  return spec;
+}
+
+Specification SetNatSpec() {
+  auto spec = SetSpecFor(NatSpec(), "nat", "EQ");
+  assert(spec.ok());
+  return *spec;
+}
+
+Specification Example2Spec() {
+  Specification spec;
+  spec.name = "Example2";
+  spec.signature.AddSort("s");
+  MustAddOp(&spec.signature, {"a", {}, "s"});
+  MustAddOp(&spec.signature, {"b", {}, "s"});
+  MustAddOp(&spec.signature, {"c", {}, "s"});
+  // a ≠ b → a = c.
+  spec.equations.push_back(
+      {{EqLiteral{Op("a"), Op("b"), false}}, Op("a"), Op("c")});
+  // a ≠ c → a = b.
+  spec.equations.push_back(
+      {{EqLiteral{Op("a"), Op("c"), false}}, Op("a"), Op("b")});
+  return spec;
+}
+
+Term NatTerm(uint64_t n) {
+  Term t = Op("ZERO");
+  for (uint64_t i = 0; i < n; ++i) t = Op("SUCC", {std::move(t)});
+  return t;
+}
+
+Term SetTerm(const std::vector<uint64_t>& elements) {
+  Term t = Op("EMPTY");
+  for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+    t = Op("INS", {NatTerm(*it), std::move(t)});
+  }
+  return t;
+}
+
+Term MemTerm(uint64_t n, Term set) {
+  return Op("MEM", {NatTerm(n), std::move(set)});
+}
+
+Term TrueTerm() { return Op("T"); }
+Term FalseTerm() { return Op("F"); }
+
+}  // namespace awr::spec

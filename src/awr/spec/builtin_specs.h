@@ -1,0 +1,61 @@
+#ifndef AWR_SPEC_BUILTIN_SPECS_H_
+#define AWR_SPEC_BUILTIN_SPECS_H_
+
+#include "awr/common/result.h"
+#include "awr/spec/spec.h"
+
+namespace awr::spec {
+
+/// BOOL: sorts bool; ops T, F, IF : bool × bool × bool → bool.
+///   IF(T, x, y) = x,  IF(F, x, y) = y.
+Specification BoolSpec();
+
+/// NAT (imports BOOL): sort nat; ops ZERO, SUCC, and structural
+/// equality EQ : nat × nat → bool:
+///   EQ(ZERO, ZERO) = T                EQ(SUCC(x), SUCC(y)) = EQ(x, y)
+///   EQ(ZERO, SUCC(y)) = F             EQ(SUCC(x), ZERO) = F
+Specification NatSpec();
+
+/// SET(nat), the paper's §2.1 example (imports NAT + BOOL):
+///   sort set(nat); ops EMPTY, INS, MEM with
+///   INS(d, INS(d, s)) = INS(d, s)                       (absorption)
+///   INS(d, INS(d', s)) = INS(d', INS(d, s))             (commutation)
+///   MEM(d, EMPTY) = F
+///   MEM(d, INS(d', s)) = IF(EQ(d, d'), T, MEM(d, s))
+///
+/// Under ordered rewriting the INS equations canonicalize every finite
+/// set term, and MEM is total on finite sets — the §2.1 claim.
+Specification SetNatSpec();
+
+/// The §2.1 *parameterized* specification SET(data), "instantiated by
+/// substituting a concrete type for data": extends `base` with a sort
+/// `set(<elem_sort>)` and operations EMPTY/INS/MEM carrying the same
+/// equations as SetNatSpec, over any element sort.
+///
+/// Per the paper's footnote, "a specification for sets with element
+/// type `type` can contain the MEM 'predicate' iff equality is
+/// definable on `type`": `eq_op` must be declared in `base` as
+/// `elem_sort × elem_sort → bool`, and `base` must provide bool with
+/// T, F and IF.  Fails with InvalidArgument otherwise.
+Result<Specification> SetSpecFor(const Specification& base,
+                                 const std::string& elem_sort,
+                                 const std::string& eq_op);
+
+/// The paper's Example 2: sort s, constants a, b, c, and
+///   a ≠ b → a = c
+///   a ≠ c → a = b
+/// A constants-only specification with negation that has three models,
+/// all valid, and **no initial valid model**.
+Specification Example2Spec();
+
+/// Term builders for the NAT / SET(nat) universe.
+Term NatTerm(uint64_t n);
+/// {n_1, ..., n_k} as INS(n_1, INS(..., EMPTY)).
+Term SetTerm(const std::vector<uint64_t>& elements);
+Term MemTerm(uint64_t n, Term set);
+Term TrueTerm();
+Term FalseTerm();
+
+}  // namespace awr::spec
+
+#endif  // AWR_SPEC_BUILTIN_SPECS_H_

@@ -1,0 +1,96 @@
+#include "awr/spec/congruence.h"
+
+#include <sstream>
+
+namespace awr::spec {
+
+Result<int> CongruenceClosure::Intern(const Term& t) {
+  if (!t.IsGround()) {
+    return Status::InvalidArgument(
+        "congruence closure operates on ground terms, got " + t.ToString());
+  }
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  Node node;
+  node.term = t;
+  node.op = t.name();
+  for (const Term& c : t.children()) {
+    AWR_ASSIGN_OR_RETURN(int cid, Intern(c));
+    node.children.push_back(cid);
+  }
+  int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  ids_.emplace(t, id);
+  for (int cid : nodes_[id].children) nodes_[cid].uses.push_back(id);
+
+  // Congruence: if an existing node has the same op and congruent
+  // children, merge with it.
+  std::string key = SignatureKey(id);
+  auto [pos, inserted] = sig_table_.emplace(key, id);
+  if (!inserted) {
+    pending_.emplace_back(id, pos->second);
+    while (!pending_.empty()) {
+      auto [a, b] = pending_.back();
+      pending_.pop_back();
+      Merge(a, b);
+    }
+  }
+  return id;
+}
+
+int CongruenceClosure::Find(int x) {
+  while (nodes_[x].parent != -1) {
+    int p = nodes_[x].parent;
+    if (nodes_[p].parent != -1) nodes_[x].parent = nodes_[p].parent;
+    x = nodes_[x].parent;
+  }
+  return x;
+}
+
+std::string CongruenceClosure::SignatureKey(int node) {
+  std::ostringstream os;
+  os << nodes_[node].op;
+  for (int c : nodes_[node].children) os << "," << Find(c);
+  return os.str();
+}
+
+void CongruenceClosure::Merge(int a, int b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (nodes_[a].rank < nodes_[b].rank) std::swap(a, b);
+  nodes_[b].parent = a;
+  if (nodes_[a].rank == nodes_[b].rank) nodes_[a].rank++;
+
+  // Re-key every user of the merged class; congruent pairs merge too.
+  // Collect users of both classes (uses lists live on original nodes,
+  // so walk all nodes conservatively — fine at this scale).
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].children.empty()) continue;
+    std::string key = SignatureKey(static_cast<int>(i));
+    auto [pos, inserted] = sig_table_.emplace(key, static_cast<int>(i));
+    if (!inserted && Find(pos->second) != Find(static_cast<int>(i))) {
+      pending_.emplace_back(static_cast<int>(i), pos->second);
+    }
+  }
+  while (!pending_.empty()) {
+    auto [x, y] = pending_.back();
+    pending_.pop_back();
+    Merge(x, y);
+  }
+}
+
+Status CongruenceClosure::AddEquation(const Term& a, const Term& b) {
+  AWR_ASSIGN_OR_RETURN(int ia, Intern(a));
+  AWR_ASSIGN_OR_RETURN(int ib, Intern(b));
+  Merge(ia, ib);
+  return Status::OK();
+}
+
+Result<bool> CongruenceClosure::AreEqual(const Term& a, const Term& b) {
+  AWR_ASSIGN_OR_RETURN(int ia, Intern(a));
+  AWR_ASSIGN_OR_RETURN(int ib, Intern(b));
+  return Find(ia) == Find(ib);
+}
+
+}  // namespace awr::spec

@@ -1,0 +1,58 @@
+#ifndef AWR_SPEC_CONGRUENCE_H_
+#define AWR_SPEC_CONGRUENCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/term/term.h"
+
+namespace awr::spec {
+
+using term::Term;
+
+/// Congruence closure over ground equations: decides which ground terms
+/// are equal under a set of asserted equalities, reflexivity, symmetry,
+/// transitivity and the substitution (congruence) axiom — the
+/// "standard equality axioms" of the paper's deductive reading of a
+/// specification (§2.2), for the ground unconditional case.
+///
+/// Classic union-find + congruence-table algorithm; terms are interned
+/// on first use.
+class CongruenceClosure {
+ public:
+  /// Asserts a ground equation a = b.
+  Status AddEquation(const Term& a, const Term& b);
+
+  /// True iff a = b follows from the asserted equations.
+  Result<bool> AreEqual(const Term& a, const Term& b);
+
+  /// Number of interned term nodes.
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Term term = Term::Op("awr_uninitialized");
+    std::string op;
+    std::vector<int> children;  // node ids
+    int parent = -1;            // union-find
+    int rank = 0;
+    std::vector<int> uses;      // nodes that have this node as a child
+  };
+
+  Result<int> Intern(const Term& t);
+  int Find(int x);
+  void Merge(int a, int b);
+  // Signature of a node under current classes, for congruence lookup.
+  std::string SignatureKey(int node);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Term, int> ids_;
+  std::unordered_map<std::string, int> sig_table_;
+  std::vector<std::pair<int, int>> pending_;
+};
+
+}  // namespace awr::spec
+
+#endif  // AWR_SPEC_CONGRUENCE_H_

@@ -1,0 +1,193 @@
+#include "awr/spec/ivm_decision.h"
+
+#include <map>
+#include <sstream>
+
+#include "awr/spec/valid_interp.h"
+
+namespace awr::spec {
+
+bool PartitionModel::SameBlock(const std::string& a,
+                               const std::string& b) const {
+  for (const auto& block : blocks) {
+    bool has_a = false, has_b = false;
+    for (const std::string& c : block) {
+      has_a |= (c == a);
+      has_b |= (c == b);
+    }
+    if (has_a || has_b) return has_a && has_b;
+  }
+  return false;
+}
+
+bool PartitionModel::Refines(const PartitionModel& other) const {
+  // Every identification this partition makes must also be made by
+  // `other`.
+  for (const auto& block : blocks) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      for (size_t j = i + 1; j < block.size(); ++j) {
+        if (!other.SameBlock(block[i], block[j])) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string PartitionModel::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << "{";
+    for (size_t j = 0; j < blocks[i].size(); ++j) {
+      if (j > 0) os << ", ";
+      os << blocks[i][j];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+namespace {
+
+// All partitions of `items`, via restricted growth strings.
+std::vector<std::vector<std::vector<std::string>>> EnumeratePartitions(
+    const std::vector<std::string>& items) {
+  std::vector<std::vector<std::vector<std::string>>> out;
+  if (items.empty()) {
+    out.push_back({});
+    return out;
+  }
+  std::vector<size_t> assignment(items.size(), 0);
+  for (;;) {
+    size_t max_block = 0;
+    for (size_t a : assignment) max_block = std::max(max_block, a);
+    std::vector<std::vector<std::string>> blocks(max_block + 1);
+    for (size_t i = 0; i < items.size(); ++i) {
+      blocks[assignment[i]].push_back(items[i]);
+    }
+    out.push_back(std::move(blocks));
+
+    // Next restricted growth string: assignment[i] may be at most
+    // 1 + max(assignment[0..i-1]).
+    size_t i = items.size();
+    for (;;) {
+      if (i == 1) return out;  // assignment[0] is always 0
+      --i;
+      size_t prefix_max = 0;
+      for (size_t j = 0; j < i; ++j) {
+        prefix_max = std::max(prefix_max, assignment[j]);
+      }
+      if (assignment[i] <= prefix_max) {
+        ++assignment[i];
+        for (size_t j = i + 1; j < items.size(); ++j) assignment[j] = 0;
+        break;
+      }
+    }
+  }
+}
+
+bool LiteralHolds(const EqLiteral& lit, const PartitionModel& model) {
+  bool equal = model.SameBlock(lit.lhs.name(), lit.rhs.name());
+  return equal == lit.positive;
+}
+
+bool IsModel(const Specification& spec, const PartitionModel& model) {
+  for (const CondEquation& eq : spec.equations) {
+    bool premises_hold = true;
+    for (const EqLiteral& p : eq.premises) {
+      if (!LiteralHolds(p, model)) {
+        premises_hold = false;
+        break;
+      }
+    }
+    if (premises_hold && !model.SameBlock(eq.lhs.name(), eq.rhs.name())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<IvmDecision> DecideInitialValidModel(const Specification& spec,
+                                            size_t max_constants) {
+  if (!spec.IsConstantsOnly()) {
+    return Status::FailedPrecondition(
+        "initial-valid-model existence is only decidable for constants-only "
+        "specifications (Proposition 2.3); this one has non-constant "
+        "operations or non-ground equations");
+  }
+  // Group constants by sort; partitions must be sort-respecting.
+  std::map<std::string, std::vector<std::string>> by_sort;
+  for (const term::OpDecl& op : spec.signature.ops()) {
+    by_sort[op.result_sort].push_back(op.name);
+    if (by_sort[op.result_sort].size() > max_constants) {
+      return Status::ResourceExhausted(
+          "sort " + op.result_sort + " has more than " +
+          std::to_string(max_constants) + " constants");
+    }
+  }
+
+  // Cartesian product of per-sort partitions.
+  std::vector<PartitionModel> algebras{PartitionModel{}};
+  for (const auto& [sort, constants] : by_sort) {
+    auto parts = EnumeratePartitions(constants);
+    std::vector<PartitionModel> next;
+    next.reserve(algebras.size() * parts.size());
+    for (const PartitionModel& base : algebras) {
+      for (const auto& p : parts) {
+        PartitionModel combined = base;
+        for (const auto& block : p) combined.blocks.push_back(block);
+        next.push_back(std::move(combined));
+      }
+    }
+    algebras = std::move(next);
+  }
+
+  // Valid interpretation: certain equalities T over the constants.
+  ValidInterpOptions vi_opts;
+  vi_opts.max_depth = 1;
+  AWR_ASSIGN_OR_RETURN(SpecValidInterp interp,
+                       SpecValidInterp::Compute(spec, vi_opts));
+
+  IvmDecision out;
+  for (const auto& [a, b] : interp.CertainEqualities()) {
+    if (a.name() < b.name()) {
+      out.certain_equalities.emplace_back(a.name(), b.name());
+    }
+  }
+
+  std::vector<PartitionModel> valid;
+  for (const PartitionModel& algebra : algebras) {
+    if (!IsModel(spec, algebra)) continue;
+    ++out.model_count;
+    bool extends_t = true;
+    for (const auto& [a, b] : out.certain_equalities) {
+      if (!algebra.SameBlock(a, b)) {
+        extends_t = false;
+        break;
+      }
+    }
+    if (extends_t) valid.push_back(algebra);
+  }
+  out.valid_model_count = valid.size();
+
+  // Initial valid model: a valid algebra refining every valid algebra.
+  for (const PartitionModel& candidate : valid) {
+    bool refines_all = true;
+    for (const PartitionModel& other : valid) {
+      if (!candidate.Refines(other)) {
+        refines_all = false;
+        break;
+      }
+    }
+    if (refines_all) {
+      out.has_initial_valid_model = true;
+      out.initial = candidate;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace awr::spec

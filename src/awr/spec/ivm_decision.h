@@ -1,0 +1,66 @@
+#ifndef AWR_SPEC_IVM_DECISION_H_
+#define AWR_SPEC_IVM_DECISION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/spec/spec.h"
+
+namespace awr::spec {
+
+/// A total algebra of a constants-only specification: a sort-respecting
+/// partition of the constants (two constants are interpreted as the
+/// same element iff they share a block).
+struct PartitionModel {
+  std::vector<std::vector<std::string>> blocks;
+
+  bool SameBlock(const std::string& a, const std::string& b) const;
+  /// identifications(this) ⊆ identifications(other): a homomorphism
+  /// this → other exists (for constant signatures it is then unique).
+  bool Refines(const PartitionModel& other) const;
+  std::string ToString() const;
+};
+
+/// Outcome of the Proposition 2.3(2) decision procedure.
+struct IvmDecision {
+  bool has_initial_valid_model = false;
+  std::optional<PartitionModel> initial;
+  /// Diagnostics: how many total algebras are models / valid models.
+  size_t model_count = 0;
+  size_t valid_model_count = 0;
+  /// Certain equalities (the set T of the valid interpretation).
+  std::vector<std::pair<std::string, std::string>> certain_equalities;
+};
+
+/// Decides whether a constants-only specification has an initial valid
+/// model (Proposition 2.3(2): "if only 0-ary functions are used in the
+/// specification then the problem becomes decidable").
+///
+/// Procedure:
+///  1. enumerate all total algebras — the sort-respecting partitions of
+///     the constants — and keep those satisfying the generalized
+///     conditional equations (premise disequations read as
+///     distinct blocks);
+///  2. compute the valid interpretation's certain equalities T
+///     (SpecValidInterp over the constants);
+///  3. the *valid algebras* are the models extending T (Definition
+///     2.2);
+///  4. an initial valid model is a valid algebra with a (unique)
+///     homomorphism to every valid algebra — for constants, one whose
+///     partition refines all valid partitions.  Report it or its
+///     absence.
+///
+/// On the paper's Example 2 (`a ≠ b → a = c`, `a ≠ c → a = b`) this
+/// reports three models, all valid, and *no* initial valid model.
+///
+/// Fails with FailedPrecondition if the specification is not
+/// constants-only, and ResourceExhausted if there are more than
+/// `max_constants` constants in any sort (Bell-number blowup guard).
+Result<IvmDecision> DecideInitialValidModel(const Specification& spec,
+                                            size_t max_constants = 10);
+
+}  // namespace awr::spec
+
+#endif  // AWR_SPEC_IVM_DECISION_H_

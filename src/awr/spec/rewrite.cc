@@ -1,0 +1,141 @@
+#include "awr/spec/rewrite.h"
+
+#include <map>
+
+namespace awr::spec {
+
+namespace {
+
+// Multiset of node names, for permutative-rule detection.
+void CountSymbols(const Term& t, std::map<std::string, int>* counts) {
+  (*counts)[t.name()]++;
+  if (t.is_op()) {
+    for (const Term& c : t.children()) CountSymbols(c, counts);
+  }
+}
+
+bool SameSymbolMultiset(const Term& a, const Term& b) {
+  std::map<std::string, int> ca, cb;
+  CountSymbols(a, &ca);
+  CountSymbols(b, &cb);
+  return ca == cb;
+}
+
+}  // namespace
+
+Result<RewriteSystem> RewriteSystem::FromSpec(const Specification& spec,
+                                              RewriteOptions opts) {
+  AWR_RETURN_IF_ERROR(spec.Validate());
+  std::vector<RewriteRule> rules;
+  for (const CondEquation& eq : spec.equations) {
+    if (eq.lhs.is_var()) {
+      return Status::InvalidArgument(
+          "equation left side is a bare variable, cannot orient: " +
+          eq.ToString());
+    }
+    std::map<std::string, std::string> lhs_vars, rhs_vars;
+    eq.lhs.CollectVars(&lhs_vars);
+    eq.rhs.CollectVars(&rhs_vars);
+    for (const auto& [v, sort] : rhs_vars) {
+      if (lhs_vars.count(v) == 0) {
+        return Status::InvalidArgument(
+            "equation right side has extra variable " + v +
+            ", cannot orient: " + eq.ToString());
+      }
+    }
+    // Premise variables must also be bound by the left side so that
+    // conditions can be decided after matching.
+    for (const EqLiteral& p : eq.premises) {
+      std::map<std::string, std::string> pvars;
+      p.lhs.CollectVars(&pvars);
+      p.rhs.CollectVars(&pvars);
+      for (const auto& [v, sort] : pvars) {
+        if (lhs_vars.count(v) == 0) {
+          return Status::InvalidArgument(
+              "premise variable " + v +
+              " not bound by equation left side: " + eq.ToString());
+        }
+      }
+    }
+    RewriteRule rule{eq.lhs, eq.rhs, eq.premises,
+                     SameSymbolMultiset(eq.lhs, eq.rhs)};
+    rules.push_back(std::move(rule));
+  }
+  return RewriteSystem(std::move(rules), opts);
+}
+
+Result<Term> RewriteSystem::Normalize(const Term& t) const {
+  if (!t.IsGround()) {
+    return Status::InvalidArgument("Normalize requires a ground term, got " +
+                                   t.ToString());
+  }
+  size_t fuel = opts_.max_steps;
+  return NormalizeInner(t, &fuel);
+}
+
+Result<bool> RewriteSystem::Equal(const Term& a, const Term& b) const {
+  AWR_ASSIGN_OR_RETURN(Term na, Normalize(a));
+  AWR_ASSIGN_OR_RETURN(Term nb, Normalize(b));
+  return na == nb;
+}
+
+Result<Term> RewriteSystem::NormalizeInner(const Term& t, size_t* fuel) const {
+  // Innermost: normalize children first, then rewrite at the root until
+  // no rule applies (re-normalizing children of each new redex).
+  Term current = t;
+  if (current.is_op() && !current.children().empty()) {
+    std::vector<Term> children;
+    children.reserve(current.children().size());
+    for (const Term& c : current.children()) {
+      AWR_ASSIGN_OR_RETURN(Term nc, NormalizeInner(c, fuel));
+      children.push_back(std::move(nc));
+    }
+    current = Term::Op(current.name(), std::move(children));
+  }
+  for (;;) {
+    if (current.Size() > opts_.max_term_size) {
+      return Status::ResourceExhausted("term grew beyond max_term_size=" +
+                                       std::to_string(opts_.max_term_size));
+    }
+    Term next = current;
+    AWR_ASSIGN_OR_RETURN(bool rewrote, RewriteAtRoot(current, &next, fuel));
+    if (!rewrote) return current;
+    // The contractum may expose new inner redexes.
+    AWR_ASSIGN_OR_RETURN(current, NormalizeInner(next, fuel));
+  }
+}
+
+Result<bool> RewriteSystem::RewriteAtRoot(const Term& t, Term* out,
+                                          size_t* fuel) const {
+  for (const RewriteRule& rule : rules_) {
+    term::Subst subst;
+    if (!term::MatchTerm(rule.lhs, t, &subst)) continue;
+    if (*fuel == 0) {
+      return Status::ResourceExhausted("rewriting exceeded max_steps=" +
+                                       std::to_string(opts_.max_steps));
+    }
+    --*fuel;
+    // Conditions: normalize both instantiated sides and compare.
+    bool premises_hold = true;
+    for (const EqLiteral& p : rule.premises) {
+      AWR_ASSIGN_OR_RETURN(Term pl,
+                           NormalizeInner(term::ApplySubst(p.lhs, subst), fuel));
+      AWR_ASSIGN_OR_RETURN(Term pr,
+                           NormalizeInner(term::ApplySubst(p.rhs, subst), fuel));
+      if ((pl == pr) != p.positive) {
+        premises_hold = false;
+        break;
+      }
+    }
+    if (!premises_hold) continue;
+    Term contractum = term::ApplySubst(rule.rhs, subst);
+    if (rule.permutative && !(Term::Compare(contractum, t) < 0)) {
+      continue;  // ordered rewriting: only strictly decreasing steps
+    }
+    *out = std::move(contractum);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace awr::spec

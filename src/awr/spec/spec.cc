@@ -1,0 +1,92 @@
+#include "awr/spec/spec.h"
+
+#include <sstream>
+
+#include "awr/common/strings.h"
+
+namespace awr::spec {
+
+std::string EqLiteral::ToString() const {
+  return lhs.ToString() + (positive ? " = " : " != ") + rhs.ToString();
+}
+
+bool CondEquation::uses_negation() const {
+  for (const EqLiteral& p : premises) {
+    if (!p.positive) return true;
+  }
+  return false;
+}
+
+std::string CondEquation::ToString() const {
+  std::string out;
+  if (!premises.empty()) {
+    out += JoinMapped(premises, " ∧ ",
+                      [](const EqLiteral& p) { return p.ToString(); });
+    out += " → ";
+  }
+  out += lhs.ToString() + " = " + rhs.ToString();
+  return out;
+}
+
+Status Specification::Import(const Specification& other) {
+  AWR_RETURN_IF_ERROR(signature.Import(other.signature));
+  for (const CondEquation& eq : other.equations) equations.push_back(eq);
+  return Status::OK();
+}
+
+namespace {
+Status CheckSameSort(const Term& lhs, const Term& rhs, const Signature& sig,
+                     const std::string& context) {
+  AWR_ASSIGN_OR_RETURN(std::string ls, lhs.SortOf(sig));
+  AWR_ASSIGN_OR_RETURN(std::string rs, rhs.SortOf(sig));
+  if (ls != rs) {
+    return Status::InvalidArgument("ill-sorted " + context + ": " +
+                                   lhs.ToString() + " : " + ls + " vs " +
+                                   rhs.ToString() + " : " + rs);
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Status Specification::Validate() const {
+  for (const CondEquation& eq : equations) {
+    for (const EqLiteral& p : eq.premises) {
+      AWR_RETURN_IF_ERROR(
+          CheckSameSort(p.lhs, p.rhs, signature, "premise of " + eq.ToString()));
+    }
+    AWR_RETURN_IF_ERROR(
+        CheckSameSort(eq.lhs, eq.rhs, signature, "equation " + eq.ToString()));
+  }
+  return Status::OK();
+}
+
+bool Specification::UsesNegation() const {
+  for (const CondEquation& eq : equations) {
+    if (eq.uses_negation()) return true;
+  }
+  return false;
+}
+
+bool Specification::IsConstantsOnly() const {
+  for (const term::OpDecl& op : signature.ops()) {
+    if (!op.is_constant()) return false;
+  }
+  for (const CondEquation& eq : equations) {
+    if (!eq.lhs.IsGround() || !eq.rhs.IsGround()) return false;
+    for (const EqLiteral& p : eq.premises) {
+      if (!p.lhs.IsGround() || !p.rhs.IsGround()) return false;
+    }
+  }
+  return true;
+}
+
+std::string Specification::ToString() const {
+  std::ostringstream os;
+  os << "spec " << name << "\n" << signature.ToString() << "eqns:\n";
+  for (const CondEquation& eq : equations) {
+    os << "  " << eq.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace awr::spec

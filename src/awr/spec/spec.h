@@ -1,0 +1,69 @@
+#ifndef AWR_SPEC_SPEC_H_
+#define AWR_SPEC_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/term/term.h"
+
+namespace awr::spec {
+
+using term::Signature;
+using term::Term;
+
+/// A premise of a generalized conditional equation: `lhs = rhs`
+/// (positive) or `lhs ≠ rhs` (negative).  Disequation premises are the
+/// paper's extension of the algebraic-specification framework with
+/// negation (§2.2): `MEM(x, y) ≠ T → MEM(x, y) = F`.
+struct EqLiteral {
+  Term lhs;
+  Term rhs;
+  bool positive = true;
+
+  std::string ToString() const;
+};
+
+/// A (generalized) conditional equation
+/// `p_1 ∧ ... ∧ p_k → lhs = rhs`; an unconditional equation has no
+/// premises.
+struct CondEquation {
+  std::vector<EqLiteral> premises;
+  Term lhs;
+  Term rhs;
+
+  bool is_unconditional() const { return premises.empty(); }
+  /// True iff some premise is a disequation.
+  bool uses_negation() const;
+  std::string ToString() const;
+};
+
+/// An abstract data type specification SPEC = (S, OP, E)
+/// (paper Definition 2.1), extended with generalized conditional
+/// equations whose premises may be disequations (§2.2).
+struct Specification {
+  std::string name;
+  Signature signature;
+  std::vector<CondEquation> equations;
+
+  /// Imports the sorts, operations and equations of `other`.
+  Status Import(const Specification& other);
+
+  /// Sort-checks every equation: both sides of every (dis)equation and
+  /// of the conclusion must have equal sorts under the signature.
+  Status Validate() const;
+
+  /// True iff some equation uses a disequation premise.
+  bool UsesNegation() const;
+
+  /// True iff every operation is a constant (0-ary) and every equation
+  /// is ground — the fragment for which existence of an initial valid
+  /// model is decidable (Proposition 2.3(2)).
+  bool IsConstantsOnly() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace awr::spec
+
+#endif  // AWR_SPEC_SPEC_H_

@@ -1,0 +1,247 @@
+#include "awr/spec/valid_interp.h"
+
+#include <unordered_set>
+
+#include "awr/datalog/ast.h"
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::spec {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::TermExpr;
+using datalog::Var;
+
+namespace {
+
+constexpr char kEq[] = "awr_eq";
+
+std::string UnivPred(const std::string& sort) { return "awr_univ_" + sort; }
+
+// Encodes a term with variables as a datalog term expression: variables
+// stay variables, f(t1, ..., tn) becomes tuple("f", enc(t1), ...).
+TermExpr EncodeTermExpr(const Term& t) {
+  if (t.is_var()) return TermExpr::Variable(Var(t.name()));
+  std::vector<TermExpr> args;
+  args.push_back(TermExpr::Constant(Value::Atom(t.name())));
+  for (const Term& c : t.children()) args.push_back(EncodeTermExpr(c));
+  return TermExpr::Apply("tuple", std::move(args));
+}
+
+}  // namespace
+
+Result<Value> SpecValidInterp::Encode(const Term& t) {
+  if (!t.IsGround()) {
+    return Status::InvalidArgument("cannot encode non-ground term " +
+                                   t.ToString());
+  }
+  std::vector<Value> items;
+  items.push_back(Value::Atom(t.name()));
+  for (const Term& c : t.children()) {
+    AWR_ASSIGN_OR_RETURN(Value v, Encode(c));
+    items.push_back(std::move(v));
+  }
+  return Value::Tuple(std::move(items));
+}
+
+Result<SpecValidInterp> SpecValidInterp::Compute(const Specification& spec,
+                                                 const ValidInterpOptions& opts) {
+  AWR_RETURN_IF_ERROR(spec.Validate());
+
+  SpecValidInterp out;
+
+  // ------------------------------------------------------------------
+  // 1. Universe: ground terms per sort up to the height bound.
+  size_t total = 0;
+  for (size_t depth = 1; depth <= opts.max_depth; ++depth) {
+    std::map<std::string, std::vector<Term>> next = out.universe_;
+    std::map<std::string, std::unordered_set<Term>> seen;
+    for (const auto& [sort, terms] : out.universe_) {
+      seen[sort].insert(terms.begin(), terms.end());
+    }
+    for (const term::OpDecl& op : spec.signature.ops()) {
+      // Enumerate argument combinations from the previous layer.
+      std::vector<std::vector<Term>> choices;
+      bool possible = true;
+      for (const std::string& arg_sort : op.arg_sorts) {
+        auto it = out.universe_.find(arg_sort);
+        if (it == out.universe_.end() || it->second.empty()) {
+          possible = false;
+          break;
+        }
+        choices.push_back(it->second);
+      }
+      if (!possible) continue;
+      std::vector<size_t> idx(op.arg_sorts.size(), 0);
+      for (;;) {
+        std::vector<Term> args;
+        for (size_t i = 0; i < idx.size(); ++i) args.push_back(choices[i][idx[i]]);
+        Term t = Term::Op(op.name, std::move(args));
+        if (seen[op.result_sort].insert(t).second) {
+          next[op.result_sort].push_back(t);
+          if (++total > opts.max_universe) {
+            return Status::ResourceExhausted(
+                "ground-term universe exceeded max_universe=" +
+                std::to_string(opts.max_universe));
+          }
+        }
+        // Advance the odometer.
+        size_t k = 0;
+        for (; k < idx.size(); ++k) {
+          if (++idx[k] < choices[k].size()) break;
+          idx[k] = 0;
+        }
+        if (k == idx.size()) break;
+        if (idx.empty()) break;  // constant: single combination
+      }
+    }
+    if (next == out.universe_) break;  // saturated early
+    out.universe_ = std::move(next);
+  }
+
+  // ------------------------------------------------------------------
+  // 2. EDB: universe facts.  3. Program: equality axioms + equations.
+  datalog::Database edb;
+  for (const auto& [sort, terms] : out.universe_) {
+    for (const Term& t : terms) {
+      AWR_ASSIGN_OR_RETURN(Value v, Encode(t));
+      out.decode_.emplace(v, t);
+      edb.AddFact(UnivPred(sort), {std::move(v)});
+    }
+  }
+
+  Program program;
+  TermExpr x = TermExpr::Variable(Var("x"));
+  TermExpr y = TermExpr::Variable(Var("y"));
+  TermExpr z = TermExpr::Variable(Var("z"));
+
+  // Reflexivity per sort.
+  for (const std::string& sort : spec.signature.sorts()) {
+    Rule r;
+    r.head = Atom{kEq, {x, x}};
+    r.body.push_back(Literal::Positive(Atom{UnivPred(sort), {x}}));
+    program.rules.push_back(std::move(r));
+  }
+  // Symmetry and transitivity.
+  {
+    Rule symm;
+    symm.head = Atom{kEq, {y, x}};
+    symm.body.push_back(Literal::Positive(Atom{kEq, {x, y}}));
+    program.rules.push_back(std::move(symm));
+
+    Rule trans;
+    trans.head = Atom{kEq, {x, z}};
+    trans.body.push_back(Literal::Positive(Atom{kEq, {x, y}}));
+    trans.body.push_back(Literal::Positive(Atom{kEq, {y, z}}));
+    program.rules.push_back(std::move(trans));
+  }
+  // Substitution (congruence) per non-constant operation.
+  for (const term::OpDecl& op : spec.signature.ops()) {
+    if (op.is_constant()) continue;
+    Rule r;
+    std::vector<TermExpr> lhs_args, rhs_args;
+    lhs_args.push_back(TermExpr::Constant(Value::Atom(op.name)));
+    rhs_args.push_back(TermExpr::Constant(Value::Atom(op.name)));
+    for (size_t i = 0; i < op.arg_sorts.size(); ++i) {
+      TermExpr xi = TermExpr::Variable(Var("x" + std::to_string(i)));
+      TermExpr yi = TermExpr::Variable(Var("y" + std::to_string(i)));
+      // eq only ever relates universe elements (all its rules are
+      // universe-guarded), so joining on eq alone both binds the
+      // variables and stays inside the universe — and avoids the
+      // univ × univ cross product a per-argument guard would cost.
+      r.body.push_back(Literal::Positive(Atom{kEq, {xi, yi}}));
+      lhs_args.push_back(xi);
+      rhs_args.push_back(yi);
+    }
+    TermExpr u = TermExpr::Variable(Var("u"));
+    TermExpr v = TermExpr::Variable(Var("v"));
+    r.body.push_back(Literal::Compare(CmpOp::kEq, u,
+                                      TermExpr::Apply("tuple", lhs_args)));
+    r.body.push_back(Literal::Compare(CmpOp::kEq, v,
+                                      TermExpr::Apply("tuple", rhs_args)));
+    // Both sides must lie in the (bounded) universe.
+    r.body.push_back(Literal::Positive(Atom{UnivPred(op.result_sort), {u}}));
+    r.body.push_back(Literal::Positive(Atom{UnivPred(op.result_sort), {v}}));
+    r.head = Atom{kEq, {u, v}};
+    program.rules.push_back(std::move(r));
+  }
+  // The specification's (generalized conditional) equations.
+  for (const CondEquation& eq : spec.equations) {
+    Rule r;
+    std::map<std::string, std::string> vars;
+    eq.lhs.CollectVars(&vars);
+    eq.rhs.CollectVars(&vars);
+    for (const EqLiteral& p : eq.premises) {
+      p.lhs.CollectVars(&vars);
+      p.rhs.CollectVars(&vars);
+    }
+    for (const auto& [name, sort] : vars) {
+      r.body.push_back(Literal::Positive(
+          Atom{UnivPred(sort), {TermExpr::Variable(Var(name))}}));
+    }
+    for (const EqLiteral& p : eq.premises) {
+      Atom atom{kEq, {EncodeTermExpr(p.lhs), EncodeTermExpr(p.rhs)}};
+      r.body.push_back(p.positive ? Literal::Positive(std::move(atom))
+                                  : Literal::Negative(std::move(atom)));
+    }
+    // Conclusion, guarded into the universe.
+    TermExpr u = TermExpr::Variable(Var("awr_u"));
+    TermExpr v = TermExpr::Variable(Var("awr_v"));
+    AWR_ASSIGN_OR_RETURN(std::string sort, eq.lhs.SortOf(spec.signature));
+    r.body.push_back(Literal::Compare(CmpOp::kEq, u, EncodeTermExpr(eq.lhs)));
+    r.body.push_back(Literal::Compare(CmpOp::kEq, v, EncodeTermExpr(eq.rhs)));
+    r.body.push_back(Literal::Positive(Atom{UnivPred(sort), {u}}));
+    r.body.push_back(Literal::Positive(Atom{UnivPred(sort), {v}}));
+    r.head = Atom{kEq, {u, v}};
+    program.rules.push_back(std::move(r));
+  }
+
+  // ------------------------------------------------------------------
+  // 4. Valid (well-founded) evaluation.
+  AWR_ASSIGN_OR_RETURN(out.eq_,
+                       datalog::EvalWellFounded(program, edb, opts.eval));
+  return out;
+}
+
+Result<Truth> SpecValidInterp::AreEqual(const Term& a, const Term& b) const {
+  AWR_ASSIGN_OR_RETURN(Value va, Encode(a));
+  AWR_ASSIGN_OR_RETURN(Value vb, Encode(b));
+  if (decode_.count(va) == 0) {
+    return Status::NotFound("term outside the generated universe: " +
+                            a.ToString());
+  }
+  if (decode_.count(vb) == 0) {
+    return Status::NotFound("term outside the generated universe: " +
+                            b.ToString());
+  }
+  return eq_.QueryFact(kEq, Value::Tuple({va, vb}));
+}
+
+const std::vector<Term>& SpecValidInterp::Universe(
+    const std::string& sort) const {
+  static const std::vector<Term> kEmpty;
+  auto it = universe_.find(sort);
+  return it == universe_.end() ? kEmpty : it->second;
+}
+
+size_t SpecValidInterp::universe_size() const { return decode_.size(); }
+
+std::vector<std::pair<Term, Term>> SpecValidInterp::CertainEqualities() const {
+  std::vector<std::pair<Term, Term>> out;
+  for (const Value& fact : eq_.certain.Extent(kEq)) {
+    const Value& a = fact.items()[0];
+    const Value& b = fact.items()[1];
+    if (a == b) continue;
+    auto ia = decode_.find(a);
+    auto ib = decode_.find(b);
+    if (ia != decode_.end() && ib != decode_.end()) {
+      out.emplace_back(ia->second, ib->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace awr::spec

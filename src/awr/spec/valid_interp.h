@@ -1,0 +1,82 @@
+#ifndef AWR_SPEC_VALID_INTERP_H_
+#define AWR_SPEC_VALID_INTERP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/spec/spec.h"
+
+namespace awr::spec {
+
+using datalog::Truth;
+
+/// Options for computing a specification's valid interpretation.
+struct ValidInterpOptions {
+  /// Ground terms are enumerated up to this tree height.
+  size_t max_depth = 3;
+  /// Cap on the total universe size.  The equality axioms instantiate
+  /// over universe tuples (congruence of an n-ary op joins n eq-pairs),
+  /// so this computation is meant for small universes; keep the cap
+  /// modest.
+  size_t max_universe = 600;
+  datalog::EvalOptions eval;
+};
+
+/// The valid interpretation of a specification (paper §2.2), computed
+/// over a bounded ground-term universe.
+///
+/// "A specification SPEC can be viewed as a deductive program with '='
+/// being the only predicate.  The rules in the 'deductive version' of
+/// SPEC are the conditional equations of SPEC, and the standard
+/// equality axioms (transitivity, symmetry, reflexivity, and
+/// substitution)."  This class performs exactly that reduction: ground
+/// terms are encoded as values, the equality axioms and the (possibly
+/// negated-premise) conditional equations become datalog rules, and the
+/// program is evaluated under the valid/well-founded semantics.  The
+/// result is a 3-valued equality: certainly-equal (T), certainly
+/// unequal (F), undefined.
+///
+/// The paper's universe is all of the Herbrand universe; executably the
+/// computation is relative to the terms of height ≤ max_depth
+/// (equalities with larger witnesses are simply not derived).
+class SpecValidInterp {
+ public:
+  static Result<SpecValidInterp> Compute(const Specification& spec,
+                                         const ValidInterpOptions& opts = {});
+
+  /// Truth of `a = b` in the valid interpretation.  Both terms must be
+  /// ground and inside the generated universe.
+  Result<Truth> AreEqual(const Term& a, const Term& b) const;
+
+  /// The generated universe of the given sort.
+  const std::vector<Term>& Universe(const std::string& sort) const;
+
+  /// Total universe size across sorts.
+  size_t universe_size() const;
+
+  /// True iff equality is totally defined on the universe (no
+  /// undefined pair) — the specification is *well-defined* as far as
+  /// the bounded check can tell.
+  bool IsTwoValued() const { return eq_.IsTwoValued(); }
+
+  /// Certainly-equal pairs (excluding reflexive ones), as term pairs.
+  std::vector<std::pair<Term, Term>> CertainEqualities() const;
+
+  /// Encodes a ground term as a value: f(a, b) ↦ <f, <a>, <b>>.
+  static Result<Value> Encode(const Term& t);
+
+ private:
+  SpecValidInterp() = default;
+
+  datalog::ThreeValuedInterp eq_;
+  std::map<std::string, std::vector<Term>> universe_;
+  std::map<Value, Term> decode_;
+};
+
+}  // namespace awr::spec
+
+#endif  // AWR_SPEC_VALID_INTERP_H_

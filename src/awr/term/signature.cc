@@ -1,0 +1,79 @@
+#include "awr/term/signature.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "awr/common/strings.h"
+
+namespace awr::term {
+
+std::string OpDecl::ToString() const {
+  return name + ": " + Join(arg_sorts, ", ") + (arg_sorts.empty() ? "" : " ") +
+         "-> " + result_sort;
+}
+
+void Signature::AddSort(const std::string& sort) {
+  if (std::find(sorts_.begin(), sorts_.end(), sort) == sorts_.end()) {
+    sorts_.push_back(sort);
+  }
+}
+
+Status Signature::AddOp(OpDecl op) {
+  const OpDecl* existing = FindOp(op.name);
+  if (existing != nullptr) {
+    if (existing->arg_sorts == op.arg_sorts &&
+        existing->result_sort == op.result_sort) {
+      return Status::OK();  // identical re-declaration (import overlap)
+    }
+    return Status::InvalidArgument("conflicting redeclaration of operation " +
+                                   op.name);
+  }
+  if (!HasSort(op.result_sort)) {
+    return Status::InvalidArgument("operation " + op.name +
+                                   " has undeclared result sort " +
+                                   op.result_sort);
+  }
+  for (const std::string& s : op.arg_sorts) {
+    if (!HasSort(s)) {
+      return Status::InvalidArgument("operation " + op.name +
+                                     " has undeclared argument sort " + s);
+    }
+  }
+  op_index_.emplace(op.name, ops_.size());
+  ops_.push_back(std::move(op));
+  return Status::OK();
+}
+
+bool Signature::HasSort(const std::string& sort) const {
+  return std::find(sorts_.begin(), sorts_.end(), sort) != sorts_.end();
+}
+
+const OpDecl* Signature::FindOp(const std::string& name) const {
+  auto it = op_index_.find(name);
+  return it == op_index_.end() ? nullptr : &ops_[it->second];
+}
+
+std::vector<const OpDecl*> Signature::OpsOfSort(const std::string& sort) const {
+  std::vector<const OpDecl*> out;
+  for (const OpDecl& op : ops_) {
+    if (op.result_sort == sort) out.push_back(&op);
+  }
+  return out;
+}
+
+Status Signature::Import(const Signature& other) {
+  for (const std::string& s : other.sorts()) AddSort(s);
+  for (const OpDecl& op : other.ops()) {
+    AWR_RETURN_IF_ERROR(AddOp(op));
+  }
+  return Status::OK();
+}
+
+std::string Signature::ToString() const {
+  std::ostringstream os;
+  os << "sorts: " << Join(sorts_, ", ") << "\n";
+  for (const OpDecl& op : ops_) os << "  " << op.ToString() << "\n";
+  return os.str();
+}
+
+}  // namespace awr::term

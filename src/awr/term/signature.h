@@ -1,0 +1,60 @@
+#ifndef AWR_TERM_SIGNATURE_H_
+#define AWR_TERM_SIGNATURE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "awr/common/result.h"
+
+namespace awr::term {
+
+/// An operation declaration `name : arg_sorts -> result_sort`.
+/// Constants are operations with no arguments.
+struct OpDecl {
+  std::string name;
+  std::vector<std::string> arg_sorts;
+  std::string result_sort;
+
+  bool is_constant() const { return arg_sorts.empty(); }
+  std::string ToString() const;
+};
+
+/// A many-sorted signature (S, OP): the vocabulary of an algebraic
+/// specification (paper Definition 2.1).
+class Signature {
+ public:
+  /// Adds a sort name; idempotent.
+  void AddSort(const std::string& sort);
+
+  /// Declares an operation.  Fails on duplicate names (no overloading)
+  /// or undeclared sorts.
+  Status AddOp(OpDecl op);
+
+  bool HasSort(const std::string& sort) const;
+  /// The declaration of `name`, or nullptr.
+  const OpDecl* FindOp(const std::string& name) const;
+
+  const std::vector<std::string>& sorts() const { return sorts_; }
+  const std::vector<OpDecl>& ops() const { return ops_; }
+
+  /// Operations whose result sort is `sort`.
+  std::vector<const OpDecl*> OpsOfSort(const std::string& sort) const;
+
+  /// Imports every sort and operation of `other` ("the notation
+  /// nat + bool + ... means these previously defined specifications are
+  /// imported").  Duplicate identical ops are tolerated; conflicting
+  /// redeclarations fail.
+  Status Import(const Signature& other);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> sorts_;
+  std::vector<OpDecl> ops_;
+  std::unordered_map<std::string, size_t> op_index_;
+};
+
+}  // namespace awr::term
+
+#endif  // AWR_TERM_SIGNATURE_H_

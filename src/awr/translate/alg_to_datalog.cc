@@ -1,0 +1,277 @@
+#include "awr/translate/alg_to_datalog.h"
+
+#include <unordered_set>
+
+#include "awr/datalog/builders.h"
+
+namespace awr::translate {
+
+using algebra::AlgebraExpr;
+using algebra::AlgebraProgram;
+using algebra::FnExpr;
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::TermExpr;
+using datalog::Var;
+
+Result<TermExpr> CompileFnExpr(const FnExpr& fn, const TermExpr& arg) {
+  using Kind = FnExpr::Kind;
+  auto compile_children = [&](std::vector<TermExpr>* out) -> Status {
+    for (const FnExpr& c : fn.children()) {
+      AWR_ASSIGN_OR_RETURN(TermExpr t, CompileFnExpr(c, arg));
+      out->push_back(std::move(t));
+    }
+    return Status::OK();
+  };
+  switch (fn.kind()) {
+    case Kind::kArg:
+      return arg;
+    case Kind::kConst:
+      return TermExpr::Constant(fn.constant());
+    case Kind::kGet: {
+      AWR_ASSIGN_OR_RETURN(TermExpr sub, CompileFnExpr(fn.children()[0], arg));
+      return TermExpr::Apply(
+          "nth", {std::move(sub),
+                  TermExpr::Constant(Value::Int(static_cast<int64_t>(fn.index())))});
+    }
+    case Kind::kMkTuple: {
+      std::vector<TermExpr> items;
+      AWR_RETURN_IF_ERROR(compile_children(&items));
+      return TermExpr::Apply("tuple", std::move(items));
+    }
+    case Kind::kApply: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      return TermExpr::Apply(fn.fn_name(), std::move(args));
+    }
+    case Kind::kCmp: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      const char* name = fn.cmp_kind() == FnExpr::CmpKind::kEq   ? "eq"
+                         : fn.cmp_kind() == FnExpr::CmpKind::kNe ? "ne"
+                         : fn.cmp_kind() == FnExpr::CmpKind::kLt ? "lt"
+                                                                 : "le";
+      return TermExpr::Apply(name, std::move(args));
+    }
+    case Kind::kAnd: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      return TermExpr::Apply("and", std::move(args));
+    }
+    case Kind::kOr: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      return TermExpr::Apply("or", std::move(args));
+    }
+    case Kind::kNot: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      return TermExpr::Apply("not", std::move(args));
+    }
+    case Kind::kIf: {
+      std::vector<TermExpr> args;
+      AWR_RETURN_IF_ERROR(compile_children(&args));
+      return TermExpr::Apply("cond", std::move(args));
+    }
+  }
+  return Status::Internal("unknown FnExpr kind");
+}
+
+namespace {
+
+class QueryCompiler {
+ public:
+  QueryCompiler() = default;
+
+  // Returns the name of a unary predicate holding the extent of `e`.
+  // `iter_preds` maps IterVar de Bruijn levels to the recursive
+  // predicates of enclosing IFPs (innermost last).
+  Result<std::string> Compile(const AlgebraExpr& e,
+                              std::vector<std::string>* iter_preds) {
+    using Kind = AlgebraExpr::Kind;
+    switch (e.kind()) {
+      case Kind::kRelation:
+        // Either a database relation or a recursive set constant; both
+        // are plain predicates in the deduction.
+        return e.name();
+      case Kind::kLiteralSet: {
+        std::string pred = Fresh("lit");
+        for (const Value& v : e.literal()) {
+          program_.rules.push_back(
+              Rule{Atom{pred, {TermExpr::Constant(v)}}, {}});
+        }
+        return pred;
+      }
+      case Kind::kUnion: {
+        AWR_ASSIGN_OR_RETURN(std::string l, Compile(e.children()[0], iter_preds));
+        AWR_ASSIGN_OR_RETURN(std::string r, Compile(e.children()[1], iter_preds));
+        std::string pred = Fresh("union");
+        AddRule(pred, {PosLit(l)});
+        AddRule(pred, {PosLit(r)});
+        return pred;
+      }
+      case Kind::kDiff: {
+        AWR_ASSIGN_OR_RETURN(std::string l, Compile(e.children()[0], iter_preds));
+        AWR_ASSIGN_OR_RETURN(std::string r, Compile(e.children()[1], iter_preds));
+        std::string pred = Fresh("diff");
+        AddRule(pred, {PosLit(l), NegLit(r)});
+        return pred;
+      }
+      case Kind::kProduct: {
+        AWR_ASSIGN_OR_RETURN(std::string l, Compile(e.children()[0], iter_preds));
+        AWR_ASSIGN_OR_RETURN(std::string r, Compile(e.children()[1], iter_preds));
+        std::string pred = Fresh("prod");
+        // p(t) :- l(x), r(y), t = pair(x, y).
+        Var x("awr_x"), y("awr_y"), t("awr_t");
+        Rule rule;
+        rule.head = Atom{pred, {TermExpr::Variable(t)}};
+        rule.body.push_back(
+            Literal::Positive(Atom{l, {TermExpr::Variable(x)}}));
+        rule.body.push_back(
+            Literal::Positive(Atom{r, {TermExpr::Variable(y)}}));
+        rule.body.push_back(Literal::Compare(
+            CmpOp::kEq, TermExpr::Variable(t),
+            TermExpr::Apply("pair",
+                            {TermExpr::Variable(x), TermExpr::Variable(y)})));
+        program_.rules.push_back(std::move(rule));
+        return pred;
+      }
+      case Kind::kSelect: {
+        AWR_ASSIGN_OR_RETURN(std::string sub, Compile(e.children()[0], iter_preds));
+        std::string pred = Fresh("select");
+        Var x("awr_x");
+        AWR_ASSIGN_OR_RETURN(TermExpr test,
+                             CompileFnExpr(e.fn(), TermExpr::Variable(x)));
+        Rule rule;
+        rule.head = Atom{pred, {TermExpr::Variable(x)}};
+        rule.body.push_back(
+            Literal::Positive(Atom{sub, {TermExpr::Variable(x)}}));
+        rule.body.push_back(Literal::Compare(
+            CmpOp::kEq, std::move(test),
+            TermExpr::Constant(Value::Boolean(true))));
+        program_.rules.push_back(std::move(rule));
+        return pred;
+      }
+      case Kind::kMap: {
+        AWR_ASSIGN_OR_RETURN(std::string sub, Compile(e.children()[0], iter_preds));
+        std::string pred = Fresh("map");
+        Var x("awr_x"), y("awr_y");
+        AWR_ASSIGN_OR_RETURN(TermExpr fterm,
+                             CompileFnExpr(e.fn(), TermExpr::Variable(x)));
+        Rule rule;
+        rule.head = Atom{pred, {TermExpr::Variable(y)}};
+        rule.body.push_back(
+            Literal::Positive(Atom{sub, {TermExpr::Variable(x)}}));
+        rule.body.push_back(Literal::Compare(CmpOp::kEq, TermExpr::Variable(y),
+                                             std::move(fterm)));
+        program_.rules.push_back(std::move(rule));
+        return pred;
+      }
+      case Kind::kIfp: {
+        // "A fixed point expression IFP_exp is translated by first
+        // translating exp and then introducing recursion" (§5).
+        std::string pred = Fresh("ifp");
+        iter_preds->push_back(pred);
+        auto body = Compile(e.children()[0], iter_preds);
+        iter_preds->pop_back();
+        AWR_RETURN_IF_ERROR(body.status());
+        AddRule(pred, {PosLit(*body)});
+        return pred;
+      }
+      case Kind::kIterVar: {
+        if (e.index() >= iter_preds->size()) {
+          return Status::InvalidArgument("IterVar escapes IFP nesting");
+        }
+        return (*iter_preds)[iter_preds->size() - 1 - e.index()];
+      }
+      case Kind::kParam:
+      case Kind::kCall:
+        return Status::Internal(
+            "parameter/call survived normalization: " + e.ToString());
+    }
+    return Status::Internal("unknown algebra expression kind");
+  }
+
+  Program&& TakeProgram() { return std::move(program_); }
+
+ private:
+  std::string Fresh(const std::string& tag) {
+    return "q" + std::to_string(counter_++) + "_" + tag;
+  }
+
+  Literal PosLit(const std::string& pred) {
+    return Literal::Positive(Atom{pred, {TermExpr::Variable(Var("awr_x"))}});
+  }
+  Literal NegLit(const std::string& pred) {
+    return Literal::Negative(Atom{pred, {TermExpr::Variable(Var("awr_x"))}});
+  }
+  void AddRule(const std::string& head, std::vector<Literal> body) {
+    program_.rules.push_back(
+        Rule{Atom{head, {TermExpr::Variable(Var("awr_x"))}}, std::move(body)});
+  }
+
+  Program program_;
+  size_t counter_ = 0;
+};
+
+}  // namespace
+
+Result<CompiledAlgebraQuery> CompileAlgebraQuery(const AlgebraExpr& query,
+                                                 const AlgebraProgram& program) {
+  AWR_RETURN_IF_ERROR(program.Validate());
+  AWR_ASSIGN_OR_RETURN(AlgebraProgram normalized,
+                       algebra::NormalizeProgram(program));
+  AWR_ASSIGN_OR_RETURN(AlgebraExpr inlined_query,
+                       algebra::InlineCalls(query, program));
+
+  QueryCompiler compiler;
+
+  CompiledAlgebraQuery out;
+  // Each recursive set constant P becomes a predicate defined by the
+  // translation of its body: P(x) :- body_pred(x)  (Proposition 5.4).
+  std::vector<Rule> constant_rules;
+  std::vector<std::string> no_iters;
+  for (const algebra::Definition& d : normalized.defs()) {
+    AWR_ASSIGN_OR_RETURN(std::string body_pred,
+                         compiler.Compile(d.body, &no_iters));
+    Rule rule;
+    rule.head = Atom{d.name, {TermExpr::Variable(Var("awr_x"))}};
+    rule.body.push_back(
+        Literal::Positive(Atom{body_pred, {TermExpr::Variable(Var("awr_x"))}}));
+    constant_rules.push_back(std::move(rule));
+    out.constant_predicates.push_back(d.name);
+  }
+  AWR_ASSIGN_OR_RETURN(out.query_predicate,
+                       compiler.Compile(inlined_query, &no_iters));
+  out.program = compiler.TakeProgram();
+  for (Rule& r : constant_rules) out.program.rules.push_back(std::move(r));
+  return out;
+}
+
+datalog::Database SetDbToEdb(const algebra::SetDb& db) {
+  datalog::Database edb;
+  for (const auto& [name, extent] : db) {
+    for (const Value& v : extent) {
+      edb.AddFact(name, {v});
+    }
+  }
+  return edb;
+}
+
+Result<ValueSet> UnaryExtentToSet(const datalog::Interpretation& interp,
+                                  const std::string& predicate) {
+  ValueSet out;
+  for (const Value& fact : interp.Extent(predicate)) {
+    if (!fact.is_tuple() || fact.size() != 1) {
+      return Status::InvalidArgument("extent of " + predicate +
+                                     " is not unary: " + fact.ToString());
+    }
+    out.Insert(fact.items()[0]);
+  }
+  return out;
+}
+
+}  // namespace awr::translate

@@ -1,0 +1,63 @@
+#ifndef AWR_TRANSLATE_ALG_TO_DATALOG_H_
+#define AWR_TRANSLATE_ALG_TO_DATALOG_H_
+
+#include <string>
+
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+
+namespace awr::translate {
+
+/// Result of compiling an algebra query to a deductive program.
+///
+/// Every algebra subexpression is given a fresh unary predicate (the
+/// "naive and quite well-known algorithm" of §5): `E1 ∪ E2` becomes two
+/// rules, `E1 − E2` becomes `R(x) :- R1(x), not R2(x)`, σ/MAP become
+/// rules with interpreted-function literals, and IFP / recursive set
+/// constants introduce recursion in the deduction.  Elements of algebra
+/// sets appear as unary facts: element v ↔ fact P(v).
+struct CompiledAlgebraQuery {
+  datalog::Program program;
+  /// Predicate holding the query result.
+  std::string query_predicate;
+  /// Predicates corresponding to the program's recursive set constants.
+  std::vector<std::string> constant_predicates;
+};
+
+/// Compiles `query` over `program`'s definitions into a deductive
+/// program (Propositions 5.1 / 5.4).
+///
+/// Semantics correspondence (the crux of §5):
+///  * if `query`/`program` is IFP-algebra (no recursive definitions),
+///    the compiled program evaluated under **inflationary** semantics
+///    agrees with EvalAlgebra — for *every* IFP body, monotone or not
+///    (Proposition 5.1; Example 4 is the non-positive case);
+///  * if additionally every IFP is positive, the compiled program is
+///    stratifiable and stratified/valid evaluation also agrees
+///    (Theorem 4.3);
+///  * if `program` is an algebra= equation system, the compiled program
+///    under **valid** semantics agrees with EvalAlgebraValid
+///    (Proposition 5.4) — both sides interpret subtraction/negation by
+///    the valid 3-valued computation.
+Result<CompiledAlgebraQuery> CompileAlgebraQuery(
+    const algebra::AlgebraExpr& query, const algebra::AlgebraProgram& program);
+
+/// Converts an algebra database (named sets of values) to the EDB of a
+/// compiled program: element v of set R becomes the unary fact R(v).
+datalog::Database SetDbToEdb(const algebra::SetDb& db);
+
+/// Converts a unary predicate's extent back to a set of element values.
+Result<ValueSet> UnaryExtentToSet(const datalog::Interpretation& interp,
+                                  const std::string& predicate);
+
+/// Compiles an element function to a term over `var` (used by the query
+/// compiler; exposed for tests).  Comparisons and boolean connectives
+/// map to the `eq/ne/lt/le/and/or/not/cond` interpreted functions.
+Result<datalog::TermExpr> CompileFnExpr(const algebra::FnExpr& fn,
+                                        const datalog::TermExpr& arg);
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_ALG_TO_DATALOG_H_

@@ -1,0 +1,40 @@
+#include "awr/translate/algebra_stable.h"
+
+#include "awr/translate/alg_to_datalog.h"
+
+namespace awr::translate {
+
+Result<std::vector<AlgebraStableModel>> EvalAlgebraStable(
+    const algebra::AlgebraProgram& program, const algebra::SetDb& db,
+    const datalog::EvalOptions& opts,
+    const datalog::StableOptions& stable_opts) {
+  AWR_ASSIGN_OR_RETURN(algebra::AlgebraProgram normalized,
+                       algebra::NormalizeProgram(program));
+  if (normalized.defs().empty()) {
+    return Status::InvalidArgument(
+        "program defines no set constants; nothing to evaluate");
+  }
+  // Compiling any constant as the query compiles the whole equation
+  // system (all defined constants become predicates).
+  AWR_ASSIGN_OR_RETURN(
+      CompiledAlgebraQuery compiled,
+      CompileAlgebraQuery(
+          algebra::AlgebraExpr::Relation(normalized.defs()[0].name), program));
+  AWR_ASSIGN_OR_RETURN(
+      std::vector<datalog::Interpretation> models,
+      datalog::EvalStableModels(compiled.program, SetDbToEdb(db), opts,
+                                stable_opts));
+  std::vector<AlgebraStableModel> out;
+  out.reserve(models.size());
+  for (const datalog::Interpretation& m : models) {
+    AlgebraStableModel asm_out;
+    for (const std::string& name : compiled.constant_predicates) {
+      AWR_ASSIGN_OR_RETURN(ValueSet s, UnaryExtentToSet(m, name));
+      asm_out.sets.emplace(name, std::move(s));
+    }
+    out.push_back(std::move(asm_out));
+  }
+  return out;
+}
+
+}  // namespace awr::translate

@@ -1,0 +1,45 @@
+#ifndef AWR_TRANSLATE_ALGEBRA_STABLE_H_
+#define AWR_TRANSLATE_ALGEBRA_STABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+#include "awr/datalog/stable.h"
+
+namespace awr::translate {
+
+/// One stable model of an algebra= program: a (2-valued) set for every
+/// recursive constant.
+struct AlgebraStableModel {
+  std::map<std::string, ValueSet> sets;
+
+  const ValueSet& Get(const std::string& name) const {
+    static const ValueSet kEmpty;
+    auto it = sets.find(name);
+    return it == sets.end() ? kEmpty : it->second;
+  }
+};
+
+/// Stable-model semantics for algebra= equation systems.
+///
+/// The paper (§7): "The results of this work can be easily adjusted to
+/// capture other semantics for negation, e.g. the well-founded or the
+/// stable-model semantics."  This adjustment is performed by
+/// construction: the program is compiled to deduction (Proposition 5.4)
+/// and the stable models of the compiled program are projected back to
+/// the set constants.
+///
+/// Examples: `S = {a} − S` has **no** stable model (its valid model is
+/// 3-valued with no 2-valued completion); the WIN–MOVE equation over a
+/// drawn 2-cycle has two.
+Result<std::vector<AlgebraStableModel>> EvalAlgebraStable(
+    const algebra::AlgebraProgram& program, const algebra::SetDb& db,
+    const datalog::EvalOptions& opts = {},
+    const datalog::StableOptions& stable_opts = {});
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_ALGEBRA_STABLE_H_

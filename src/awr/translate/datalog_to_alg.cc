@@ -1,0 +1,235 @@
+#include "awr/translate/datalog_to_alg.h"
+
+#include <unordered_map>
+
+#include "awr/datalog/safety.h"
+
+namespace awr::translate {
+
+using algebra::AlgebraExpr;
+using algebra::AlgebraProgram;
+using algebra::FnExpr;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Rule;
+using datalog::TermExpr;
+
+namespace {
+
+// Compiles a rule term into an element function over the environment
+// tuple, accessed through `env` (e.g. Arg() when the element *is* the
+// environment, Get(Arg(), 0) when it is the left half of a pair).
+Result<FnExpr> CompileTerm(const TermExpr& term, const FnExpr& env,
+                           const std::unordered_map<uint32_t, size_t>& var_ix) {
+  switch (term.kind()) {
+    case TermExpr::Kind::kVar: {
+      auto it = var_ix.find(term.var().id);
+      if (it == var_ix.end()) {
+        return Status::Internal("unbound variable in term compilation: " +
+                                term.var().name());
+      }
+      return FnExpr::Get(env, it->second);
+    }
+    case TermExpr::Kind::kConst:
+      return FnExpr::Cst(term.constant());
+    case TermExpr::Kind::kApply: {
+      std::vector<FnExpr> args;
+      args.reserve(term.args().size());
+      for (const TermExpr& a : term.args()) {
+        AWR_ASSIGN_OR_RETURN(FnExpr fa, CompileTerm(a, env, var_ix));
+        args.push_back(std::move(fa));
+      }
+      return FnExpr::Apply(term.fn_name(), std::move(args));
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+FnExpr AndAll(std::vector<FnExpr> conds) {
+  if (conds.empty()) return FnExpr::Cst(Value::Boolean(true));
+  FnExpr acc = std::move(conds[0]);
+  for (size_t i = 1; i < conds.size(); ++i) {
+    acc = FnExpr::And(std::move(acc), std::move(conds[i]));
+  }
+  return acc;
+}
+
+// Incrementally builds the expression whose elements are environment
+// tuples <v_0, ..., v_{k-1}> of the variables bound so far.
+class RuleCompiler {
+ public:
+  RuleCompiler() {
+    // Seed: the single empty environment.
+    current_ = AlgebraExpr::LiteralSet(ValueSet{Value::Tuple({})});
+  }
+
+  Status AddLiteral(const Literal& lit) {
+    if (lit.is_atom()) {
+      return lit.positive ? AddPositiveAtom(lit) : AddNegativeAtom(lit);
+    }
+    return AddComparison(lit);
+  }
+
+  Result<AlgebraExpr> FinishWithHead(const datalog::Atom& head) {
+    std::vector<FnExpr> components;
+    components.reserve(head.args.size());
+    for (const TermExpr& t : head.args) {
+      AWR_ASSIGN_OR_RETURN(FnExpr c, CompileTerm(t, FnExpr::Arg(), var_ix_));
+      components.push_back(std::move(c));
+    }
+    return AlgebraExpr::Map(FnExpr::MkTuple(std::move(components)),
+                            std::move(current_));
+  }
+
+ private:
+  // In the product <env, fact>: accessors for the two halves.
+  static FnExpr EnvSide() { return algebra::fn::Proj(0); }
+  static FnExpr FactSide() { return algebra::fn::Proj(1); }
+  static FnExpr FactAt(size_t i) { return FnExpr::Get(FactSide(), i); }
+
+  Status AddPositiveAtom(const Literal& lit) {
+    AlgebraExpr cand =
+        AlgebraExpr::Product(std::move(current_),
+                             AlgebraExpr::Relation(lit.atom.predicate));
+    std::vector<FnExpr> conds;
+    // First-occurrence positions of new variables, in argument order.
+    std::vector<std::pair<uint32_t, size_t>> new_vars;
+    for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+      const TermExpr& arg = lit.atom.args[i];
+      if (arg.is_var()) {
+        uint32_t v = arg.var().id;
+        if (var_ix_.count(v) > 0) {
+          conds.push_back(FnExpr::Eq(
+              FactAt(i), FnExpr::Get(EnvSide(), var_ix_.at(v))));
+        } else {
+          auto seen = std::find_if(
+              new_vars.begin(), new_vars.end(),
+              [v](const auto& p) { return p.first == v; });
+          if (seen != new_vars.end()) {
+            // Repeated new variable inside one atom: P(x, x).
+            conds.push_back(FnExpr::Eq(FactAt(i), FactAt(seen->second)));
+          } else {
+            new_vars.emplace_back(v, i);
+          }
+        }
+      } else {
+        AWR_ASSIGN_OR_RETURN(FnExpr t, CompileTerm(arg, EnvSide(), var_ix_));
+        conds.push_back(FnExpr::Eq(FactAt(i), std::move(t)));
+      }
+    }
+    AlgebraExpr selected =
+        conds.empty() ? std::move(cand)
+                      : AlgebraExpr::Select(AndAll(std::move(conds)),
+                                            std::move(cand));
+    // Restructure <env, fact> into the extended environment tuple.
+    std::vector<FnExpr> components;
+    size_t env_size = var_ix_.size();
+    components.reserve(env_size + new_vars.size());
+    for (size_t j = 0; j < env_size; ++j) {
+      components.push_back(FnExpr::Get(EnvSide(), j));
+    }
+    for (const auto& [v, pos] : new_vars) {
+      var_ix_[v] = components.size();
+      components.push_back(FactAt(pos));
+    }
+    current_ = AlgebraExpr::Map(FnExpr::MkTuple(std::move(components)),
+                                std::move(selected));
+    return Status::OK();
+  }
+
+  Status AddNegativeAtom(const Literal& lit) {
+    // Anti-join: current − π_env(σ_match(current × Q)).
+    std::vector<FnExpr> conds;
+    for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+      AWR_ASSIGN_OR_RETURN(
+          FnExpr t, CompileTerm(lit.atom.args[i], EnvSide(), var_ix_));
+      conds.push_back(FnExpr::Eq(FactAt(i), std::move(t)));
+    }
+    AlgebraExpr bad = AlgebraExpr::Map(
+        EnvSide(),
+        AlgebraExpr::Select(
+            AndAll(std::move(conds)),
+            AlgebraExpr::Product(current_,
+                                 AlgebraExpr::Relation(lit.atom.predicate))));
+    current_ = AlgebraExpr::Diff(std::move(current_), std::move(bad));
+    return Status::OK();
+  }
+
+  Status AddComparison(const Literal& lit) {
+    bool lhs_new = lit.lhs.is_var() && var_ix_.count(lit.lhs.var().id) == 0;
+    bool rhs_new = lit.rhs.is_var() && var_ix_.count(lit.rhs.var().id) == 0;
+    if (lit.op == CmpOp::kEq && (lhs_new != rhs_new)) {
+      // Assignment: extend the environment with the computed value.
+      const TermExpr& var_side = lhs_new ? lit.lhs : lit.rhs;
+      const TermExpr& val_side = lhs_new ? lit.rhs : lit.lhs;
+      AWR_ASSIGN_OR_RETURN(FnExpr value,
+                           CompileTerm(val_side, FnExpr::Arg(), var_ix_));
+      std::vector<FnExpr> components;
+      size_t env_size = var_ix_.size();
+      for (size_t j = 0; j < env_size; ++j) {
+        components.push_back(FnExpr::Get(FnExpr::Arg(), j));
+      }
+      var_ix_[var_side.var().id] = components.size();
+      components.push_back(std::move(value));
+      current_ = AlgebraExpr::Map(FnExpr::MkTuple(std::move(components)),
+                                  std::move(current_));
+      return Status::OK();
+    }
+    // Pure test.
+    AWR_ASSIGN_OR_RETURN(FnExpr l, CompileTerm(lit.lhs, FnExpr::Arg(), var_ix_));
+    AWR_ASSIGN_OR_RETURN(FnExpr r, CompileTerm(lit.rhs, FnExpr::Arg(), var_ix_));
+    FnExpr::CmpKind op = lit.op == CmpOp::kEq   ? FnExpr::CmpKind::kEq
+                         : lit.op == CmpOp::kNe ? FnExpr::CmpKind::kNe
+                         : lit.op == CmpOp::kLt ? FnExpr::CmpKind::kLt
+                                                : FnExpr::CmpKind::kLe;
+    current_ = AlgebraExpr::Select(FnExpr::Cmp(op, std::move(l), std::move(r)),
+                                   std::move(current_));
+    return Status::OK();
+  }
+
+  AlgebraExpr current_ = AlgebraExpr::Empty();
+  std::unordered_map<uint32_t, size_t> var_ix_;
+};
+
+}  // namespace
+
+Result<AlgebraExpr> CompileRule(const Rule& rule) {
+  AWR_ASSIGN_OR_RETURN(datalog::RulePlan plan, datalog::PlanRule(rule));
+  RuleCompiler compiler;
+  for (size_t idx : plan) {
+    AWR_RETURN_IF_ERROR(compiler.AddLiteral(rule.body[idx]));
+  }
+  return compiler.FinishWithHead(rule.head);
+}
+
+Result<AlgebraProgram> DatalogToAlgebra(const datalog::Program& program) {
+  AWR_RETURN_IF_ERROR(datalog::CheckProgramSafe(program));
+  // Union the per-rule expressions per head predicate.
+  std::vector<std::string> idb = program.IdbPredicates();
+  AlgebraProgram out;
+  for (const std::string& pred : idb) {
+    AlgebraExpr sim = AlgebraExpr::Empty();
+    bool first = true;
+    for (const Rule& rule : program.rules) {
+      if (rule.head.predicate != pred) continue;
+      AWR_ASSIGN_OR_RETURN(AlgebraExpr e, CompileRule(rule));
+      sim = first ? std::move(e)
+                  : AlgebraExpr::Union(std::move(sim), std::move(e));
+      first = false;
+    }
+    out.DefineConstant(pred, std::move(sim));
+  }
+  return out;
+}
+
+algebra::SetDb EdbToSetDb(const datalog::Database& edb) {
+  algebra::SetDb db;
+  for (const auto& [pred, extent] : edb) {
+    ValueSet s;
+    for (const Value& fact : extent) s.Insert(fact);
+    db.Define(pred, std::move(s));
+  }
+  return db;
+}
+
+}  // namespace awr::translate

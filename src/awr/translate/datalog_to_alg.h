@@ -1,0 +1,46 @@
+#ifndef AWR_TRANSLATE_DATALOG_TO_ALG_H_
+#define AWR_TRANSLATE_DATALOG_TO_ALG_H_
+
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+
+namespace awr::translate {
+
+/// Translates a safe deductive program into an algebra= equation system
+/// (Proposition 6.1): every IDB predicate P_i becomes a set constant
+/// P_i^a defined by its *simulation function*,
+///
+///   P_i^a = exp_i(P_1^a, ..., P_n^a, R_1^a, ..., R_m^a),
+///
+/// where exp_i is an algebra expression performing one (simultaneous)
+/// derivation step of P_i's rules: positive body atoms become joins
+/// (product + selection + restructuring MAP), negative atoms become
+/// anti-joins via set difference, comparisons become selections, and
+/// the union over P_i's rules is taken.  Evaluating the resulting
+/// equation system under the valid algebra semantics
+/// (algebra::EvalAlgebraValid) yields exactly the valid model of the
+/// deductive program: for every predicate P and fact t,
+///
+///   t true/false/undefined in valid(P)  ⇔
+///   Member(P^a, t) is kTrue/kFalse/kUndefined.
+///
+/// Facts are represented identically on both sides: the n-ary fact
+/// P(a_1,...,a_n) is the tuple value <a_1,...,a_n>, so EDB extents
+/// transfer verbatim (EdbToSetDb).
+Result<algebra::AlgebraProgram> DatalogToAlgebra(
+    const datalog::Program& program);
+
+/// Translates a single safe rule body + head into the algebra
+/// expression deriving the head tuples of one application of the rule
+/// (exposed for tests and for the stratified translation of Thm 4.3).
+Result<algebra::AlgebraExpr> CompileRule(const datalog::Rule& rule);
+
+/// Converts a deductive EDB into the algebra database: each predicate's
+/// facts (tuple values) become the extent of the same-named set.
+algebra::SetDb EdbToSetDb(const datalog::Database& edb);
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_DATALOG_TO_ALG_H_

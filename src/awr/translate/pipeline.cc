@@ -1,0 +1,50 @@
+#include "awr/translate/pipeline.h"
+
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/step_index.h"
+
+namespace awr::translate {
+
+Result<IfpToAlgebraEqResult> IfpAlgebraToAlgebraEq(
+    const algebra::AlgebraExpr& query, const algebra::AlgebraProgram& defs,
+    const algebra::SetDb& db, const datalog::EvalOptions& opts) {
+  if (!defs.IsNonRecursive()) {
+    return Status::FailedPrecondition(
+        "IfpAlgebraToAlgebraEq starts from the IFP-algebra; recursive "
+        "definitions are already algebra=");
+  }
+  // Proposition 5.1: equivalent deduction under inflationary semantics.
+  AWR_ASSIGN_OR_RETURN(CompiledAlgebraQuery compiled,
+                       CompileAlgebraQuery(query, defs));
+  datalog::Database edb = SetDbToEdb(db);
+
+  // Proposition 5.2: equivalent deduction under valid semantics.
+  AWR_ASSIGN_OR_RETURN(StepIndexedProgram indexed,
+                       StepIndexAuto(compiled.program, edb, opts));
+
+  // Proposition 6.1: equivalent algebra= equation system.
+  AWR_ASSIGN_OR_RETURN(algebra::AlgebraProgram system,
+                       DatalogToAlgebra(indexed.program));
+
+  IfpToAlgebraEqResult out;
+  out.program = std::move(system);
+  out.db = EdbToSetDb(indexed.edb);
+  out.result_constant = compiled.query_predicate;
+  out.datalog_rules = indexed.program.rules.size();
+  out.step_bound = indexed.bound;
+  return out;
+}
+
+Result<ValueSet> UnwrapUnary(const ValueSet& tuples) {
+  ValueSet out;
+  for (const Value& t : tuples) {
+    if (!t.is_tuple() || t.size() != 1) {
+      return Status::InvalidArgument("expected unary fact tuple, got " +
+                                     t.ToString());
+    }
+    out.Insert(t.items()[0]);
+  }
+  return out;
+}
+
+}  // namespace awr::translate

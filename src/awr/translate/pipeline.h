@@ -1,0 +1,57 @@
+#ifndef AWR_TRANSLATE_PIPELINE_H_
+#define AWR_TRANSLATE_PIPELINE_H_
+
+#include <string>
+
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/translate/alg_to_datalog.h"
+
+namespace awr::translate {
+
+/// Result of expressing an IFP-algebra query inside algebra=.
+struct IfpToAlgebraEqResult {
+  /// The equation system whose valid model simulates the query.
+  algebra::AlgebraProgram program;
+  /// Database for the equation system (step-indexed EDB).
+  algebra::SetDb db;
+  /// Constant whose (unary-fact) extent is the query result.
+  std::string result_constant;
+  /// Size of the intermediate deductive program, for inspection.
+  size_t datalog_rules = 0;
+  /// Step bound used by the Proposition 5.2 stage.
+  size_t step_bound = 0;
+};
+
+/// Theorem 3.5 (IFP-algebra ⊆ algebra=), by composition of the paper's
+/// constructions:
+///
+///   IFP-algebra query
+///     → deductive program equivalent under inflationary semantics
+///       (Proposition 5.1, CompileAlgebraQuery)
+///     → step-indexed program equivalent under valid semantics
+///       (Proposition 5.2, StepIndexProgram)
+///     → algebra= equation system equivalent under the valid algebra
+///       semantics (Proposition 6.1, DatalogToAlgebra).
+///
+/// Evaluating `result_constant` of the returned system with
+/// algebra::EvalAlgebraValid yields a 2-valued set equal (after
+/// unwrapping the unary fact tuples <v> to v) to
+/// algebra::EvalAlgebra(query) — even for non-monotone IFPs where the
+/// *direct* recursive equation would be undefined (§3.2).
+///
+/// The step bound is measured on `db` (the transformation is
+/// per-instance, as any executable rendering of the paper's unbounded
+/// index must be).
+Result<IfpToAlgebraEqResult> IfpAlgebraToAlgebraEq(
+    const algebra::AlgebraExpr& query, const algebra::AlgebraProgram& defs,
+    const algebra::SetDb& db, const datalog::EvalOptions& opts = {});
+
+/// Unwraps the unary-fact representation: {<v1>, <v2>, ...} → {v1, v2,
+/// ...}.  Fails if some element is not a 1-tuple.
+Result<ValueSet> UnwrapUnary(const ValueSet& tuples);
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_PIPELINE_H_

@@ -1,0 +1,153 @@
+#include "awr/translate/safety_transform.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::translate {
+
+using datalog::Atom;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::TermExpr;
+using datalog::Var;
+
+namespace {
+
+constexpr char kDomainPred[] = "awr_dom";
+
+void AddWithComponents(const Value& v, ValueSet* out) {
+  if (out->Insert(v) && (v.is_tuple() || v.is_set())) {
+    for (const Value& c : v.items()) AddWithComponents(c, out);
+  }
+}
+
+void CollectTermConstants(const TermExpr& t, ValueSet* out) {
+  switch (t.kind()) {
+    case TermExpr::Kind::kConst:
+      AddWithComponents(t.constant(), out);
+      return;
+    case TermExpr::Kind::kApply:
+      for (const TermExpr& a : t.args()) CollectTermConstants(a, out);
+      return;
+    case TermExpr::Kind::kVar:
+      return;
+  }
+}
+
+}  // namespace
+
+Result<ValueSet> ActiveDomain(const Program& program,
+                              const datalog::Database& edb,
+                              const DomainSpec& spec,
+                              const datalog::EvalOptions& opts) {
+  ValueSet domain;
+  for (const Rule& r : program.rules) {
+    for (const TermExpr& t : r.head.args) CollectTermConstants(t, &domain);
+    for (const Literal& l : r.body) {
+      if (l.is_atom()) {
+        for (const TermExpr& t : l.atom.args) CollectTermConstants(t, &domain);
+      } else {
+        CollectTermConstants(l.lhs, &domain);
+        CollectTermConstants(l.rhs, &domain);
+      }
+    }
+  }
+  for (const auto& [pred, extent] : edb) {
+    for (const Value& fact : extent) {
+      for (const Value& c : fact.items()) AddWithComponents(c, &domain);
+    }
+  }
+
+  // Close under the declared unary functions.
+  std::deque<std::pair<Value, size_t>> frontier;
+  for (const Value& v : domain) frontier.emplace_back(v, 0);
+  while (!frontier.empty()) {
+    auto [v, depth] = frontier.front();
+    frontier.pop_front();
+    if (depth >= spec.closure_depth) continue;
+    for (const std::string& fn : spec.unary_functions) {
+      auto applied = opts.functions.Apply(fn, {v});
+      if (!applied.ok()) continue;  // function not applicable to this value
+      if (domain.Insert(*applied)) {
+        if (domain.size() > spec.max_values) {
+          return Status::ResourceExhausted(
+              "domain closure exceeded max_values=" +
+              std::to_string(spec.max_values));
+        }
+        frontier.emplace_back(*applied, depth + 1);
+      }
+    }
+  }
+  return domain;
+}
+
+Result<SafetyTransformResult> MakeSafe(const Program& program,
+                                       const datalog::Database& edb,
+                                       const DomainSpec& spec,
+                                       const datalog::EvalOptions& opts) {
+  for (const Rule& r : program.rules) {
+    for (const Literal& l : r.body) {
+      if (l.is_atom() && l.atom.predicate == kDomainPred) {
+        return Status::InvalidArgument(
+            "program already uses the reserved predicate awr_dom");
+      }
+    }
+  }
+  AWR_ASSIGN_OR_RETURN(ValueSet domain, ActiveDomain(program, edb, spec, opts));
+
+  SafetyTransformResult out;
+  out.domain_predicate = kDomainPred;
+  out.domain_size = domain.size();
+  out.edb = edb;
+  for (const Value& v : domain) out.edb.AddFact(kDomainPred, {v});
+
+  for (const Rule& r : program.rules) {
+    Rule safe = r;
+    // Restrict every variable of the rule (paper: S_1(x_1) ∧ ... ∧
+    // S_n(x_n) ∧ φ → R(x̄)); prepending keeps them bound first.
+    std::vector<Var> vars;
+    r.CollectVars(&vars);
+    std::unordered_set<uint32_t> seen;
+    std::vector<Literal> body;
+    for (const Var& v : vars) {
+      if (seen.insert(v.id).second) {
+        body.push_back(
+            Literal::Positive(Atom{kDomainPred, {TermExpr::Variable(v)}}));
+      }
+    }
+    body.insert(body.end(), safe.body.begin(), safe.body.end());
+    safe.body = std::move(body);
+    out.program.rules.push_back(std::move(safe));
+  }
+  return out;
+}
+
+Result<bool> TestDomainIndependence(const datalog::Program& program,
+                                    const datalog::Database& edb,
+                                    const std::vector<Value>& extra_values,
+                                    const DomainSpec& spec,
+                                    const datalog::EvalOptions& opts) {
+  AWR_ASSIGN_OR_RETURN(SafetyTransformResult narrow,
+                       MakeSafe(program, edb, spec, opts));
+  AWR_ASSIGN_OR_RETURN(SafetyTransformResult wide,
+                       MakeSafe(program, edb, spec, opts));
+  for (const Value& v : extra_values) {
+    wide.edb.AddFact(wide.domain_predicate, {v});
+  }
+
+  AWR_ASSIGN_OR_RETURN(datalog::ThreeValuedInterp a,
+                       datalog::EvalWellFounded(narrow.program, narrow.edb,
+                                                opts));
+  AWR_ASSIGN_OR_RETURN(datalog::ThreeValuedInterp b,
+                       datalog::EvalWellFounded(wide.program, wide.edb, opts));
+  for (const std::string& pred : program.IdbPredicates()) {
+    if (a.certain.Extent(pred) != b.certain.Extent(pred)) return false;
+    if (a.possible.Extent(pred) != b.possible.Extent(pred)) return false;
+  }
+  return true;
+}
+
+}  // namespace awr::translate

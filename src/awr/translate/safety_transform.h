@@ -1,0 +1,83 @@
+#ifndef AWR_TRANSLATE_SAFETY_TRANSFORM_H_
+#define AWR_TRANSLATE_SAFETY_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+
+namespace awr::translate {
+
+/// Describes how to build the domain predicate of Proposition 4.2.
+///
+/// The paper's proof defines, for every type, a unary predicate
+/// containing "all the elements in the initial valid model"; since
+/// elements are "constructed from constants by applying functions",
+/// safe rules can enumerate them.  Executably, the domain is the active
+/// domain (constants of the program and the EDB, including tuple
+/// components) closed under the given unary functions up to
+/// `closure_depth` applications.
+struct DomainSpec {
+  std::vector<std::string> unary_functions;
+  size_t closure_depth = 0;
+  /// Refuse to build domains larger than this.
+  size_t max_values = 1u << 20;
+};
+
+/// The safety transformation of Proposition 4.2.
+struct SafetyTransformResult {
+  datalog::Program program;
+  /// The input EDB plus the facts of the domain predicate.
+  datalog::Database edb;
+  std::string domain_predicate;
+  /// Number of values in the constructed domain.
+  size_t domain_size = 0;
+};
+
+/// Converts a (possibly unsafe) deductive program into a safe one by
+/// restricting every rule variable with the domain predicate:
+/// `φ → R(x̄)` becomes `D(x_1) ∧ ... ∧ D(x_n) ∧ φ → R(x̄)`
+/// (Proposition 4.2).  For *domain independent* programs the two
+/// programs compute the same answers; for domain-dependent ones the
+/// transformed program computes the answer relative to the constructed
+/// domain.
+Result<SafetyTransformResult> MakeSafe(const datalog::Program& program,
+                                       const datalog::Database& edb,
+                                       const DomainSpec& spec = {},
+                                       const datalog::EvalOptions& opts = {});
+
+/// Collects the active domain of (program, edb): every constant value
+/// appearing in the rules and every fact component, recursively
+/// including the components of tuple and set values.  Exposed for tests.
+Result<ValueSet> ActiveDomain(const datalog::Program& program,
+                              const datalog::Database& edb,
+                              const DomainSpec& spec,
+                              const datalog::EvalOptions& opts);
+
+/// An executable *test* for domain independence (§4): "domain
+/// independent queries use in the computation only a part, a 'window',
+/// of the initial model, and are insensitive to the properties of
+/// elements outside this window."
+///
+/// Evaluates the safety-transformed program twice — once over the
+/// active domain and once over the active domain enlarged by
+/// `extra_values` (fresh elements outside the window) — and reports
+/// whether the answers for the program's IDB predicates coincide.
+///
+/// A `true` result is evidence of domain independence relative to the
+/// probes (not a proof: d.i. is undecidable in general); `false` is a
+/// definite witness of domain dependence.  WIN–MOVE and reach-style
+/// programs test insensitive; `p(x) :- not q(x)` tests sensitive.
+/// Programs whose valid model is 3-valued are compared 3-valued.
+Result<bool> TestDomainIndependence(const datalog::Program& program,
+                                    const datalog::Database& edb,
+                                    const std::vector<Value>& extra_values,
+                                    const DomainSpec& spec = {},
+                                    const datalog::EvalOptions& opts = {});
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_SAFETY_TRANSFORM_H_

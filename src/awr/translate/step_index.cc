@@ -1,0 +1,169 @@
+#include "awr/translate/step_index.h"
+
+#include <unordered_set>
+
+#include "awr/datalog/inflationary.h"
+
+namespace awr::translate {
+
+using datalog::Atom;
+using datalog::CmpOp;
+using datalog::Literal;
+using datalog::Program;
+using datalog::Rule;
+using datalog::TermExpr;
+using datalog::Var;
+
+namespace {
+
+constexpr char kStepPred[] = "awr_step";
+constexpr char kIndexVar[] = "awr_step_i";
+constexpr char kNextVar[] = "awr_step_j";
+
+}  // namespace
+
+Result<StepIndexedProgram> StepIndexProgram(const Program& program,
+                                            const datalog::Database& edb,
+                                            size_t bound) {
+  // The transformation introduces its own variables; refuse rules that
+  // already use them.
+  for (const Rule& r : program.rules) {
+    std::vector<Var> vars;
+    r.CollectVars(&vars);
+    for (const Var& v : vars) {
+      if (v.name() == kIndexVar || v.name() == kNextVar) {
+        return Status::InvalidArgument(
+            "rule uses reserved variable " + v.name() + ": " + r.ToString());
+      }
+    }
+  }
+
+  StepIndexedProgram out;
+  out.bound = bound;
+  out.step_predicate = kStepPred;
+
+  TermExpr i_var = TermExpr::Variable(Var(kIndexVar));
+  TermExpr j_var = TermExpr::Variable(Var(kNextVar));
+
+  // (iii) indexed rules.
+  for (const Rule& r : program.rules) {
+    bool has_body_atoms = false;
+    for (const Literal& l : r.body) has_body_atoms |= l.is_atom();
+
+    Rule indexed;
+    if (!has_body_atoms) {
+      // Facts and computation-only rules are available from index 0.
+      indexed.head.predicate = StepIndexedProgram::Primed(r.head.predicate);
+      indexed.head.args.push_back(TermExpr::Constant(Value::Int(0)));
+      for (const TermExpr& t : r.head.args) indexed.head.args.push_back(t);
+      indexed.body = r.body;
+    } else {
+      indexed.head.predicate = StepIndexedProgram::Primed(r.head.predicate);
+      indexed.head.args.push_back(j_var);
+      for (const TermExpr& t : r.head.args) indexed.head.args.push_back(t);
+      // step(i) first: range-restricts the index for negated atoms.
+      indexed.body.push_back(Literal::Positive(Atom{kStepPred, {i_var}}));
+      for (const Literal& l : r.body) {
+        if (!l.is_atom()) {
+          indexed.body.push_back(l);
+          continue;
+        }
+        Atom primed;
+        primed.predicate = StepIndexedProgram::Primed(l.atom.predicate);
+        primed.args.push_back(i_var);
+        for (const TermExpr& t : l.atom.args) primed.args.push_back(t);
+        indexed.body.push_back(l.positive ? Literal::Positive(std::move(primed))
+                                          : Literal::Negative(std::move(primed)));
+      }
+      indexed.body.push_back(Literal::Compare(
+          CmpOp::kEq, j_var, TermExpr::Apply("succ", {i_var})));
+      indexed.body.push_back(Literal::Positive(Atom{kStepPred, {j_var}}));
+    }
+    out.program.rules.push_back(std::move(indexed));
+  }
+
+  // (iv) copy and projection rules, for every predicate of the program.
+  for (const std::string& pred : program.AllPredicates()) {
+    // Determine the arity from any occurrence.
+    size_t arity = 0;
+    bool found = false;
+    for (const Rule& r : program.rules) {
+      if (r.head.predicate == pred) {
+        arity = r.head.arity();
+        found = true;
+        break;
+      }
+      for (const Literal& l : r.body) {
+        if (l.is_atom() && l.atom.predicate == pred) {
+          arity = l.atom.arity();
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+
+    std::vector<TermExpr> xs;
+    for (size_t k = 0; k < arity; ++k) {
+      xs.push_back(TermExpr::Variable(Var("awr_x" + std::to_string(k))));
+    }
+    const std::string primed = StepIndexedProgram::Primed(pred);
+
+    // R'(j, x̄) :- R'(i, x̄), j = succ(i), step(j).
+    Rule copy;
+    copy.head.predicate = primed;
+    copy.head.args.push_back(j_var);
+    for (const TermExpr& x : xs) copy.head.args.push_back(x);
+    {
+      Atom body_atom;
+      body_atom.predicate = primed;
+      body_atom.args.push_back(i_var);
+      for (const TermExpr& x : xs) body_atom.args.push_back(x);
+      copy.body.push_back(Literal::Positive(std::move(body_atom)));
+    }
+    copy.body.push_back(Literal::Compare(CmpOp::kEq, j_var,
+                                         TermExpr::Apply("succ", {i_var})));
+    copy.body.push_back(Literal::Positive(Atom{kStepPred, {j_var}}));
+    out.program.rules.push_back(std::move(copy));
+
+    // R(x̄) :- R'(i, x̄).
+    Rule proj;
+    proj.head.predicate = pred;
+    proj.head.args = xs;
+    {
+      Atom body_atom;
+      body_atom.predicate = primed;
+      body_atom.args.push_back(i_var);
+      for (const TermExpr& x : xs) body_atom.args.push_back(x);
+      proj.body.push_back(Literal::Positive(std::move(body_atom)));
+    }
+    out.program.rules.push_back(std::move(proj));
+  }
+
+  // (ii) EDB facts move to index 0; step facts enumerate 0..bound.
+  for (const auto& [pred, extent] : edb) {
+    const std::string primed = StepIndexedProgram::Primed(pred);
+    for (const Value& fact : extent) {
+      std::vector<Value> args;
+      args.push_back(Value::Int(0));
+      for (const Value& c : fact.items()) args.push_back(c);
+      out.edb.AddFact(primed, std::move(args));
+    }
+  }
+  for (size_t k = 0; k <= bound; ++k) {
+    out.edb.AddFact(kStepPred, {Value::Int(static_cast<int64_t>(k))});
+  }
+  return out;
+}
+
+Result<StepIndexedProgram> StepIndexAuto(const Program& program,
+                                         const datalog::Database& edb,
+                                         const datalog::EvalOptions& opts) {
+  size_t rounds = 0;
+  AWR_RETURN_IF_ERROR(
+      datalog::EvalInflationaryWithRounds(program, edb, opts, &rounds)
+          .status());
+  return StepIndexProgram(program, edb, rounds + 1);
+}
+
+}  // namespace awr::translate

@@ -1,0 +1,61 @@
+#ifndef AWR_TRANSLATE_STEP_INDEX_H_
+#define AWR_TRANSLATE_STEP_INDEX_H_
+
+#include <string>
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+
+namespace awr::translate {
+
+/// The step-indexed program of Proposition 5.2.
+struct StepIndexedProgram {
+  datalog::Program program;
+  /// The transformed EDB: R(ā) becomes R'(0, ā), plus the step facts.
+  datalog::Database edb;
+  /// Indices run 0..bound.
+  size_t bound = 0;
+  /// Name of the unary predicate enumerating the indices.
+  std::string step_predicate;
+
+  /// Name of the primed (indexed) variant of `pred`.
+  static std::string Primed(const std::string& pred) {
+    return "awr_s_" + pred;
+  }
+};
+
+/// Builds the program P' of Proposition 5.2, which simulates the
+/// *inflationary* computation of P under the **valid** semantics:
+///
+///  (i)  every predicate R gains an indexed variant R';
+///  (ii) every EDB fact R(ā) becomes R'(0, ā);
+///  (iii) every rule `...(¬)Q(x̄)... → R(ȳ)` becomes
+///        `...(¬)Q'(i, x̄)... → R'(i+1, ȳ)`;
+///  (iv) copy rules R'(i, x̄) → R'(i+1, x̄) and projections
+///        R'(i, x̄) → R(x̄) are added.
+///
+/// "At each step of the derivation, new facts can only be derived using
+/// facts with smaller indexes" — the program is locally stratified by
+/// the index, so its valid model is total and agrees, on the original
+/// predicates, with the inflationary fixpoint of P.
+///
+/// The paper runs the index over all of nat; executably, the index is
+/// bounded by `bound`, which must be at least the number of rounds the
+/// inflationary fixpoint of (P, edb) needs (StepIndexAuto measures it).
+/// A `step` guard predicate enumerates 0..bound and also serves to
+/// range-restrict the index variable of negated atoms.
+Result<StepIndexedProgram> StepIndexProgram(const datalog::Program& program,
+                                            const datalog::Database& edb,
+                                            size_t bound);
+
+/// As StepIndexProgram, with the bound computed by running the
+/// inflationary fixpoint first.
+Result<StepIndexedProgram> StepIndexAuto(const datalog::Program& program,
+                                         const datalog::Database& edb,
+                                         const datalog::EvalOptions& opts = {});
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_STEP_INDEX_H_

@@ -1,0 +1,39 @@
+#ifndef AWR_TRANSLATE_STRATIFIED_IFP_H_
+#define AWR_TRANSLATE_STRATIFIED_IFP_H_
+
+#include "awr/algebra/program.h"
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/translate/alg_to_datalog.h"
+
+namespace awr::translate {
+
+/// Theorem 4.3, direction deduction → algebra: translates a stratified
+/// safe deductive program into the **positive IFP-algebra**: one
+/// (non-recursive) set-constant definition per IDB predicate, where
+/// each recursive SCC of predicates becomes a single *positive* IFP.
+///
+/// Mutually recursive predicates share one fixpoint by tagging: the IFP
+/// accumulates pairs <"P", fact>; a same-SCC reference to Q reads
+/// MAP_{x.1}(σ_{x.0 = "Q"}(accumulator)).  Stratification guarantees
+/// same-SCC references are positive, hence each IFP body is positive in
+/// its iteration variable.  References to lower strata are references
+/// to already-defined constants.
+///
+/// Facts use the same representation as DatalogToAlgebra: P(a₁,...,aₙ)
+/// ↔ tuple value <a₁,...,aₙ>; evaluate with algebra::EvalAlgebra over
+/// EdbToSetDb(edb).
+Result<algebra::AlgebraProgram> StratifiedToPositiveIfp(
+    const datalog::Program& program);
+
+/// Theorem 4.3, direction algebra → deduction: compiles a positive
+/// IFP-algebra query to a deductive program and verifies the result is
+/// stratifiable (it always is for this fragment: IFP recursion is
+/// positive and subtraction's negation is acyclic).  Fails with
+/// FailedPrecondition if the query is outside the positive fragment.
+Result<CompiledAlgebraQuery> PositiveIfpToStratified(
+    const algebra::AlgebraExpr& query, const algebra::AlgebraProgram& program);
+
+}  // namespace awr::translate
+
+#endif  // AWR_TRANSLATE_STRATIFIED_IFP_H_

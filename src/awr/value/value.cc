@@ -1,0 +1,237 @@
+#include "awr/value/value.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <sstream>
+
+#include "awr/common/hash.h"
+#include "awr/common/intern.h"
+
+namespace awr {
+
+std::string_view ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kAtom:
+      return "atom";
+    case ValueKind::kTuple:
+      return "tuple";
+    case ValueKind::kSet:
+      return "set";
+  }
+  return "unknown";
+}
+
+struct Value::Rep {
+  ValueKind kind;
+  bool b = false;
+  int64_t i = 0;
+  uint32_t atom = 0;
+  std::vector<Value> items;  // tuple components or canonical set elements
+  size_t hash = 0;
+};
+
+namespace {
+
+size_t ComputeHash(const Value::Rep& rep);
+
+// Shared immutable singletons for the cheap scalar values.
+const std::shared_ptr<const Value::Rep>& BoolRep(bool b) {
+  static const auto* kFalse = [] {
+    auto rep = std::make_shared<Value::Rep>();
+    rep->kind = ValueKind::kBool;
+    rep->b = false;
+    rep->hash = ComputeHash(*rep);
+    return new std::shared_ptr<const Value::Rep>(rep);
+  }();
+  static const auto* kTrue = [] {
+    auto rep = std::make_shared<Value::Rep>();
+    rep->kind = ValueKind::kBool;
+    rep->b = true;
+    rep->hash = ComputeHash(*rep);
+    return new std::shared_ptr<const Value::Rep>(rep);
+  }();
+  return b ? *kTrue : *kFalse;
+}
+
+size_t ComputeHash(const Value::Rep& rep) {
+  size_t h = HashCombine(0x517cc1b727220a95ULL, static_cast<size_t>(rep.kind));
+  switch (rep.kind) {
+    case ValueKind::kBool:
+      return HashCombine(h, rep.b ? 1u : 2u);
+    case ValueKind::kInt:
+      return HashCombine(h, std::hash<int64_t>{}(rep.i));
+    case ValueKind::kAtom:
+      return HashCombine(h, rep.atom);
+    case ValueKind::kTuple:
+    case ValueKind::kSet:
+      for (const Value& item : rep.items) h = HashCombine(h, item.hash());
+      return HashCombine(h, rep.items.size());
+  }
+  return h;
+}
+
+}  // namespace
+
+Value::Value() : rep_(BoolRep(false)) {}
+
+Value Value::Boolean(bool b) { return Value(BoolRep(b)); }
+
+Value Value::Int(int64_t i) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = ValueKind::kInt;
+  rep->i = i;
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Atom(std::string_view name) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = ValueKind::kAtom;
+  rep->atom = InternString(name);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Tuple(std::vector<Value> items) {
+  auto rep = std::make_shared<Rep>();
+  rep->kind = ValueKind::kTuple;
+  rep->items = std::move(items);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::Pair(Value a, Value b) {
+  return Tuple({std::move(a), std::move(b)});
+}
+
+Value Value::Set(std::vector<Value> items) {
+  std::sort(items.begin(), items.end(),
+            [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  items.erase(std::unique(items.begin(), items.end(),
+                          [](const Value& a, const Value& b) { return a == b; }),
+              items.end());
+  auto rep = std::make_shared<Rep>();
+  rep->kind = ValueKind::kSet;
+  rep->items = std::move(items);
+  rep->hash = ComputeHash(*rep);
+  return Value(std::move(rep));
+}
+
+Value Value::EmptySet() { return Set({}); }
+
+ValueKind Value::kind() const { return rep_->kind; }
+
+bool Value::bool_value() const {
+  assert(is_bool());
+  return rep_->b;
+}
+
+int64_t Value::int_value() const {
+  assert(is_int());
+  return rep_->i;
+}
+
+uint32_t Value::atom_id() const {
+  assert(is_atom());
+  return rep_->atom;
+}
+
+const std::string& Value::AtomName() const { return InternedString(atom_id()); }
+
+const std::vector<Value>& Value::items() const {
+  assert(is_tuple() || is_set());
+  return rep_->items;
+}
+
+bool Value::SetContains(const Value& element) const {
+  assert(is_set());
+  const auto& elems = rep_->items;
+  auto it = std::lower_bound(
+      elems.begin(), elems.end(), element,
+      [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
+  return it != elems.end() && *it == element;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  if (a.rep_ == b.rep_) return 0;
+  if (a.kind() != b.kind()) {
+    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  }
+  switch (a.kind()) {
+    case ValueKind::kBool:
+      return static_cast<int>(a.rep_->b) - static_cast<int>(b.rep_->b);
+    case ValueKind::kInt:
+      return a.rep_->i < b.rep_->i ? -1 : (a.rep_->i > b.rep_->i ? 1 : 0);
+    case ValueKind::kAtom: {
+      if (a.rep_->atom == b.rep_->atom) return 0;
+      // Order atoms by spelling for deterministic, human-sensible output.
+      return a.AtomName() < b.AtomName() ? -1 : 1;
+    }
+    case ValueKind::kTuple:
+    case ValueKind::kSet: {
+      const auto& xs = a.rep_->items;
+      const auto& ys = b.rep_->items;
+      size_t n = std::min(xs.size(), ys.size());
+      for (size_t k = 0; k < n; ++k) {
+        int c = Compare(xs[k], ys[k]);
+        if (c != 0) return c;
+      }
+      if (xs.size() == ys.size()) return 0;
+      return xs.size() < ys.size() ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (rep_ == other.rep_) return true;
+  if (rep_->hash != other.rep_->hash) return false;
+  return Compare(*this, other) == 0;
+}
+
+size_t Value::hash() const { return rep_->hash; }
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      return os << (v.bool_value() ? "true" : "false");
+    case ValueKind::kInt:
+      return os << v.int_value();
+    case ValueKind::kAtom:
+      return os << v.AtomName();
+    case ValueKind::kTuple: {
+      os << "<";
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) os << ", ";
+        first = false;
+        os << item;
+      }
+      return os << ">";
+    }
+    case ValueKind::kSet: {
+      os << "{";
+      bool first = true;
+      for (const Value& item : v.items()) {
+        if (!first) os << ", ";
+        first = false;
+        os << item;
+      }
+      return os << "}";
+    }
+  }
+  return os;
+}
+
+}  // namespace awr

@@ -1,0 +1,114 @@
+#ifndef AWR_VALUE_VALUE_H_
+#define AWR_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace awr {
+
+/// The kind of a complex-object value.
+enum class ValueKind : uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kAtom = 2,
+  kTuple = 3,
+  kSet = 4,
+};
+
+std::string_view ValueKindToString(ValueKind kind);
+
+/// An immutable complex-object value: boolean, integer, atom (interned
+/// symbol), tuple of values, or finite set of values.
+///
+/// This single type is the data model shared by the deductive engine
+/// (facts are tuple values), the algebra (sets of arbitrary values), and
+/// the specification substrate (interpretations of ground terms).  It
+/// mirrors the paper's ADT universe: "nested relations / complex object
+/// models ... are special cases" (§4).
+///
+/// Values are hash-consed per instance: the hash is computed once at
+/// construction, sets are stored canonically (sorted by the total order,
+/// duplicates removed), so equality is structural and cheap to reject
+/// via hashes.  Copying a Value copies a shared_ptr.
+class Value {
+ public:
+  /// Default-constructs the boolean FALSE (a valid, usable value).
+  Value();
+
+  /// Factories -------------------------------------------------------
+  static Value Boolean(bool b);
+  static Value Int(int64_t i);
+  /// Interns `name` and returns the atom value.
+  static Value Atom(std::string_view name);
+  /// Tuple of the given components (arity >= 0).
+  static Value Tuple(std::vector<Value> items);
+  /// Pair shorthand, the product constructor of the algebra.
+  static Value Pair(Value a, Value b);
+  /// Set of the given elements; duplicates are removed and the elements
+  /// stored in the canonical total order.
+  static Value Set(std::vector<Value> items);
+  /// The empty set.
+  static Value EmptySet();
+
+  /// Inspectors ------------------------------------------------------
+  ValueKind kind() const;
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_atom() const { return kind() == ValueKind::kAtom; }
+  bool is_tuple() const { return kind() == ValueKind::kTuple; }
+  bool is_set() const { return kind() == ValueKind::kSet; }
+
+  /// Requires the matching kind (checked by assert in debug builds).
+  bool bool_value() const;
+  int64_t int_value() const;
+  /// Interned atom id; AtomName() returns the spelling.
+  uint32_t atom_id() const;
+  const std::string& AtomName() const;
+  /// Tuple components, or canonical set elements.
+  const std::vector<Value>& items() const;
+  /// Arity of a tuple / cardinality of a set.
+  size_t size() const { return items().size(); }
+
+  /// For sets: membership test by binary search on the canonical order.
+  bool SetContains(const Value& element) const;
+
+  /// Total order over all values: first by kind rank, then by content
+  /// (lexicographic for tuples/sets).  Returns <0, 0, >0.
+  static int Compare(const Value& a, const Value& b);
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return Compare(*this, other) < 0; }
+
+  /// Precomputed structural hash.
+  size_t hash() const;
+
+  /// Renders the value: `true`, `42`, `atom`, `<a, b>`, `{x, y}`.
+  std::string ToString() const;
+
+  /// Opaque implementation record (public only so the implementation
+  /// file's helpers can name it; not part of the API).
+  struct Rep;
+
+ private:
+  explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace awr
+
+namespace std {
+template <>
+struct hash<awr::Value> {
+  size_t operator()(const awr::Value& v) const { return v.hash(); }
+};
+}  // namespace std
+
+#endif  // AWR_VALUE_VALUE_H_

@@ -1,0 +1,59 @@
+#include "awr/value/value_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace awr {
+
+std::vector<Value> ValueSet::Sorted() const {
+  std::vector<Value> out(items_.begin(), items_.end());
+  std::sort(out.begin(), out.end(), [](const Value& a, const Value& b) {
+    return Value::Compare(a, b) < 0;
+  });
+  return out;
+}
+
+Value ValueSet::ToValue() const {
+  return Value::Set(std::vector<Value>(items_.begin(), items_.end()));
+}
+
+ValueSet ValueSet::FromValue(const Value& v) {
+  assert(v.is_set());
+  ValueSet out;
+  for (const Value& item : v.items()) out.Insert(item);
+  return out;
+}
+
+ValueSet SetUnion(const ValueSet& a, const ValueSet& b) {
+  ValueSet out = a;
+  out.InsertAll(b);
+  return out;
+}
+
+ValueSet SetDifference(const ValueSet& a, const ValueSet& b) {
+  ValueSet out;
+  for (const Value& v : a) {
+    if (!b.Contains(v)) out.Insert(v);
+  }
+  return out;
+}
+
+ValueSet SetIntersection(const ValueSet& a, const ValueSet& b) {
+  const ValueSet& small = a.size() <= b.size() ? a : b;
+  const ValueSet& large = a.size() <= b.size() ? b : a;
+  ValueSet out;
+  for (const Value& v : small) {
+    if (large.Contains(v)) out.Insert(v);
+  }
+  return out;
+}
+
+ValueSet SetProduct(const ValueSet& a, const ValueSet& b) {
+  ValueSet out;
+  for (const Value& x : a) {
+    for (const Value& y : b) out.Insert(Value::Pair(x, y));
+  }
+  return out;
+}
+
+}  // namespace awr

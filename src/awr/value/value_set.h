@@ -1,0 +1,86 @@
+#ifndef AWR_VALUE_VALUE_SET_H_
+#define AWR_VALUE_VALUE_SET_H_
+
+#include <initializer_list>
+#include <unordered_set>
+#include <vector>
+
+#include "awr/value/value.h"
+
+namespace awr {
+
+/// A mutable extent of values: the working representation of a database
+/// relation, an algebra set, or a predicate's derived facts.
+///
+/// Iteration order is unspecified (hash order); use Sorted() for
+/// deterministic output.  Convert to/from the immutable set Value with
+/// ToValue() / FromValue().
+class ValueSet {
+ public:
+  ValueSet() = default;
+  ValueSet(std::initializer_list<Value> items) {
+    for (const Value& v : items) Insert(v);
+  }
+  explicit ValueSet(const std::vector<Value>& items) {
+    for (const Value& v : items) Insert(v);
+  }
+
+  /// Inserts `v`; returns true if it was not already present.
+  bool Insert(const Value& v) { return items_.insert(v).second; }
+
+  /// Removes `v`; returns true if it was present.
+  bool Erase(const Value& v) { return items_.erase(v) > 0; }
+
+  bool Contains(const Value& v) const { return items_.count(v) > 0; }
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void Clear() { items_.clear(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  /// Inserts every element of `other`; returns the number newly added.
+  size_t InsertAll(const ValueSet& other) {
+    size_t added = 0;
+    for (const Value& v : other) added += Insert(v) ? 1 : 0;
+    return added;
+  }
+
+  /// Returns true iff every element of this set is in `other`.
+  bool IsSubsetOf(const ValueSet& other) const {
+    if (size() > other.size()) return false;
+    for (const Value& v : *this) {
+      if (!other.Contains(v)) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const ValueSet& other) const { return items_ == other.items_; }
+  bool operator!=(const ValueSet& other) const { return !(*this == other); }
+
+  /// Elements in the canonical total order.
+  std::vector<Value> Sorted() const;
+
+  /// The immutable set Value with the same elements.
+  Value ToValue() const;
+
+  /// The extent of a set Value.  `v` must be a set.
+  static ValueSet FromValue(const Value& v);
+
+  /// Deterministic rendering `{a, b, c}` in canonical order.
+  std::string ToString() const { return ToValue().ToString(); }
+
+ private:
+  std::unordered_set<Value> items_;
+};
+
+/// Set-algebra primitives, the semantics of the paper's operators.
+ValueSet SetUnion(const ValueSet& a, const ValueSet& b);
+ValueSet SetDifference(const ValueSet& a, const ValueSet& b);
+ValueSet SetIntersection(const ValueSet& a, const ValueSet& b);
+/// Cartesian product: pairs <x, y> for x in a, y in b.
+ValueSet SetProduct(const ValueSet& a, const ValueSet& b);
+
+}  // namespace awr
+
+#endif  // AWR_VALUE_VALUE_SET_H_

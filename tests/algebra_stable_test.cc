@@ -1,0 +1,95 @@
+// Tests for the stable-model semantics of algebra= programs (the §7
+// "easily adjusted" semantics, realized through the 5.4 translation).
+#include "awr/translate/algebra_stable.h"
+
+#include <gtest/gtest.h>
+
+#include "awr/algebra/valid_eval.h"
+
+namespace awr::translate {
+namespace {
+
+using E = algebra::AlgebraExpr;
+
+Value AV(std::string_view a) { return Value::Atom(a); }
+
+algebra::AlgebraProgram WinMoveProgram() {
+  E pi1_move = E::Map(algebra::fn::Proj(0), E::Relation("MOVE"));
+  algebra::AlgebraProgram prog;
+  prog.DefineConstant(
+      "WIN", E::Map(algebra::fn::Proj(0),
+                    E::Diff(E::Relation("MOVE"),
+                            E::Product(pi1_move, E::Relation("WIN")))));
+  return prog;
+}
+
+algebra::SetDb Moves(const std::vector<std::pair<std::string, std::string>>& m) {
+  algebra::SetDb db;
+  std::vector<std::pair<Value, Value>> pairs;
+  for (const auto& [a, b] : m) pairs.emplace_back(AV(a), AV(b));
+  db.DefinePairs("MOVE", pairs);
+  return db;
+}
+
+TEST(AlgebraStableTest, SelfSubtractionHasNoStableModel) {
+  algebra::AlgebraProgram prog;
+  prog.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  auto models = EvalAlgebraStable(prog, algebra::SetDb{});
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_TRUE(models->empty());
+}
+
+TEST(AlgebraStableTest, TwoCycleGameHasTwoStableModels) {
+  auto models = EvalAlgebraStable(WinMoveProgram(), Moves({{"a", "b"}, {"b", "a"}}));
+  ASSERT_TRUE(models.ok()) << models.status();
+  ASSERT_EQ(models->size(), 2u);
+  // One model has WIN = {<a>}, the other WIN = {<b>} (elements are the
+  // unary-compiled positions).
+  bool saw_a = false, saw_b = false;
+  for (const auto& m : *models) {
+    const ValueSet& win = m.Get("WIN");
+    EXPECT_EQ(win.size(), 1u);
+    saw_a |= win.Contains(AV("a"));
+    saw_b |= win.Contains(AV("b"));
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(AlgebraStableTest, TotalValidModelGivesUniqueStableModel) {
+  auto db = Moves({{"a", "b"}, {"b", "c"}});
+  auto valid = algebra::EvalAlgebraValid(WinMoveProgram(), db);
+  ASSERT_TRUE(valid.ok());
+  ASSERT_TRUE(valid->IsTwoValued());
+
+  auto models = EvalAlgebraStable(WinMoveProgram(), db);
+  ASSERT_TRUE(models.ok()) << models.status();
+  ASSERT_EQ(models->size(), 1u);
+  EXPECT_EQ((*models)[0].Get("WIN"), valid->Get("WIN").lower);
+}
+
+TEST(AlgebraStableTest, ValidCertainHoldsInEveryStableModel) {
+  auto db = Moves({{"a", "b"}, {"b", "a"}, {"b", "c"}, {"d", "d"}});
+  auto valid = algebra::EvalAlgebraValid(WinMoveProgram(), db);
+  auto models = EvalAlgebraStable(WinMoveProgram(), db);
+  ASSERT_TRUE(valid.ok());
+  ASSERT_TRUE(models.ok());
+  for (const auto& m : *models) {
+    for (const Value& v : valid->Get("WIN").lower) {
+      EXPECT_TRUE(m.Get("WIN").Contains(v)) << v.ToString();
+    }
+    for (const Value& v : m.Get("WIN")) {
+      EXPECT_TRUE(valid->Get("WIN").upper.Contains(v)) << v.ToString();
+    }
+  }
+}
+
+TEST(AlgebraStableTest, EmptyProgramRejected) {
+  algebra::AlgebraProgram prog;
+  EXPECT_TRUE(EvalAlgebraStable(prog, algebra::SetDb{})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace awr::translate

@@ -1,0 +1,404 @@
+// Tests for the algebra: FnExpr, expression evaluation, IFP,
+// definitions/inlining, positivity analysis.
+#include <gtest/gtest.h>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/positivity.h"
+#include "awr/algebra/program.h"
+
+namespace awr::algebra {
+namespace {
+
+using E = AlgebraExpr;
+
+Value IV(int64_t i) { return Value::Int(i); }
+Value AV(std::string_view a) { return Value::Atom(a); }
+
+TEST(FnExprTest, ProjectionAndTupleConstruction) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  Value pair = Value::Pair(IV(1), IV(2));
+  EXPECT_EQ(*fn::Proj(0).Eval(pair, fns), IV(1));
+  EXPECT_EQ(*fn::Proj(1).Eval(pair, fns), IV(2));
+  FnExpr swap = FnExpr::MkTuple({fn::Proj(1), fn::Proj(0)});
+  EXPECT_EQ(*swap.Eval(pair, fns), Value::Pair(IV(2), IV(1)));
+}
+
+TEST(FnExprTest, ArithmeticAndComparison) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  EXPECT_EQ(*fn::AddConst(2).Eval(IV(3), fns), IV(5));
+  EXPECT_EQ(*fn::EqConst(IV(3)).Eval(IV(3), fns), Value::Boolean(true));
+  EXPECT_EQ(*fn::EqConst(IV(3)).Eval(IV(4), fns), Value::Boolean(false));
+  EXPECT_TRUE(*FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(5))).EvalTest(IV(5), fns));
+}
+
+TEST(FnExprTest, BooleanConnectivesShortCircuit) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  // (x = 1) or <error>: short-circuits on true.
+  FnExpr bad = FnExpr::Apply("nth", {FnExpr::Arg(), FnExpr::Cst(IV(0))});
+  FnExpr or_expr = FnExpr::Or(fn::EqConst(IV(1)),
+                              FnExpr::Eq(bad, FnExpr::Cst(IV(0))));
+  EXPECT_TRUE(*or_expr.EvalTest(IV(1), fns));
+  EXPECT_TRUE(or_expr.EvalTest(IV(2), fns).status().IsInvalidArgument());
+
+  FnExpr and_expr = FnExpr::And(fn::EqConst(IV(1)), FnExpr::Not(fn::EqConst(IV(2))));
+  EXPECT_TRUE(*and_expr.EvalTest(IV(1), fns));
+  EXPECT_FALSE(*and_expr.EvalTest(IV(3), fns));
+}
+
+TEST(FnExprTest, IfSelectsBranch) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  FnExpr e = FnExpr::If(fn::EqConst(IV(0)), FnExpr::Cst(AV("zero")),
+                        FnExpr::Cst(AV("other")));
+  EXPECT_EQ(*e.Eval(IV(0), fns), AV("zero"));
+  EXPECT_EQ(*e.Eval(IV(9), fns), AV("other"));
+}
+
+TEST(FnExprTest, ErrorsPropagate) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  EXPECT_TRUE(fn::Proj(0).Eval(IV(1), fns).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      fn::Proj(3).Eval(Value::Pair(IV(1), IV(2)), fns).status().IsInvalidArgument());
+  // Selection test must be boolean.
+  EXPECT_TRUE(FnExpr::Arg().EvalTest(IV(1), fns).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------
+// Basic algebra evaluation.
+
+TEST(AlgebraEvalTest, SetOperators) {
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2), IV(3)});
+  db.Define("S", ValueSet{IV(3), IV(4)});
+
+  auto u = EvalAlgebra(E::Union(E::Relation("R"), E::Relation("S")), db);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 4u);
+
+  auto d = EvalAlgebra(E::Diff(E::Relation("R"), E::Relation("S")), db);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, (ValueSet{IV(1), IV(2)}));
+
+  auto p = EvalAlgebra(E::Product(E::Relation("R"), E::Relation("S")), db);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 6u);
+  EXPECT_TRUE(p->Contains(Value::Pair(IV(2), IV(4))));
+}
+
+TEST(AlgebraEvalTest, SelectAndMap) {
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2), IV(3), IV(4)});
+  auto sel = EvalAlgebra(
+      E::Select(FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(2))), E::Relation("R")),
+      db);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(*sel, (ValueSet{IV(1), IV(2)}));
+
+  auto mapped = EvalAlgebra(E::Map(fn::AddConst(10), E::Relation("R")), db);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(*mapped, (ValueSet{IV(11), IV(12), IV(13), IV(14)}));
+}
+
+TEST(AlgebraEvalTest, UndefinedRelationIsEmpty) {
+  // Like a deductive EDB predicate with no facts (the translation
+  // theorems must hold on empty relations too).
+  SetDb db;
+  auto r = EvalAlgebra(E::Relation("nope"), db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(AlgebraEvalTest, IntersectionViaDefinition) {
+  // Example 3 of the paper: x ∩ y = x − (x − y).
+  AlgebraProgram prog;
+  prog.AddDef(Definition{
+      "intersect", 2,
+      E::Diff(E::Param(0), E::Diff(E::Param(0), E::Param(1)))});
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2), IV(3)});
+  db.Define("S", ValueSet{IV(2), IV(3), IV(4)});
+  auto r = EvalAlgebra(E::Call("intersect", {E::Relation("R"), E::Relation("S")}),
+                       prog, db);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, (ValueSet{IV(2), IV(3)}));
+}
+
+TEST(AlgebraEvalTest, ExclusiveOrViaDefinition) {
+  // Example 3: x ⊗ y = (x − y) ∪ (y − x).
+  AlgebraProgram prog;
+  prog.AddDef(Definition{
+      "xor", 2,
+      E::Union(E::Diff(E::Param(0), E::Param(1)),
+               E::Diff(E::Param(1), E::Param(0)))});
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2)});
+  db.Define("S", ValueSet{IV(2), IV(3)});
+  auto r = EvalAlgebra(E::Call("xor", {E::Relation("R"), E::Relation("S")}),
+                       prog, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (ValueSet{IV(1), IV(3)}));
+}
+
+TEST(AlgebraEvalTest, NestedDefinitionsInline) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{
+      "intersect", 2,
+      E::Diff(E::Param(0), E::Diff(E::Param(0), E::Param(1)))});
+  prog.AddDef(Definition{
+      "tri", 3,
+      E::Call("intersect",
+              {E::Call("intersect", {E::Param(0), E::Param(1)}), E::Param(2)})});
+  SetDb db;
+  db.Define("A", ValueSet{IV(1), IV(2), IV(3)});
+  db.Define("B", ValueSet{IV(2), IV(3)});
+  db.Define("C", ValueSet{IV(3), IV(4)});
+  auto r = EvalAlgebra(
+      E::Call("tri", {E::Relation("A"), E::Relation("B"), E::Relation("C")}),
+      prog, db);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, (ValueSet{IV(3)}));
+}
+
+// ---------------------------------------------------------------------
+// IFP.
+
+TEST(AlgebraEvalTest, IfpTransitiveClosure) {
+  // TC = IFP( edge ∪ join(x, edge) ) with the join expressed via
+  // product + select + map over pair values.
+  // step(x) = MAP_{<a.0.0, a.1.1>}( σ_{a.0.1 = a.1.0}( x × edge ) )
+  FnExpr match = FnExpr::Eq(FnExpr::Get(fn::Proj(0), 1),
+                            FnExpr::Get(fn::Proj(1), 0));
+  FnExpr compose = FnExpr::MkTuple(
+      {FnExpr::Get(fn::Proj(0), 0), FnExpr::Get(fn::Proj(1), 1)});
+  E body = E::Union(
+      E::Relation("edge"),
+      E::Map(compose,
+             E::Select(match, E::Product(E::IterVar(0), E::Relation("edge")))));
+  E tc = E::Ifp(body);
+
+  SetDb db;
+  db.DefinePairs("edge", {{IV(0), IV(1)}, {IV(1), IV(2)}, {IV(2), IV(3)}});
+  auto r = EvalAlgebra(tc, db);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 6u);
+  EXPECT_TRUE(r->Contains(Value::Pair(IV(0), IV(3))));
+  EXPECT_FALSE(r->Contains(Value::Pair(IV(3), IV(0))));
+}
+
+TEST(AlgebraEvalTest, NonPositiveIfpIsInflationary) {
+  // §3.2: IFP_{{a}−x} = ({a} − ∅) ∪ ... = {a}.
+  E e = E::Ifp(E::Diff(E::Singleton(AV("a")), E::IterVar(0)));
+  auto r = EvalAlgebra(e, SetDb{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (ValueSet{AV("a")}));
+}
+
+TEST(AlgebraEvalTest, UnboundedIfpHitsLimits) {
+  // IFP({0} ∪ MAP₊₂(x)) is the infinite even set: must be stopped by
+  // the budget, not loop forever.
+  E e = E::Ifp(E::Union(E::Singleton(IV(0)), E::Map(fn::AddConst(2), E::IterVar(0))));
+  AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Tiny();
+  auto r = EvalAlgebra(e, SetDb{}, opts);
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+}
+
+TEST(AlgebraEvalTest, BoundedEvenSetViaIfp) {
+  // The even numbers ≤ 20: IFP(σ_{x≤20}({0} ∪ MAP₊₂(x))).
+  E e = E::Ifp(E::Select(
+      FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(20))),
+      E::Union(E::Singleton(IV(0)), E::Map(fn::AddConst(2), E::IterVar(0)))));
+  auto r = EvalAlgebra(e, SetDb{});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->size(), 11u);
+  EXPECT_TRUE(r->Contains(IV(14)));
+  EXPECT_FALSE(r->Contains(IV(13)));
+}
+
+TEST(AlgebraEvalTest, NestedIfpDeBruijn) {
+  // Outer IFP grows {0..3} one at a time; the inner IFP re-derives the
+  // outer accumulation (IterVar(1)) plus its own step.  Checks that
+  // de Bruijn levels address the right accumulator.
+  E inner = E::Ifp(E::Union(E::IterVar(1), E::Singleton(IV(100))));
+  E outer = E::Ifp(E::Select(
+      FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(100))),
+      E::Union(E::Singleton(IV(0)),
+               E::Map(fn::AddConst(1),
+                      E::Select(FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(2))),
+                                inner)))));
+  auto r = EvalAlgebra(outer, SetDb{});
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The inner IFP yields (outer acc) ∪ {100}; σ_{x≤2} then keeps only
+  // 0..2, so the map produces 1..3 and 100 never reaches the outer
+  // accumulator.  Exact contents: {0, 1, 2, 3}.
+  EXPECT_EQ(*r, (ValueSet{IV(0), IV(1), IV(2), IV(3)}));
+}
+
+TEST(AlgebraEvalTest, RecursiveConstantRejectedByTwoValuedEval) {
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  auto r = EvalAlgebra(E::Relation("S"), prog, SetDb{});
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status();
+}
+
+// ---------------------------------------------------------------------
+// Program validation and normalization.
+
+TEST(ProgramTest, ValidateCatchesArityMismatch) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{"f", 1, E::Param(0)});
+  prog.AddDef(Definition{"g", 0, E::Call("f", {})});
+  EXPECT_TRUE(prog.Validate().IsInvalidArgument());
+}
+
+TEST(ProgramTest, ValidateCatchesBadParamIndex) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{"f", 1, E::Param(1)});
+  EXPECT_TRUE(prog.Validate().IsInvalidArgument());
+}
+
+TEST(ProgramTest, ValidateCatchesUnknownCall) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{"f", 0, E::Call("nosuch", {})});
+  EXPECT_TRUE(prog.Validate().IsNotFound());
+}
+
+TEST(ProgramTest, ValidateCatchesEscapedIterVar) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{"f", 0, E::IterVar(0)});
+  EXPECT_TRUE(prog.Validate().IsInvalidArgument());
+}
+
+TEST(ProgramTest, RecursiveDefsDetected) {
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Union(E::Relation("R"), E::Call("S", {})));
+  prog.AddDef(Definition{"helper", 1, E::Param(0)});
+  auto rec = prog.RecursiveDefs();
+  EXPECT_EQ(rec, std::vector<std::string>{"S"});
+  EXPECT_FALSE(prog.IsNonRecursive());
+}
+
+TEST(ProgramTest, MutualRecursionDetected) {
+  AlgebraProgram prog;
+  prog.DefineConstant("A", E::Call("B", {}));
+  prog.DefineConstant("B", E::Call("A", {}));
+  EXPECT_EQ(prog.RecursiveDefs().size(), 2u);
+}
+
+TEST(ProgramTest, NormalizeInlinesNonRecursive) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{
+      "intersect", 2,
+      E::Diff(E::Param(0), E::Diff(E::Param(0), E::Param(1)))});
+  prog.DefineConstant(
+      "S", E::Call("intersect", {E::Relation("R"), E::Call("S", {})}));
+  auto normalized = NormalizeProgram(prog);
+  ASSERT_TRUE(normalized.ok()) << normalized.status();
+  ASSERT_EQ(normalized->defs().size(), 1u);
+  EXPECT_EQ(normalized->defs()[0].name, "S");
+  // No calls remain; S is referenced as a relation.
+  std::vector<std::string> calls;
+  normalized->defs()[0].body.CollectCalls(&calls);
+  EXPECT_TRUE(calls.empty());
+  std::vector<std::string> rels;
+  normalized->defs()[0].body.CollectRelations(&rels);
+  EXPECT_NE(std::find(rels.begin(), rels.end(), "S"), rels.end());
+}
+
+TEST(ProgramTest, RecursiveParameterizedDefRejected) {
+  AlgebraProgram prog;
+  prog.AddDef(Definition{"f", 1, E::Call("f", {E::Param(0)})});
+  EXPECT_TRUE(NormalizeProgram(prog).status().IsNotImplemented());
+}
+
+TEST(ProgramTest, IterVarShiftOnInlineUnderIfp) {
+  // wrap(x) = IFP(#0 ∪ x): inlining wrap(#0) under an outer IFP must
+  // shift the argument's IterVar so it still refers to the *outer* IFP.
+  AlgebraProgram prog;
+  prog.AddDef(Definition{
+      "wrap", 1, E::Ifp(E::Union(E::IterVar(0), E::Param(0)))});
+  // outer = IFP( σ_{x≤3}( {0} ∪ MAP₊₁(wrap(#0)) ) )
+  E outer = E::Ifp(E::Select(
+      FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(3))),
+      E::Union(E::Singleton(IV(0)),
+               E::Map(fn::AddConst(1), E::Call("wrap", {E::IterVar(0)})))));
+  auto inlined = InlineCalls(outer, prog);
+  ASSERT_TRUE(inlined.ok()) << inlined.status();
+  ASSERT_TRUE(inlined->CheckIterVars().ok());
+  auto r = EvalAlgebra(*inlined, SetDb{});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, (ValueSet{IV(0), IV(1), IV(2), IV(3)}));
+}
+
+// ---------------------------------------------------------------------
+// Positivity / monotonicity analysis.
+
+TEST(PositivityTest, RelationPolarity) {
+  E e = E::Diff(E::Relation("R"), E::Relation("S"));
+  EXPECT_EQ(RelationPolarity(e, "R"), Polarity::kPositive);
+  EXPECT_EQ(RelationPolarity(e, "S"), Polarity::kNegative);
+  EXPECT_EQ(RelationPolarity(e, "T"), Polarity::kAbsent);
+
+  E mixed = E::Union(E::Relation("R"), E::Diff(E::Empty(), E::Relation("R")));
+  EXPECT_EQ(RelationPolarity(mixed, "R"), Polarity::kMixed);
+
+  // Double negation: R − (S − T) leaves T positive.
+  E dd = E::Diff(E::Relation("R"), E::Diff(E::Relation("S"), E::Relation("T")));
+  EXPECT_EQ(RelationPolarity(dd, "T"), Polarity::kPositive);
+  EXPECT_EQ(RelationPolarity(dd, "S"), Polarity::kNegative);
+}
+
+TEST(PositivityTest, IterVarPolarity) {
+  E pos_body = E::Union(E::Singleton(IV(0)), E::IterVar(0));
+  EXPECT_EQ(IterVarPolarity(pos_body), Polarity::kPositive);
+
+  E neg_body = E::Diff(E::Singleton(AV("a")), E::IterVar(0));
+  EXPECT_EQ(IterVarPolarity(neg_body), Polarity::kNegative);
+
+  EXPECT_TRUE(AllIfpsPositive(E::Ifp(pos_body)));
+  EXPECT_FALSE(AllIfpsPositive(E::Ifp(neg_body)));
+}
+
+TEST(PositivityTest, NestedIterVarLevels) {
+  // Inner IFP body references the OUTER accumulator negatively: the
+  // inner IFP is still "positive" in its own variable, the outer is not.
+  E inner = E::Ifp(E::Diff(E::IterVar(0 + 1), E::Singleton(IV(1))));
+  // inner's body: #1 − {1}: #1 is the outer accumulator (positive
+  // polarity here, since left of −).
+  E outer = E::Ifp(inner);
+  EXPECT_TRUE(AllIfpsPositive(outer));
+
+  E inner_neg = E::Ifp(E::Diff(E::Singleton(IV(1)), E::IterVar(1)));
+  E outer2 = E::Ifp(inner_neg);
+  EXPECT_FALSE(AllIfpsPositive(outer2));
+}
+
+TEST(PositivityTest, SystemPositivity) {
+  AlgebraProgram pos;
+  pos.DefineConstant("S", E::Union(E::Relation("R"), E::Relation("S")));
+  auto npos = NormalizeProgram(pos);
+  ASSERT_TRUE(npos.ok());
+  EXPECT_TRUE(SystemIsPositive(*npos));
+
+  AlgebraProgram neg;
+  neg.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  auto nneg = NormalizeProgram(neg);
+  ASSERT_TRUE(nneg.ok());
+  EXPECT_FALSE(SystemIsPositive(*nneg));
+}
+
+TEST(PositivityTest, CheckPositiveIfpAlgebra) {
+  AlgebraProgram prog;
+  E pos_query = E::Ifp(E::Union(E::Relation("R"), E::IterVar(0)));
+  EXPECT_TRUE(CheckPositiveIfpAlgebra(pos_query, prog).ok());
+
+  E neg_query = E::Ifp(E::Diff(E::Relation("R"), E::IterVar(0)));
+  EXPECT_TRUE(CheckPositiveIfpAlgebra(neg_query, prog).IsFailedPrecondition());
+
+  AlgebraProgram rec;
+  rec.DefineConstant("S", E::Call("S", {}));
+  EXPECT_TRUE(
+      CheckPositiveIfpAlgebra(E::Relation("R"), rec).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace awr::algebra

@@ -1,0 +1,247 @@
+// Tests for the 3-valued valid evaluation of algebra= equation systems
+// (paper §3.2, §6): the WIN–MOVE equation, S = {a} − S, the even-number
+// set, and the Proposition 3.4 monotone/IFP coincidence.
+#include <gtest/gtest.h>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/positivity.h"
+#include "awr/algebra/valid_eval.h"
+
+namespace awr::algebra {
+namespace {
+
+using E = AlgebraExpr;
+
+Value IV(int64_t i) { return Value::Int(i); }
+Value AV(std::string_view a) { return Value::Atom(a); }
+
+// WIN = π₁(MOVE − (π₁MOVE × WIN))  — paper Example 3.
+AlgebraProgram WinMoveProgram() {
+  E pi1_move = E::Map(fn::Proj(0), E::Relation("MOVE"));
+  E body = E::Map(fn::Proj(0),
+                  E::Diff(E::Relation("MOVE"),
+                          E::Product(pi1_move, E::Relation("WIN"))));
+  AlgebraProgram prog;
+  prog.DefineConstant("WIN", body);
+  return prog;
+}
+
+SetDb MoveDb(const std::vector<std::pair<std::string, std::string>>& moves) {
+  SetDb db;
+  std::vector<std::pair<Value, Value>> pairs;
+  for (const auto& [a, b] : moves) pairs.emplace_back(AV(a), AV(b));
+  db.DefinePairs("MOVE", pairs);
+  return db;
+}
+
+TEST(ValidEvalTest, PositiveConstantIsTwoValued) {
+  // S = R ∪ S: valid model has S = R exactly.
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Union(E::Relation("R"), E::Relation("S")));
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2)});
+  auto model = EvalAlgebraValid(prog, db);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  EXPECT_EQ(model->Get("S").lower, (ValueSet{IV(1), IV(2)}));
+}
+
+TEST(ValidEvalTest, SelfSubtractionIsUndefined) {
+  // §3.2: S = {a} − S has no initial valid model; membership of a in S
+  // is undefined.
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  auto model = EvalAlgebraValid(prog, SetDb{});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_FALSE(model->IsTwoValued());
+  EXPECT_EQ(model->Member("S", AV("a")), Truth::kUndefined);
+}
+
+TEST(ValidEvalTest, Prop34SeparationFromIfp) {
+  // For the same non-monotone body {a} − x:
+  //  * the declared fixed point S = {a} − S is undefined on a, while
+  //  * IFP_{{a}−x} = {a}  (membership true).
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  auto model = EvalAlgebraValid(prog, SetDb{});
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Member("S", AV("a")), Truth::kUndefined);
+
+  auto ifp = EvalAlgebra(E::Ifp(E::Diff(E::Singleton(AV("a")), E::IterVar(0))),
+                         SetDb{});
+  ASSERT_TRUE(ifp.ok());
+  EXPECT_TRUE(ifp->Contains(AV("a")));
+}
+
+TEST(ValidEvalTest, EvenNumbersBounded) {
+  // Example 3's S = {0} ∪ MAP₊₂(S), bounded to ≤ 20 so the fixpoint is
+  // finite.  MEM is total: true on evens, false on odds (the paper's
+  // "negation is used to implement the standard default mechanism").
+  AlgebraProgram prog;
+  prog.DefineConstant(
+      "S", E::Select(FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(20))),
+                     E::Union(E::Singleton(IV(0)),
+                              E::Map(fn::AddConst(2), E::Relation("S")))));
+  auto model = EvalAlgebraValid(prog, SetDb{});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  EXPECT_EQ(model->Member("S", IV(8)), Truth::kTrue);
+  EXPECT_EQ(model->Member("S", IV(20)), Truth::kTrue);
+  EXPECT_EQ(model->Member("S", IV(7)), Truth::kFalse);
+  EXPECT_EQ(model->Member("S", IV(22)), Truth::kFalse);
+  EXPECT_EQ(model->Get("S").lower.size(), 11u);
+}
+
+TEST(ValidEvalTest, UnboundedEvenNumbersHitLimits) {
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Union(E::Singleton(IV(0)),
+                                    E::Map(fn::AddConst(2), E::Relation("S"))));
+  AlgebraEvalOptions opts;
+  opts.limits = EvalLimits::Tiny();
+  auto model = EvalAlgebraValid(prog, SetDb{}, opts);
+  EXPECT_TRUE(model.status().IsResourceExhausted()) << model.status();
+}
+
+TEST(ValidEvalTest, WinMoveAcyclicIsTwoValued) {
+  // a -> b -> c: b wins, a and c lose.  "If the MOVE relation is
+  // acyclic then the valid interpretation is 2-valued" (Example 3).
+  auto model = EvalAlgebraValid(WinMoveProgram(), MoveDb({{"a", "b"}, {"b", "c"}}));
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  EXPECT_EQ(model->Member("WIN", AV("b")), Truth::kTrue);
+  EXPECT_EQ(model->Member("WIN", AV("a")), Truth::kFalse);
+  EXPECT_EQ(model->Member("WIN", AV("c")), Truth::kFalse);
+}
+
+TEST(ValidEvalTest, WinMoveSelfLoopUndefined) {
+  // §3.2: with tuple [a, a] in MOVE, membership of a in WIN is undefined.
+  auto model = EvalAlgebraValid(WinMoveProgram(), MoveDb({{"a", "a"}}));
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_FALSE(model->IsTwoValued());
+  EXPECT_EQ(model->Member("WIN", AV("a")), Truth::kUndefined);
+}
+
+TEST(ValidEvalTest, WinMoveCycleWithEscape) {
+  auto model = EvalAlgebraValid(
+      WinMoveProgram(), MoveDb({{"a", "b"}, {"b", "a"}, {"b", "c"}}));
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  EXPECT_EQ(model->Member("WIN", AV("b")), Truth::kTrue);
+  EXPECT_EQ(model->Member("WIN", AV("a")), Truth::kFalse);
+}
+
+TEST(ValidEvalTest, MutualRecursionAcrossConstants) {
+  // A = R − B, B = R − A over R = {1}: classic even-cycle — every
+  // element of R is undefined in both.
+  AlgebraProgram prog;
+  prog.DefineConstant("A", E::Diff(E::Relation("R"), E::Relation("B")));
+  prog.DefineConstant("B", E::Diff(E::Relation("R"), E::Relation("A")));
+  SetDb db;
+  db.Define("R", ValueSet{IV(1)});
+  auto model = EvalAlgebraValid(prog, db);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model->Member("A", IV(1)), Truth::kUndefined);
+  EXPECT_EQ(model->Member("B", IV(1)), Truth::kUndefined);
+}
+
+TEST(ValidEvalTest, Prop32ReductionBehaviour) {
+  // Proposition 3.2's construction: S' = σ_{EQ(x,a)}(S) − S'.
+  // The program has an initial valid model iff a ∉ S.
+  auto make = [](ValueSet s_content) {
+    AlgebraProgram prog;
+    prog.DefineConstant("Sp",
+                        E::Diff(E::Select(fn::EqConst(AV("a")), E::Relation("S")),
+                                E::Relation("Sp")));
+    SetDb db;
+    db.Define("S", std::move(s_content));
+    return EvalAlgebraValid(prog, db);
+  };
+  // a ∈ S: not well-defined (a undefined in S').
+  auto with_a = make(ValueSet{AV("a"), AV("b")});
+  ASSERT_TRUE(with_a.ok());
+  EXPECT_FALSE(with_a->IsTwoValued());
+  EXPECT_EQ(with_a->Member("Sp", AV("a")), Truth::kUndefined);
+  // a ∉ S: well-defined with S' empty.
+  auto without_a = make(ValueSet{AV("b")});
+  ASSERT_TRUE(without_a.ok());
+  EXPECT_TRUE(without_a->IsTwoValued());
+  EXPECT_EQ(without_a->Get("Sp").lower.size(), 0u);
+}
+
+TEST(ValidEvalTest, QueryOverValidModel) {
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Union(E::Relation("R"), E::Relation("S")));
+  SetDb db;
+  db.Define("R", ValueSet{IV(1), IV(2)});
+  db.Define("T", ValueSet{IV(2), IV(3)});
+  auto q = EvalQueryValid(E::Diff(E::Relation("S"), E::Relation("T")), prog, db);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->IsTwoValued());
+  EXPECT_EQ(q->lower, (ValueSet{IV(1)}));
+}
+
+TEST(ValidEvalTest, QueryPropagatesUndefinedness) {
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Diff(E::Singleton(AV("a")), E::Relation("S")));
+  // Query: {a, b} − S: membership of a is undefined, b is certain.
+  auto q = EvalQueryValid(
+      E::Diff(E::LiteralSet(ValueSet{AV("a"), AV("b")}), E::Relation("S")),
+      prog, SetDb{});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->Member(AV("b")), Truth::kTrue);
+  EXPECT_EQ(q->Member(AV("a")), Truth::kUndefined);
+}
+
+TEST(ValidEvalTest, DbExtentUnionsIntoSameNamedConstant) {
+  // A constant with both a database extent and an equation behaves like
+  // a deductive predicate with both facts and rules: S = {1} ∪ S.
+  AlgebraProgram prog;
+  prog.DefineConstant("S", E::Relation("S"));
+  SetDb db;
+  db.Define("S", ValueSet{IV(1)});
+  auto model = EvalAlgebraValid(prog, db);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  EXPECT_EQ(model->Get("S").lower, (ValueSet{IV(1)}));
+}
+
+// Prop 3.4: for monotone (syntactically positive) bodies, the declared
+// fixpoint S = exp(S) and IFP_exp agree — swept over several bodies.
+struct MonotoneCase {
+  std::string label;
+  E body_as_constant;  // references "S"
+  E body_as_ifp;       // references IterVar(0)
+};
+
+class Prop34Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Prop34Test, DeclaredFixpointMatchesIfp) {
+  int variant = GetParam();
+  // Bodies over a universe bounded by N; all positive in S.
+  const int64_t kBound = 24;
+  auto bound = [&](E e) {
+    return E::Select(FnExpr::Le(FnExpr::Arg(), FnExpr::Cst(IV(kBound))),
+                     std::move(e));
+  };
+  E seed = E::Singleton(IV(variant));  // different seeds per variant
+  E as_const = bound(
+      E::Union(seed, E::Map(fn::AddConst(variant + 1), E::Relation("S"))));
+  E as_ifp = bound(
+      E::Union(seed, E::Map(fn::AddConst(variant + 1), E::IterVar(0))));
+
+  AlgebraProgram prog;
+  prog.DefineConstant("S", as_const);
+  auto model = EvalAlgebraValid(prog, SetDb{});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+
+  auto ifp = EvalAlgebra(E::Ifp(as_ifp), SetDb{});
+  ASSERT_TRUE(ifp.ok()) << ifp.status();
+  EXPECT_EQ(model->Get("S").lower, *ifp);
+}
+
+INSTANTIATE_TEST_SUITE_P(MonotoneBodies, Prop34Test,
+                         ::testing::Values(0, 1, 2, 3, 5));
+
+}  // namespace
+}  // namespace awr::algebra

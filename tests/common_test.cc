@@ -1,0 +1,138 @@
+// Tests for the common substrate: Status, Result, interning, budgets.
+#include <gtest/gtest.h>
+
+#include "awr/common/hash.h"
+#include "awr/common/intern.h"
+#include "awr/common/limits.h"
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+#include "awr/common/strings.h"
+
+namespace awr {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Undefined("x").IsUndefined());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_FALSE(Status::NotFound("x").ok());
+}
+
+TEST(StatusTest, MessageAndToString) {
+  Status st = Status::NotFound("relation foo");
+  EXPECT_EQ(st.message(), "relation foo");
+  EXPECT_EQ(st.ToString(), "NotFound: relation foo");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto helper = [](bool fail) -> Status {
+    AWR_RETURN_IF_ERROR(fail ? Status::Internal("boom") : Status::OK());
+    return Status::NotFound("fell through");
+  };
+  EXPECT_TRUE(helper(true).IsInternal());
+  EXPECT_TRUE(helper(false).IsNotFound());
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad = Status::NotFound("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_EQ(ok.value_or(-1), 42);
+}
+
+TEST(ResultTest, OkStatusBecomesInternal) {
+  Result<int> weird = Status::OK();
+  EXPECT_FALSE(weird.ok());
+  EXPECT_TRUE(weird.status().IsInternal());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("bad");
+    return 7;
+  };
+  auto consumer = [&](bool fail) -> Result<int> {
+    AWR_ASSIGN_OR_RETURN(int v, source(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*consumer(false), 14);
+  EXPECT_TRUE(consumer(true).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(5);
+  };
+  auto r = make();
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+TEST(InternTest, StableIdsAndRoundTrip) {
+  uint32_t a1 = InternString("alpha_test_string");
+  uint32_t a2 = InternString("alpha_test_string");
+  uint32_t b = InternString("beta_test_string");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(InternedString(a1), "alpha_test_string");
+  EXPECT_EQ(InternedString(b), "beta_test_string");
+}
+
+TEST(HashTest, CombineAndRange) {
+  size_t h1 = HashCombine(1, 2);
+  size_t h2 = HashCombine(1, 2);
+  size_t h3 = HashCombine(2, 1);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(HashRange(v.begin(), v.end()), HashRange(v.begin(), v.end()));
+}
+
+TEST(LimitsTest, RoundBudgetTrips) {
+  EvalBudget budget(EvalLimits{3, 1000});
+  EXPECT_TRUE(budget.ChargeRound("t").ok());
+  EXPECT_TRUE(budget.ChargeRound("t").ok());
+  EXPECT_TRUE(budget.ChargeRound("t").ok());
+  Status st = budget.ChargeRound("loop-name");
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_NE(st.message().find("loop-name"), std::string::npos);
+}
+
+TEST(LimitsTest, FactBudgetTrips) {
+  EvalBudget budget(EvalLimits{100, 10});
+  EXPECT_TRUE(budget.ChargeFacts(6, "t").ok());
+  EXPECT_TRUE(budget.ChargeFacts(4, "t").ok());
+  EXPECT_TRUE(budget.ChargeFacts(1, "t").IsResourceExhausted());
+  EXPECT_EQ(budget.facts(), 11u);
+}
+
+TEST(StringsTest, JoinVariants) {
+  std::vector<std::string> xs{"a", "b", "c"};
+  EXPECT_EQ(Join(xs, ", "), "a, b, c");
+  EXPECT_EQ(Join(std::vector<std::string>{}, ","), "");
+  std::vector<int> ns{1, 2};
+  EXPECT_EQ(JoinMapped(ns, "+", [](int n) { return std::to_string(n * 10); }),
+            "10+20");
+}
+
+}  // namespace
+}  // namespace awr

@@ -1,0 +1,194 @@
+// Tests for the datalog AST, safety checking (Definition 4.1),
+// dependency graph and stratification.
+#include <gtest/gtest.h>
+
+#include "awr/datalog/ast.h"
+#include "awr/datalog/builders.h"
+#include "awr/datalog/depgraph.h"
+#include "awr/datalog/functions.h"
+#include "awr/datalog/safety.h"
+
+namespace awr::datalog {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+
+TEST(AstTest, RuleToString) {
+  Rule r = R(H("tc", V("x"), V("z")),
+             {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))});
+  EXPECT_EQ(r.ToString(), "tc(x, z) :- edge(x, y), tc(y, z).");
+}
+
+TEST(AstTest, NegatedLiteralToString) {
+  Rule r = R(H("win", V("x")), {B("move", V("x"), V("y")), N("win", V("y"))});
+  EXPECT_EQ(r.ToString(), "win(x) :- move(x, y), not win(y).");
+}
+
+TEST(AstTest, ProgramPredicateClassification) {
+  Program p;
+  p.rules.push_back(
+      R(H("win", V("x")), {B("move", V("x"), V("y")), N("win", V("y"))}));
+  EXPECT_EQ(p.IdbPredicates(), std::vector<std::string>{"win"});
+  EXPECT_EQ(p.EdbPredicates(), std::vector<std::string>{"move"});
+  EXPECT_TRUE(p.UsesNegation());
+}
+
+TEST(AstTest, CollectVarsCoversHeadAndBody) {
+  Rule r = R(H("q", V("x")), {B("r", V("x"), V("y")), Ne(V("x"), V("y"))});
+  std::vector<Var> vars;
+  r.CollectVars(&vars);
+  EXPECT_EQ(vars.size(), 5u);
+}
+
+TEST(AstTest, FunctionTermToString) {
+  TermExpr t = F("add", {V("x"), I(1)});
+  EXPECT_EQ(t.ToString(), "add(x, 1)");
+}
+
+TEST(SafetyTest, SimplePositiveRuleIsSafe) {
+  Rule r = R(H("p", V("x")), {B("q", V("x"))});
+  EXPECT_TRUE(CheckRuleSafe(r).ok());
+}
+
+TEST(SafetyTest, HeadVariableNotRestrictedIsUnsafe) {
+  Rule r = R(H("p", V("x"), V("y")), {B("q", V("x"))});
+  Status st = CheckRuleSafe(r);
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st;
+}
+
+TEST(SafetyTest, NegativeLiteralNeedsBoundVars) {
+  // Definition 4.1 clause 3: ¬φ2's variables must be restricted by φ1.
+  Rule bad = R(H("p", V("x")), {N("q", V("x"))});
+  EXPECT_TRUE(CheckRuleSafe(bad).IsFailedPrecondition());
+
+  Rule good = R(H("p", V("x")), {B("r", V("x")), N("q", V("x"))});
+  EXPECT_TRUE(CheckRuleSafe(good).ok());
+}
+
+TEST(SafetyTest, AssignmentBindsVariable) {
+  // Definition 4.1 basis (b) and clause 4: x = ground-exp and y = exp.
+  Rule r1 = R(H("p", V("x")), {Eq(V("x"), I(5))});
+  EXPECT_TRUE(CheckRuleSafe(r1).ok());
+
+  Rule r2 = R(H("p", V("y")), {B("q", V("x")), Eq(V("y"), F("add", {V("x"), I(1)}))});
+  EXPECT_TRUE(CheckRuleSafe(r2).ok());
+
+  // y = f(z) with z unrestricted is unsafe.
+  Rule r3 = R(H("p", V("y")), {Eq(V("y"), F("add", {V("z"), I(1)}))});
+  EXPECT_TRUE(CheckRuleSafe(r3).IsFailedPrecondition());
+}
+
+TEST(SafetyTest, ComparisonTestNeedsBoundVars) {
+  Rule bad = R(H("p", V("x")), {Lt(V("x"), I(3))});
+  EXPECT_TRUE(CheckRuleSafe(bad).IsFailedPrecondition());
+
+  Rule good = R(H("p", V("x")), {B("q", V("x")), Lt(V("x"), I(3))});
+  EXPECT_TRUE(CheckRuleSafe(good).ok());
+}
+
+TEST(SafetyTest, PlanReordersLiterals) {
+  // The negative literal appears first syntactically but must be
+  // evaluated after the positive one.
+  Rule r = R(H("p", V("x")), {N("q", V("x")), B("r", V("x"))});
+  auto plan = PlanRule(r);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(*plan, (RulePlan{1, 0}));
+}
+
+TEST(SafetyTest, FunctionApplicationInAtomArgNeedsBoundVars) {
+  // q(add(x,1)) cannot bind x (functions are not inverted).
+  Rule bad = R(H("p", V("x")), {B("q", F("add", {V("x"), I(1)}))});
+  EXPECT_TRUE(CheckRuleSafe(bad).IsFailedPrecondition());
+
+  Rule good = R(H("p", V("x")),
+                {B("r", V("x")), B("q", F("add", {V("x"), I(1)}))});
+  EXPECT_TRUE(CheckRuleSafe(good).ok());
+}
+
+TEST(SafetyTest, GroundFactIsSafe) {
+  Rule fact = R(H("p", I(1), A("a")));
+  EXPECT_TRUE(CheckRuleSafe(fact).ok());
+}
+
+TEST(DepGraphTest, SccGroupsMutualRecursion) {
+  Program p;
+  p.rules.push_back(R(H("a", V("x")), {B("b", V("x"))}));
+  p.rules.push_back(R(H("b", V("x")), {B("a", V("x"))}));
+  p.rules.push_back(R(H("c", V("x")), {B("a", V("x"))}));
+  DependencyGraph g(p);
+  EXPECT_TRUE(g.SameScc("a", "b"));
+  EXPECT_FALSE(g.SameScc("a", "c"));
+  EXPECT_FALSE(g.HasNegativeCycle());
+}
+
+TEST(DepGraphTest, NegativeSelfLoopDetected) {
+  Program p;
+  p.rules.push_back(R(H("win", V("x")),
+                      {B("move", V("x"), V("y")), N("win", V("y"))}));
+  DependencyGraph g(p);
+  EXPECT_TRUE(g.HasNegativeCycle());
+  EXPECT_TRUE(Stratify(p).status().IsFailedPrecondition());
+}
+
+TEST(DepGraphTest, StratificationLayersNegation) {
+  // reach, then complement, then further derivation.
+  Program p;
+  p.rules.push_back(R(H("reach", V("x")), {B("source", V("x"))}));
+  p.rules.push_back(
+      R(H("reach", V("y")), {B("reach", V("x")), B("edge", V("x"), V("y"))}));
+  p.rules.push_back(
+      R(H("unreached", V("x")), {B("node", V("x")), N("reach", V("x"))}));
+  p.rules.push_back(R(H("report", V("x")), {B("unreached", V("x"))}));
+  auto strata = Stratify(p);
+  ASSERT_TRUE(strata.ok()) << strata.status();
+
+  auto stratum_of = [&](const std::string& pred) -> int {
+    for (size_t s = 0; s < strata->size(); ++s) {
+      for (const auto& q : (*strata)[s]) {
+        if (q == pred) return static_cast<int>(s);
+      }
+    }
+    return -1;
+  };
+  EXPECT_LT(stratum_of("reach"), stratum_of("unreached"));
+  EXPECT_LE(stratum_of("unreached"), stratum_of("report"));
+  EXPECT_EQ(stratum_of("source"), 0);
+}
+
+TEST(DepGraphTest, NegationBetweenSccsIsStratifiable) {
+  Program p;
+  p.rules.push_back(R(H("p", V("x")), {B("base", V("x")), N("q", V("x"))}));
+  p.rules.push_back(R(H("q", V("x")), {B("base2", V("x"))}));
+  EXPECT_TRUE(Stratify(p).ok());
+}
+
+TEST(FunctionsTest, DefaultRegistryArithmetic) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  auto r = fns.Apply("add", {Value::Int(2), Value::Int(3)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Int(5));
+  EXPECT_EQ(*fns.Apply("succ", {Value::Int(9)}), Value::Int(10));
+  EXPECT_EQ(*fns.Apply("mul", {Value::Int(4), Value::Int(5)}), Value::Int(20));
+}
+
+TEST(FunctionsTest, TupleOps) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  Value pair = *fns.Apply("pair", {Value::Atom("a"), Value::Atom("b")});
+  EXPECT_EQ(*fns.Apply("fst", {pair}), Value::Atom("a"));
+  EXPECT_EQ(*fns.Apply("snd", {pair}), Value::Atom("b"));
+  EXPECT_EQ(*fns.Apply("nth", {pair, Value::Int(1)}), Value::Atom("b"));
+  EXPECT_TRUE(fns.Apply("nth", {pair, Value::Int(7)}).status().IsInvalidArgument());
+}
+
+TEST(FunctionsTest, ErrorsAreReported) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  EXPECT_TRUE(fns.Apply("nosuch", {}).status().IsNotFound());
+  EXPECT_TRUE(
+      fns.Apply("add", {Value::Int(1)}).status().IsInvalidArgument());
+  EXPECT_TRUE(fns.Apply("add", {Value::Atom("x"), Value::Int(1)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace awr::datalog

@@ -1,0 +1,349 @@
+// Tests for the five datalog evaluators: minimal model, stratified,
+// inflationary, well-founded/valid, and stable models — including the
+// paper's WIN–MOVE game (Example 3) and the Example 4 program whose
+// inflationary and valid semantics differ.
+#include <gtest/gtest.h>
+
+#include "awr/datalog/builders.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::datalog {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+
+Value Fact1(std::string_view a) { return Value::Tuple({Value::Atom(a)}); }
+
+Program TransitiveClosure() {
+  Program p;
+  p.rules.push_back(R(H("tc", V("x"), V("y")), {B("edge", V("x"), V("y"))}));
+  p.rules.push_back(R(H("tc", V("x"), V("z")),
+                      {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))}));
+  return p;
+}
+
+Database ChainEdges(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+Program WinMove() {
+  Program p;
+  p.rules.push_back(
+      R(H("win", V("x")), {B("move", V("x"), V("y")), N("win", V("y"))}));
+  return p;
+}
+
+Database MoveFacts(const std::vector<std::pair<std::string, std::string>>& moves) {
+  Database db;
+  for (const auto& [a, b] : moves) {
+    db.AddFact("move", {Value::Atom(a), Value::Atom(b)});
+  }
+  return db;
+}
+
+// ---------------------------------------------------------------------
+// Minimal model (positive programs).
+
+TEST(MinimalModelTest, TransitiveClosureOfChain) {
+  auto result = EvalMinimalModel(TransitiveClosure(), ChainEdges(5));
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Chain of 6 nodes: C(6,2) = 15 pairs.
+  EXPECT_EQ(result->Extent("tc").size(), 15u);
+  EXPECT_TRUE(result->Holds("tc", Value::Tuple({Value::Int(0), Value::Int(5)})));
+  EXPECT_FALSE(result->Holds("tc", Value::Tuple({Value::Int(5), Value::Int(0)})));
+}
+
+TEST(MinimalModelTest, NaiveAndSeminaiveAgree) {
+  Database db = ChainEdges(12);
+  EvalOptions naive;
+  naive.seminaive = false;
+  auto a = EvalMinimalModel(TransitiveClosure(), db, naive);
+  auto b = EvalMinimalModel(TransitiveClosure(), db);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(MinimalModelTest, RejectsNegation) {
+  auto result = EvalMinimalModel(WinMove(), MoveFacts({{"a", "b"}}));
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(MinimalModelTest, CyclicGraphTerminates) {
+  Database db;
+  db.AddFact("edge", {Value::Int(0), Value::Int(1)});
+  db.AddFact("edge", {Value::Int(1), Value::Int(0)});
+  auto result = EvalMinimalModel(TransitiveClosure(), db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Extent("tc").size(), 4u);
+}
+
+TEST(MinimalModelTest, InterpretedFunctionsGenerate) {
+  // nums(i) for 0 <= i < 10 via succ, bounded by a comparison.
+  Program p;
+  p.rules.push_back(R(H("nums", V("x")), {Eq(V("x"), I(0))}));
+  p.rules.push_back(R(H("nums", V("y")),
+                      {B("nums", V("x")), Lt(V("x"), I(9)),
+                       Eq(V("y"), F("succ", {V("x")}))}));
+  auto result = EvalMinimalModel(p, Database{});
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->Extent("nums").size(), 10u);
+}
+
+TEST(MinimalModelTest, UnboundedGenerationHitsLimits) {
+  // Example 1's flavour: an infinite set; the engine must refuse to
+  // diverge and report ResourceExhausted.
+  Program p;
+  p.rules.push_back(R(H("even", V("x")), {Eq(V("x"), I(0))}));
+  p.rules.push_back(R(H("even", V("y")),
+                      {B("even", V("x")), Eq(V("y"), F("add", {V("x"), I(2)}))}));
+  EvalOptions opts;
+  opts.limits = EvalLimits::Tiny();
+  auto result = EvalMinimalModel(p, Database{}, opts);
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+}
+
+// ---------------------------------------------------------------------
+// Stratified evaluation.
+
+TEST(StratifiedTest, ComplementOfReachability) {
+  Program p;
+  p.rules.push_back(R(H("reach", V("x")), {B("source", V("x"))}));
+  p.rules.push_back(
+      R(H("reach", V("y")), {B("reach", V("x")), B("edge", V("x"), V("y"))}));
+  p.rules.push_back(
+      R(H("unreached", V("x")), {B("node", V("x")), N("reach", V("x"))}));
+  Database db;
+  for (const char* n : {"a", "b", "c", "d"}) db.AddFact("node", {Value::Atom(n)});
+  db.AddFact("source", {Value::Atom("a")});
+  db.AddFact("edge", {Value::Atom("a"), Value::Atom("b")});
+  db.AddFact("edge", {Value::Atom("c"), Value::Atom("d")});
+
+  auto result = EvalStratified(p, db);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->Holds("reach", Fact1("b")));
+  EXPECT_TRUE(result->Holds("unreached", Fact1("c")));
+  EXPECT_TRUE(result->Holds("unreached", Fact1("d")));
+  EXPECT_FALSE(result->Holds("unreached", Fact1("a")));
+  EXPECT_EQ(result->Extent("unreached").size(), 2u);
+}
+
+TEST(StratifiedTest, RejectsNonStratifiable) {
+  auto result = EvalStratified(WinMove(), MoveFacts({{"a", "b"}}));
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST(StratifiedTest, AgreesWithWellFoundedOnStratifiablePrograms) {
+  Program p;
+  p.rules.push_back(R(H("reach", V("x")), {B("source", V("x"))}));
+  p.rules.push_back(
+      R(H("reach", V("y")), {B("reach", V("x")), B("edge", V("x"), V("y"))}));
+  p.rules.push_back(
+      R(H("unreached", V("x")), {B("node", V("x")), N("reach", V("x"))}));
+  Database db;
+  for (const char* n : {"a", "b", "c"}) db.AddFact("node", {Value::Atom(n)});
+  db.AddFact("source", {Value::Atom("a")});
+  db.AddFact("edge", {Value::Atom("a"), Value::Atom("b")});
+
+  auto strat = EvalStratified(p, db);
+  auto wfs = EvalWellFounded(p, db);
+  ASSERT_TRUE(strat.ok());
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_TRUE(wfs->IsTwoValued());
+  EXPECT_EQ(*strat, wfs->certain);
+}
+
+// ---------------------------------------------------------------------
+// Inflationary evaluation (paper Example 4).
+
+TEST(InflationaryTest, Example4DerivesQ) {
+  // R(a).  Q(x) :- R(x), not Q(x).   Under inflationary semantics Q(a)
+  // IS derived ("was not derived so far"); under valid semantics it is
+  // undefined.
+  Program p;
+  p.rules.push_back(R(H("r", A("a"))));
+  p.rules.push_back(R(H("q", V("x")), {B("r", V("x")), N("q", V("x"))}));
+
+  auto infl = EvalInflationary(p, Database{});
+  ASSERT_TRUE(infl.ok()) << infl.status();
+  EXPECT_TRUE(infl->Holds("q", Fact1("a")));
+
+  auto wfs = EvalWellFounded(p, Database{});
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_EQ(wfs->QueryFact("q", Fact1("a")), Truth::kUndefined);
+}
+
+TEST(InflationaryTest, ReportsRounds) {
+  size_t rounds = 0;
+  auto result = EvalInflationaryWithRounds(TransitiveClosure(), ChainEdges(6),
+                                           EvalOptions{}, &rounds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(rounds, 3u);
+  EXPECT_EQ(result->Extent("tc").size(), 21u);
+}
+
+TEST(InflationaryTest, AgreesWithMinimalModelOnPositivePrograms) {
+  auto a = EvalInflationary(TransitiveClosure(), ChainEdges(8));
+  auto b = EvalMinimalModel(TransitiveClosure(), ChainEdges(8));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+// ---------------------------------------------------------------------
+// Well-founded / valid model (paper Example 3: the WIN–MOVE game).
+
+TEST(WellFoundedTest, AcyclicGameIsTwoValued) {
+  // a -> b -> c: c is lost (no moves), b is won, a is lost.
+  auto wfs = EvalWellFounded(WinMove(), MoveFacts({{"a", "b"}, {"b", "c"}}));
+  ASSERT_TRUE(wfs.ok()) << wfs.status();
+  EXPECT_TRUE(wfs->IsTwoValued());
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("b")), Truth::kTrue);
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("a")), Truth::kFalse);
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("c")), Truth::kFalse);
+}
+
+TEST(WellFoundedTest, SelfLoopIsUndefined) {
+  // "If the MOVE relation contains the tuple [a, a], then the
+  // membership status of a in WIN will be undefined." (§3.2)
+  auto wfs = EvalWellFounded(WinMove(), MoveFacts({{"a", "a"}}));
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_FALSE(wfs->IsTwoValued());
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("a")), Truth::kUndefined);
+}
+
+TEST(WellFoundedTest, DrawCycleWithEscape) {
+  // Cycle a <-> b plus b -> c (c lost): b can move to the lost c, so b
+  // is won; a's only move is to the won b, so a is lost.
+  auto wfs = EvalWellFounded(
+      WinMove(), MoveFacts({{"a", "b"}, {"b", "a"}, {"b", "c"}}));
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_TRUE(wfs->IsTwoValued());
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("b")), Truth::kTrue);
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("a")), Truth::kFalse);
+}
+
+TEST(WellFoundedTest, PureCycleAllUndefined) {
+  auto wfs = EvalWellFounded(
+      WinMove(), MoveFacts({{"a", "b"}, {"b", "c"}, {"c", "a"}}));
+  ASSERT_TRUE(wfs.ok());
+  for (const char* pos : {"a", "b", "c"}) {
+    EXPECT_EQ(wfs->QueryFact("win", Fact1(pos)), Truth::kUndefined) << pos;
+  }
+}
+
+TEST(WellFoundedTest, PNotPIsUndefined) {
+  Program p;
+  p.rules.push_back(R(H("p", A("a")), {N("p", A("a"))}));
+  auto wfs = EvalWellFounded(p, Database{});
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_EQ(wfs->QueryFact("p", Fact1("a")), Truth::kUndefined);
+}
+
+TEST(WellFoundedTest, UndefinedFactsReporting) {
+  // a is a drawn self-loop; b -> c is decided (b won, c lost).
+  auto wfs = EvalWellFounded(WinMove(), MoveFacts({{"a", "a"}, {"b", "c"}}));
+  ASSERT_TRUE(wfs.ok());
+  Interpretation undef = wfs->UndefinedFacts();
+  EXPECT_TRUE(undef.Holds("win", Fact1("a")));
+  EXPECT_EQ(undef.TotalFacts(), 1u);
+  EXPECT_EQ(wfs->QueryFact("win", Fact1("b")), Truth::kTrue);
+}
+
+// ---------------------------------------------------------------------
+// Stable models.
+
+TEST(StableTest, TwoValuedWfsGivesUniqueStableModel) {
+  auto models = EvalStableModels(WinMove(), MoveFacts({{"a", "b"}, {"b", "c"}}));
+  ASSERT_TRUE(models.ok()) << models.status();
+  ASSERT_EQ(models->size(), 1u);
+  EXPECT_TRUE((*models)[0].Holds("win", Fact1("b")));
+  EXPECT_FALSE((*models)[0].Holds("win", Fact1("a")));
+}
+
+TEST(StableTest, PNotPHasNoStableModel) {
+  Program p;
+  p.rules.push_back(R(H("p", A("a")), {N("p", A("a"))}));
+  auto models = EvalStableModels(p, Database{});
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_TRUE(models->empty());
+}
+
+TEST(StableTest, EvenCycleHasTwoStableModels) {
+  // p :- not q.  q :- not p.  Two stable models: {p}, {q}.
+  Program p;
+  p.rules.push_back(R(H("p", A("t")), {N("q", A("t"))}));
+  p.rules.push_back(R(H("q", A("t")), {N("p", A("t"))}));
+  auto models = EvalStableModels(p, Database{});
+  ASSERT_TRUE(models.ok()) << models.status();
+  ASSERT_EQ(models->size(), 2u);
+  bool saw_p = false, saw_q = false;
+  for (const auto& m : *models) {
+    if (m.Holds("p", Fact1("t"))) {
+      saw_p = true;
+      EXPECT_FALSE(m.Holds("q", Fact1("t")));
+    }
+    if (m.Holds("q", Fact1("t"))) saw_q = true;
+  }
+  EXPECT_TRUE(saw_p);
+  EXPECT_TRUE(saw_q);
+}
+
+TEST(StableTest, TwoCycleGameHasTwoStableModels) {
+  // move(a,b), move(b,a): stable models {win(a)} and {win(b)}.
+  auto models = EvalStableModels(WinMove(), MoveFacts({{"a", "b"}, {"b", "a"}}));
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_EQ(models->size(), 2u);
+}
+
+TEST(StableTest, OddLoopGameHasNoStableModel) {
+  // move(a,a): win(a) :- not win(a) after grounding — no stable model.
+  auto models = EvalStableModels(WinMove(), MoveFacts({{"a", "a"}}));
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_TRUE(models->empty());
+}
+
+TEST(StableTest, WfsTrueFactsHoldInEveryStableModel) {
+  auto moves = MoveFacts({{"a", "b"}, {"b", "a"}, {"b", "c"}, {"c", "d"},
+                          {"d", "c"}});
+  auto wfs = EvalWellFounded(WinMove(), moves);
+  auto models = EvalStableModels(WinMove(), moves);
+  ASSERT_TRUE(wfs.ok());
+  ASSERT_TRUE(models.ok());
+  ASSERT_FALSE(models->empty());
+  for (const auto& m : *models) {
+    for (const auto& [pred, extent] : wfs->certain) {
+      for (const Value& fact : extent) {
+        EXPECT_TRUE(m.Holds(pred, fact)) << pred << fact.ToString();
+      }
+    }
+    // And nothing outside WFS-possible is in any stable model.
+    for (const auto& [pred, extent] : m) {
+      for (const Value& fact : extent) {
+        EXPECT_TRUE(wfs->possible.Holds(pred, fact)) << pred << fact.ToString();
+      }
+    }
+  }
+}
+
+TEST(GroundTest, GroundProgramHasExpectedShape) {
+  auto ground = GroundProgramFor(WinMove(), MoveFacts({{"a", "b"}, {"b", "a"}}));
+  ASSERT_TRUE(ground.ok()) << ground.status();
+  EXPECT_EQ(ground->facts.size(), 2u);  // the two move facts
+  EXPECT_EQ(ground->rules.size(), 2u);  // win(a) and win(b) instances
+  for (const GroundRule& r : ground->rules) {
+    EXPECT_EQ(r.head.predicate, "win");
+    EXPECT_EQ(r.neg.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace awr::datalog

@@ -1,0 +1,271 @@
+// Theorem 6.2: the d.i. deductive language, the safe deductive
+// language, algebra=, and IFP-algebra= are equivalent.  This suite
+// drives whole queries around the translation square and checks that
+// every language computes the same (3-valued) answer:
+//
+//        safe datalog  ── DatalogToAlgebra (6.1) ──▶  algebra=
+//             ▲                                           │
+//   MakeSafe (4.2)                            CompileAlgebraQuery (5.4)
+//             │                                           ▼
+//        d.i. datalog  ◀───────────────────────────  datalog
+//
+// plus the IFP-algebra ⊂ algebra= pipeline of Theorem 3.5.
+#include <gtest/gtest.h>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/valid_eval.h"
+#include "awr/datalog/builders.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/wellfounded.h"
+#include "awr/translate/alg_to_datalog.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/pipeline.h"
+#include "awr/translate/stratified_ifp.h"
+
+namespace awr::translate {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+using E = algebra::AlgebraExpr;
+using algebra::FnExpr;
+
+Value IV(int64_t i) { return Value::Int(i); }
+Value AV(std::string_view a) { return Value::Atom(a); }
+
+// A test workload: a safe datalog program + EDB + the predicates whose
+// 3-valued extents we compare.
+struct Workload {
+  std::string name;
+  datalog::Program program;
+  datalog::Database edb;
+  std::vector<std::string> observe;
+};
+
+std::vector<Workload> Workloads() {
+  std::vector<Workload> out;
+  {
+    Workload w;
+    w.name = "win_move_mixed";
+    w.program.rules.push_back(
+        R(H("win", V("x")), {B("move", V("x"), V("y")), N("win", V("y"))}));
+    w.edb.AddFact("move", {AV("a"), AV("b")});
+    w.edb.AddFact("move", {AV("b"), AV("a")});
+    w.edb.AddFact("move", {AV("b"), AV("c")});
+    w.edb.AddFact("move", {AV("d"), AV("d")});
+    w.edb.AddFact("move", {AV("e"), AV("c")});
+    w.observe = {"win"};
+    out.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "tc_with_complement";
+    w.program.rules.push_back(
+        R(H("tc", V("x"), V("y")), {B("edge", V("x"), V("y"))}));
+    w.program.rules.push_back(R(
+        H("tc", V("x"), V("z")), {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))}));
+    w.program.rules.push_back(
+        R(H("untc", V("x"), V("y")),
+          {B("node", V("x")), B("node", V("y")), N("tc", V("x"), V("y"))}));
+    for (int i = 0; i < 5; ++i) w.edb.AddFact("node", {IV(i)});
+    w.edb.AddFact("edge", {IV(0), IV(1)});
+    w.edb.AddFact("edge", {IV(1), IV(2)});
+    w.edb.AddFact("edge", {IV(3), IV(4)});
+    w.edb.AddFact("edge", {IV(4), IV(3)});
+    w.observe = {"tc", "untc"};
+    out.push_back(std::move(w));
+  }
+  {
+    // Two layers of negation: p uses ¬q, q uses ¬r (stratified).
+    Workload w;
+    w.name = "double_negation";
+    w.program.rules.push_back(R(H("r", V("x")), {B("base", V("x")), Lt(V("x"), I(3))}));
+    w.program.rules.push_back(
+        R(H("q", V("x")), {B("base", V("x")), N("r", V("x"))}));
+    w.program.rules.push_back(
+        R(H("p", V("x")), {B("base", V("x")), N("q", V("x"))}));
+    for (int i = 0; i < 6; ++i) w.edb.AddFact("base", {IV(i)});
+    w.observe = {"p", "q", "r"};
+    out.push_back(std::move(w));
+  }
+  {
+    // Non-stratified beyond win-move: mutual recursion through
+    // negation with an interpreted function.
+    Workload w;
+    w.name = "mutual_negation";
+    w.program.rules.push_back(
+        R(H("even", V("x")), {B("num", V("x")), Eq(V("x"), I(0))}));
+    w.program.rules.push_back(
+        R(H("even", V("x")),
+          {B("num", V("x")), B("num", V("y")), Eq(V("x"), F("succ", {V("y")})),
+           N("even", V("y"))}));
+    for (int i = 0; i <= 8; ++i) w.edb.AddFact("num", {IV(i)});
+    w.observe = {"even"};
+    out.push_back(std::move(w));
+  }
+  {
+    // Facts + rules on the same predicate, constants in heads.
+    Workload w;
+    w.name = "facts_and_rules";
+    w.program.rules.push_back(R(H("likes", A("ann"), A("bob"))));
+    w.program.rules.push_back(R(H("likes", A("bob"), A("cal"))));
+    w.program.rules.push_back(
+        R(H("likes", V("x"), V("z")),
+          {B("likes", V("x"), V("y")), B("likes", V("y"), V("z"))}));
+    w.program.rules.push_back(
+        R(H("lonely", V("x")),
+          {B("person", V("x")), N("liked", V("x"))}));
+    w.program.rules.push_back(
+        R(H("liked", V("y")), {B("likes", V("x"), V("y"))}));
+    for (const char* p : {"ann", "bob", "cal", "dee"}) {
+      w.edb.AddFact("person", {AV(p)});
+    }
+    w.observe = {"likes", "lonely"};
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+// The reference answer: the valid (well-founded) model of the program.
+// Every language in the square must reproduce it.
+struct Reference {
+  datalog::ThreeValuedInterp wfs;
+};
+
+class FourLanguagesTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FourLanguagesTest, DatalogToAlgebraEqAgrees) {
+  Workload w = Workloads()[GetParam()];
+  auto wfs = datalog::EvalWellFounded(w.program, w.edb);
+  ASSERT_TRUE(wfs.ok()) << wfs.status();
+
+  // Safe deduction → algebra= (Prop 6.1).
+  auto system = DatalogToAlgebra(w.program);
+  ASSERT_TRUE(system.ok()) << system.status();
+  auto model = algebra::EvalAlgebraValid(*system, EdbToSetDb(w.edb));
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  for (const std::string& pred : w.observe) {
+    // Compare on all facts possible on either side.
+    ValueSet candidates = model->Get(pred).upper;
+    for (const Value& f : wfs->possible.Extent(pred)) candidates.Insert(f);
+    for (const Value& fact : candidates) {
+      EXPECT_EQ(model->Member(pred, fact), wfs->QueryFact(pred, fact))
+          << w.name << " " << pred << fact.ToString();
+    }
+  }
+}
+
+TEST_P(FourLanguagesTest, AlgebraEqBackToDatalogAgrees) {
+  Workload w = Workloads()[GetParam()];
+  auto wfs = datalog::EvalWellFounded(w.program, w.edb);
+  ASSERT_TRUE(wfs.ok());
+
+  // datalog → algebra= (6.1) → datalog (5.4): the round trip must
+  // reproduce the valid model on the original predicates.
+  auto system = DatalogToAlgebra(w.program);
+  ASSERT_TRUE(system.ok()) << system.status();
+
+  algebra::SetDb db = EdbToSetDb(w.edb);
+  for (const std::string& pred : w.observe) {
+    auto compiled = CompileAlgebraQuery(E::Relation(pred), *system);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    auto back = datalog::EvalWellFounded(compiled->program, SetDbToEdb(db));
+    ASSERT_TRUE(back.ok()) << back.status();
+
+    ValueSet candidates;
+    for (const Value& f : wfs->possible.Extent(pred)) candidates.Insert(f);
+    for (const Value& f : back->possible.Extent(pred)) {
+      candidates.Insert(f.items()[0]);  // unary fact <tuple>
+    }
+    for (const Value& fact : candidates) {
+      EXPECT_EQ(back->QueryFact(pred, Value::Tuple({fact})),
+                wfs->QueryFact(pred, fact))
+          << w.name << " " << pred << fact.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FourLanguagesTest,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const auto& info) {
+                           return Workloads()[info.param].name;
+                         });
+
+// ---------------------------------------------------------------------
+// Cross-semantics sanity on the same workloads: WFS vs stable models.
+
+class SemanticsConsistencyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SemanticsConsistencyTest, WfsBoundsEveryStableModel) {
+  Workload w = Workloads()[GetParam()];
+  auto wfs = datalog::EvalWellFounded(w.program, w.edb);
+  ASSERT_TRUE(wfs.ok());
+  auto models = datalog::EvalStableModels(w.program, w.edb);
+  ASSERT_TRUE(models.ok()) << models.status();
+  for (const auto& m : *models) {
+    EXPECT_TRUE(wfs->certain.IsSubsetOf(m)) << w.name;
+    EXPECT_TRUE(m.IsSubsetOf(wfs->possible)) << w.name;
+  }
+  if (wfs->IsTwoValued()) {
+    // Total WFS ⇒ unique stable model equal to it.
+    ASSERT_EQ(models->size(), 1u) << w.name;
+    EXPECT_EQ((*models)[0], wfs->certain) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, SemanticsConsistencyTest,
+                         ::testing::Range<size_t>(0, 5),
+                         [](const auto& info) {
+                           return Workloads()[info.param].name;
+                         });
+
+// ---------------------------------------------------------------------
+// Theorem 3.5 on randomized IFP-algebra queries: the algebra= rendering
+// agrees with the direct IFP evaluation.
+
+E RandomishIfpQuery(int seed) {
+  // A family of seeded queries: reachability-style IFP over "edge"
+  // with per-seed selections.
+  FnExpr match = FnExpr::Eq(FnExpr::Get(algebra::fn::Proj(0), 1),
+                            FnExpr::Get(algebra::fn::Proj(1), 0));
+  FnExpr compose = FnExpr::MkTuple({FnExpr::Get(algebra::fn::Proj(0), 0),
+                                    FnExpr::Get(algebra::fn::Proj(1), 1)});
+  E step = E::Map(compose, E::Select(match, E::Product(E::IterVar(0),
+                                                       E::Relation("edge"))));
+  E base = (seed % 2 == 0)
+               ? E::Relation("edge")
+               : E::Select(FnExpr::Le(FnExpr::Get(FnExpr::Arg(), 0),
+                                      FnExpr::Cst(IV(seed))),
+                           E::Relation("edge"));
+  return E::Ifp(E::Union(base, step));
+}
+
+class Thm35Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Thm35Test, PipelinePreservesIfpSemantics) {
+  int seed = GetParam();
+  algebra::SetDb db;
+  std::vector<std::pair<Value, Value>> edges;
+  for (int i = 0; i < 6; ++i) {
+    edges.emplace_back(IV(i), IV((i * (seed + 2) + 1) % 6));
+  }
+  db.DefinePairs("edge", edges);
+  E query = RandomishIfpQuery(seed);
+
+  auto direct = algebra::EvalAlgebra(query, db);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  auto pipe = IfpAlgebraToAlgebraEq(query, algebra::AlgebraProgram{}, db);
+  ASSERT_TRUE(pipe.ok()) << pipe.status();
+  auto model = algebra::EvalAlgebraValid(pipe->program, pipe->db);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_TRUE(model->IsTwoValued());
+  auto unwrapped = UnwrapUnary(model->Get(pipe->result_constant).lower);
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(*unwrapped, *direct) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Thm35Test, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace awr::translate

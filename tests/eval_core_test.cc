@@ -1,0 +1,221 @@
+// Direct tests for the rule-evaluation core (term evaluation, body
+// matching, head derivation) and systematic failure injection: every
+// fixpoint engine must surface ResourceExhausted from a tiny budget
+// instead of diverging or crashing.
+#include <gtest/gtest.h>
+
+#include "awr/datalog/builders.h"
+#include "awr/datalog/eval_core.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/parser.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::datalog {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+
+TEST(EvalTermTest, VariableConstantApply) {
+  FunctionRegistry fns = FunctionRegistry::Default();
+  Env env;
+  env.Bind(Var("x"), Value::Int(4));
+  EXPECT_EQ(*EvalTerm(V("x"), env, fns), Value::Int(4));
+  EXPECT_EQ(*EvalTerm(I(9), env, fns), Value::Int(9));
+  EXPECT_EQ(*EvalTerm(F("add", {V("x"), I(1)}), env, fns), Value::Int(5));
+  // Unbound variable is an internal error (the planner must prevent it).
+  EXPECT_TRUE(EvalTerm(V("zzz"), env, fns).status().IsInternal());
+  // Unknown function surfaces NotFound.
+  EXPECT_TRUE(EvalTerm(F("frobnicate", {I(1)}), env, fns).status().IsNotFound());
+}
+
+TEST(BodyMatchTest, EnumeratesJoinBindings) {
+  Rule rule = R(H("out", V("x"), V("z")),
+                {B("e", V("x"), V("y")), B("e", V("y"), V("z"))});
+  auto plan = PlanRule(rule);
+  ASSERT_TRUE(plan.ok());
+
+  Interpretation interp;
+  interp.AddFact("e", {Value::Int(1), Value::Int(2)});
+  interp.AddFact("e", {Value::Int(2), Value::Int(3)});
+  interp.AddFact("e", {Value::Int(2), Value::Int(4)});
+
+  FunctionRegistry fns = FunctionRegistry::Default();
+  BodyContext ctx{
+      &fns,
+      [&interp](const std::string& p, size_t) -> const ValueSet& {
+        return interp.Extent(p);
+      },
+      [](const std::string&, const Value&) { return true; }};
+
+  ValueSet heads;
+  Status st = ForEachBodyMatch(rule, *plan, ctx, [&](const Env& env) -> Status {
+    AWR_ASSIGN_OR_RETURN(Value head, EvalHead(rule, env, fns));
+    heads.Insert(std::move(head));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(heads, (ValueSet{Value::Tuple({Value::Int(1), Value::Int(3)}),
+                             Value::Tuple({Value::Int(1), Value::Int(4)})}));
+}
+
+TEST(BodyMatchTest, NegationFiltersViaContext) {
+  Rule rule = R(H("p", V("x")), {B("b", V("x")), N("blocked", V("x"))});
+  auto plan = PlanRule(rule);
+  ASSERT_TRUE(plan.ok());
+  Interpretation interp;
+  interp.AddFact("b", {Value::Int(1)});
+  interp.AddFact("b", {Value::Int(2)});
+  FunctionRegistry fns = FunctionRegistry::Default();
+  BodyContext ctx{
+      &fns,
+      [&interp](const std::string& p, size_t) -> const ValueSet& {
+        return interp.Extent(p);
+      },
+      // blocked(1) "holds", so not blocked(1) fails.
+      [](const std::string&, const Value& fact) {
+        return fact != Value::Tuple({Value::Int(1)});
+      }};
+  size_t matches = 0;
+  ASSERT_TRUE(ForEachBodyMatch(rule, *plan, ctx, [&](const Env&) -> Status {
+                ++matches;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(matches, 1u);
+}
+
+TEST(BodyMatchTest, CallbackErrorAbortsEnumeration) {
+  Rule rule = R(H("p", V("x")), {B("b", V("x"))});
+  auto plan = PlanRule(rule);
+  Interpretation interp;
+  for (int i = 0; i < 10; ++i) interp.AddFact("b", {Value::Int(i)});
+  FunctionRegistry fns = FunctionRegistry::Default();
+  BodyContext ctx{
+      &fns,
+      [&interp](const std::string& p, size_t) -> const ValueSet& {
+        return interp.Extent(p);
+      },
+      [](const std::string&, const Value&) { return true; }};
+  size_t calls = 0;
+  Status st = ForEachBodyMatch(rule, *plan, ctx, [&](const Env&) -> Status {
+    if (++calls == 3) return Status::Internal("stop");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(calls, 3u);
+}
+
+TEST(BodyMatchTest, ArityMismatchIsReported) {
+  Rule rule = R(H("p", V("x")), {B("b", V("x"))});  // b used unary
+  auto plan = PlanRule(rule);
+  Interpretation interp;
+  interp.AddFact("b", {Value::Int(1), Value::Int(2)});  // binary fact
+  FunctionRegistry fns = FunctionRegistry::Default();
+  BodyContext ctx{
+      &fns,
+      [&interp](const std::string& p, size_t) -> const ValueSet& {
+        return interp.Extent(p);
+      },
+      [](const std::string&, const Value&) { return true; }};
+  Status st = ForEachBodyMatch(rule, *plan, ctx,
+                               [](const Env&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------------
+// Failure injection: the unbounded-generation program of Example 1,
+// fed to every engine with a tiny budget.
+
+class BudgetInjection : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p = ParseProgram(R"(
+      even(0).
+      even(Y) :- even(X), Y = add(X, 2).
+    )");
+    ASSERT_TRUE(p.ok());
+    program_ = *p;
+    opts_.limits = EvalLimits::Tiny();
+  }
+  Program program_;
+  EvalOptions opts_;
+};
+
+TEST_F(BudgetInjection, MinimalModel) {
+  EXPECT_TRUE(EvalMinimalModel(program_, {}, opts_)
+                  .status()
+                  .IsResourceExhausted());
+}
+
+TEST_F(BudgetInjection, MinimalModelNaive) {
+  EvalOptions naive = opts_;
+  naive.seminaive = false;
+  EXPECT_TRUE(
+      EvalMinimalModel(program_, {}, naive).status().IsResourceExhausted());
+}
+
+TEST_F(BudgetInjection, Stratified) {
+  EXPECT_TRUE(
+      EvalStratified(program_, {}, opts_).status().IsResourceExhausted());
+}
+
+TEST_F(BudgetInjection, Inflationary) {
+  EXPECT_TRUE(
+      EvalInflationary(program_, {}, opts_).status().IsResourceExhausted());
+}
+
+TEST_F(BudgetInjection, WellFounded) {
+  EXPECT_TRUE(
+      EvalWellFounded(program_, {}, opts_).status().IsResourceExhausted());
+}
+
+TEST_F(BudgetInjection, StableModels) {
+  EXPECT_TRUE(
+      EvalStableModels(program_, {}, opts_).status().IsResourceExhausted());
+}
+
+TEST(StableOptionsTest, MaxModelsCapHonored) {
+  // 4 independent 2-cycles → 16 stable models; cap at 5.
+  auto p = ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  Database edb;
+  for (int c = 0; c < 4; ++c) {
+    edb.AddFact("move", {Value::Int(2 * c), Value::Int(2 * c + 1)});
+    edb.AddFact("move", {Value::Int(2 * c + 1), Value::Int(2 * c)});
+  }
+  StableOptions cap;
+  cap.max_models = 5;
+  auto models = EvalStableModels(*p, edb, {}, cap);
+  ASSERT_TRUE(models.ok()) << models.status();
+  EXPECT_EQ(models->size(), 5u);
+}
+
+TEST(StableOptionsTest, NodeBudgetTrips) {
+  auto p = ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  Database edb;
+  for (int c = 0; c < 8; ++c) {
+    edb.AddFact("move", {Value::Int(2 * c), Value::Int(2 * c + 1)});
+    edb.AddFact("move", {Value::Int(2 * c + 1), Value::Int(2 * c)});
+  }
+  StableOptions tiny;
+  tiny.max_nodes = 10;
+  EXPECT_TRUE(
+      EvalStableModels(*p, edb, {}, tiny).status().IsResourceExhausted());
+}
+
+TEST(StableOptionsTest, BranchAtomGuard) {
+  auto p = ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  Database edb;
+  for (int c = 0; c < 6; ++c) {
+    edb.AddFact("move", {Value::Int(2 * c), Value::Int(2 * c + 1)});
+    edb.AddFact("move", {Value::Int(2 * c + 1), Value::Int(2 * c)});
+  }
+  StableOptions guard;
+  guard.max_branch_atoms = 4;  // 12 undefined atoms exceed this
+  EXPECT_TRUE(
+      EvalStableModels(*p, edb, {}, guard).status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace awr::datalog

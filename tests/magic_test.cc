@@ -1,0 +1,157 @@
+// Tests for the magic-set transformation: the transformed program must
+// compute exactly the query's answers while deriving fewer facts.
+#include "awr/datalog/magic.h"
+
+#include <gtest/gtest.h>
+
+#include "awr/datalog/builders.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/parser.h"
+
+namespace awr::datalog {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+
+Program Tc() {
+  Program p;
+  p.rules.push_back(R(H("tc", V("x"), V("y")), {B("edge", V("x"), V("y"))}));
+  p.rules.push_back(R(H("tc", V("x"), V("z")),
+                      {B("edge", V("x"), V("y")), B("tc", V("y"), V("z"))}));
+  return p;
+}
+
+Database Chain(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+// Evaluates the magic program and returns (answers, total facts derived).
+std::pair<ValueSet, size_t> RunMagic(const Program& p, const Database& edb,
+                                     const QuerySpec& q) {
+  auto magic = MagicTransform(p, q);
+  EXPECT_TRUE(magic.ok()) << magic.status();
+  Database seeded = edb;
+  seeded.InsertAll(magic->seeds);
+  auto interp = EvalMinimalModel(magic->program, seeded);
+  EXPECT_TRUE(interp.ok()) << interp.status();
+  auto answers = MagicAnswers(*interp, *magic, q);
+  EXPECT_TRUE(answers.ok()) << answers.status();
+  return {*answers, interp->TotalFacts()};
+}
+
+// Reference: full evaluation, filtered.
+ValueSet RunFull(const Program& p, const Database& edb, const QuerySpec& q) {
+  auto interp = EvalMinimalModel(p, edb);
+  EXPECT_TRUE(interp.ok());
+  ValueSet out;
+  for (const Value& fact : interp->Extent(q.predicate)) {
+    bool ok = true;
+    for (size_t i = 0; i < q.pattern.size(); ++i) {
+      if (q.pattern[i].has_value() && fact.items()[i] != *q.pattern[i]) {
+        ok = false;
+      }
+    }
+    if (ok) out.Insert(fact);
+  }
+  return out;
+}
+
+TEST(MagicTest, BoundFirstArgumentTc) {
+  QuerySpec q{"tc", {Value::Int(7), std::nullopt}};
+  EXPECT_EQ(q.Adornment(), "bf");
+  auto [answers, facts] = RunMagic(Tc(), Chain(10), q);
+  EXPECT_EQ(answers, RunFull(Tc(), Chain(10), q));
+  EXPECT_EQ(answers.size(), 3u);  // 7->8, 7->9, 7->10
+}
+
+TEST(MagicTest, MagicDerivesFewerFacts) {
+  // Querying from the chain's end should derive far fewer facts than
+  // the full quadratic closure.
+  QuerySpec q{"tc", {Value::Int(58), std::nullopt}};
+  Database db = Chain(60);
+  auto [answers, magic_facts] = RunMagic(Tc(), db, q);
+  auto full = EvalMinimalModel(Tc(), db);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(answers.size(), 2u);
+  EXPECT_LT(magic_facts, full->TotalFacts() / 4)
+      << "magic: " << magic_facts << " vs full: " << full->TotalFacts();
+}
+
+TEST(MagicTest, BothArgumentsBound) {
+  QuerySpec q{"tc", {Value::Int(2), Value::Int(5)}};
+  auto [answers, facts] = RunMagic(Tc(), Chain(8), q);
+  EXPECT_EQ(answers.size(), 1u);
+
+  QuerySpec q2{"tc", {Value::Int(5), Value::Int(2)}};
+  auto [answers2, facts2] = RunMagic(Tc(), Chain(8), q2);
+  EXPECT_TRUE(answers2.empty());
+}
+
+TEST(MagicTest, AllFreeMatchesFullEvaluation) {
+  QuerySpec q{"tc", {std::nullopt, std::nullopt}};
+  auto [answers, facts] = RunMagic(Tc(), Chain(6), q);
+  EXPECT_EQ(answers, RunFull(Tc(), Chain(6), q));
+  EXPECT_EQ(answers.size(), 21u);
+}
+
+TEST(MagicTest, MutualRecursionAdornments) {
+  // even/odd over next: querying even(6) should only walk downward.
+  auto p = ParseProgram(R"(
+    even(X) :- zero(X).
+    even(Y) :- next(X, Y), odd(X).
+    odd(Y)  :- next(X, Y), even(X).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  Database db;
+  db.AddFact("zero", {Value::Int(0)});
+  for (int i = 0; i < 30; ++i) db.AddFact("next", {Value::Int(i), Value::Int(i + 1)});
+
+  QuerySpec q{"even", {Value::Int(6)}};
+  auto [answers, magic_facts] = RunMagic(*p, db, q);
+  EXPECT_EQ(answers.size(), 1u);
+  auto full = EvalMinimalModel(*p, db);
+  ASSERT_TRUE(full.ok());
+  // The magic evaluation shouldn't compute even/odd above 6.
+  EXPECT_LT(magic_facts, full->TotalFacts());
+
+  QuerySpec q_odd{"even", {Value::Int(7)}};
+  auto [no_answers, f2] = RunMagic(*p, db, q_odd);
+  EXPECT_TRUE(no_answers.empty());
+}
+
+TEST(MagicTest, InterpretedFunctionsInBodies) {
+  auto p = ParseProgram(R"(
+    down(X) :- start(X).
+    down(Y) :- down(X), 0 < X, Y = sub(X, 1).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  Database db;
+  db.AddFact("start", {Value::Int(5)});
+  QuerySpec q{"down", {Value::Int(2)}};
+  auto [answers, facts] = RunMagic(*p, db, q);
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST(MagicTest, RejectsNegation) {
+  Program p;
+  p.rules.push_back(R(H("p", V("x")), {B("b", V("x")), N("q", V("x"))}));
+  QuerySpec q{"p", {std::nullopt}};
+  EXPECT_TRUE(MagicTransform(p, q).status().IsFailedPrecondition());
+}
+
+TEST(MagicTest, UnknownPredicateRejected) {
+  QuerySpec q{"nosuch", {std::nullopt}};
+  EXPECT_TRUE(MagicTransform(Tc(), q).status().IsNotFound());
+}
+
+TEST(MagicTest, ArityMismatchRejected) {
+  QuerySpec q{"tc", {std::nullopt}};  // tc is binary
+  EXPECT_TRUE(MagicTransform(Tc(), q).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace awr::datalog

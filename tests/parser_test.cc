@@ -1,0 +1,130 @@
+// Tests for the deductive-language text parser.
+#include "awr/datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::datalog {
+namespace {
+
+TEST(ParserTest, SimpleRuleRoundTrip) {
+  auto rule = ParseRule("tc(X, Z) :- edge(X, Y), tc(Y, Z).");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->ToString(), "tc(X, Z) :- edge(X, Y), tc(Y, Z).");
+}
+
+TEST(ParserTest, NegationAndComparisons) {
+  auto rule = ParseRule(
+      "p(X, W) :- base(X), not q(X), X != 3, X <= 10, W = add(X, 1).");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->ToString(),
+            "p(X, W) :- base(X), not q(X), X != 3, X <= 10, W = add(X, 1).");
+}
+
+TEST(ParserTest, LessThanVsTuple) {
+  auto cmp = ParseRule("p(X) :- q(X), X < 5.");
+  ASSERT_TRUE(cmp.ok()) << cmp.status();
+  EXPECT_EQ(cmp->body[1].op, CmpOp::kLt);
+
+  auto tup = ParseRule("p(X) :- q(X, <1, 2>).");
+  ASSERT_TRUE(tup.ok()) << tup.status();
+  EXPECT_EQ(tup->body[0].atom.args[1].constant(),
+            Value::Pair(Value::Int(1), Value::Int(2)));
+}
+
+TEST(ParserTest, ValueConstants) {
+  auto rule = ParseRule("p(a, -7, true, {1, 2}, <x, 1>) :- q(a).");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  const auto& args = rule->head.args;
+  EXPECT_EQ(args[0].constant(), Value::Atom("a"));
+  EXPECT_EQ(args[1].constant(), Value::Int(-7));
+  EXPECT_EQ(args[2].constant(), Value::Boolean(true));
+  EXPECT_EQ(args[3].constant(), Value::Set({Value::Int(1), Value::Int(2)}));
+  EXPECT_EQ(args[4].constant(),
+            Value::Pair(Value::Atom("x"), Value::Int(1)));
+}
+
+TEST(ParserTest, FunctionApplicationOnLeftOfComparison) {
+  auto rule = ParseRule("p(X) :- q(X), add(X, 1) = 5.");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  ASSERT_TRUE(rule->body[1].is_compare());
+  EXPECT_EQ(rule->body[1].lhs.fn_name(), "add");
+}
+
+TEST(ParserTest, CommentsAndWhitespace) {
+  auto program = ParseProgram(R"(
+    % transitive closure
+    tc(X, Y) :- edge(X, Y).   % base
+    tc(X, Z) :-
+        edge(X, Y),
+        tc(Y, Z).             % step
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  EXPECT_EQ(program->rules.size(), 2u);
+}
+
+TEST(ParserTest, FactsParse) {
+  auto db = ParseFacts("edge(0, 1). edge(1, 2). label(a, <1, b>).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->Extent("edge").size(), 2u);
+  EXPECT_TRUE(db->Holds("label", Value::Tuple({Value::Atom("a"),
+                                               Value::Pair(Value::Int(1),
+                                                           Value::Atom("b"))})));
+}
+
+TEST(ParserTest, SyntaxErrorsReported) {
+  EXPECT_TRUE(ParseProgram("p(X :- q(X).").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("p(X) :- q(X)").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("p(X) :- .").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("p(X) :- q(X), X.").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseProgram("@(X).").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFacts("p(X).").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFacts("p(1) :- q(1).").status().IsInvalidArgument());
+}
+
+TEST(ParserTest, ParsedProgramEvaluates) {
+  auto program = ParseProgram(R"(
+    reach(X)     :- source(X).
+    reach(Y)     :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  ASSERT_TRUE(program.ok()) << program.status();
+  auto edb = ParseFacts(
+      "node(a). node(b). node(c). source(a). edge(a, b).");
+  ASSERT_TRUE(edb.ok()) << edb.status();
+  auto result = EvalStratified(*program, *edb);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->Extent("unreached").size(), 1u);
+  EXPECT_TRUE(result->Holds("unreached", Value::Tuple({Value::Atom("c")})));
+}
+
+TEST(ParserTest, WinMoveParsedMatchesBuilt) {
+  auto program = ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  auto edb = ParseFacts("move(a, a). move(b, c).");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(edb.ok());
+  auto wfs = EvalWellFounded(*program, *edb);
+  ASSERT_TRUE(wfs.ok());
+  EXPECT_EQ(wfs->QueryFact("win", Value::Tuple({Value::Atom("a")})),
+            Truth::kUndefined);
+  EXPECT_EQ(wfs->QueryFact("win", Value::Tuple({Value::Atom("b")})),
+            Truth::kTrue);
+}
+
+TEST(ParserTest, ZeroArityAtom) {
+  auto rule = ParseRule("flag() :- base(X), X = 1.");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  EXPECT_EQ(rule->head.arity(), 0u);
+}
+
+TEST(ParserTest, NotAsFunctionNameInTermPosition) {
+  // `not` only negates in literal position; nested it is a function.
+  auto rule = ParseRule("p(X) :- q(X), Y = not(X), Y = true.");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+}
+
+}  // namespace
+}  // namespace awr::datalog

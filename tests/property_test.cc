@@ -1,0 +1,321 @@
+// Property-based differential testing: randomized safe programs are
+// evaluated under every applicable semantics and the cross-semantic
+// invariants the paper relies on are checked:
+//
+//  P1  positive programs: naive == semi-naive == inflationary ==
+//      stratified == WFS-certain, and WFS is total;
+//  P2  stratifiable programs: stratified == WFS-certain (total), and
+//      the unique stable model equals it;
+//  P3  arbitrary (possibly non-stratifiable) programs: WFS bounds
+//      every stable model (certain ⊆ M ⊆ possible);
+//  P4  Prop 6.1: the algebra= rendering agrees with WFS, 3-valued;
+//  P5  Prop 5.2: inflationary(P) == valid(stepindex(P));
+//  P6  magic sets: query answers equal filtered full evaluation.
+//
+// Programs are generated safe *by construction* (head variables are
+// drawn from variables bound by positive body atoms).
+#include <gtest/gtest.h>
+
+#include "awr/algebra/valid_eval.h"
+#include "awr/datalog/builders.h"
+#include "awr/datalog/depgraph.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/magic.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+#include "awr/translate/datalog_to_alg.h"
+#include "awr/translate/step_index.h"
+
+namespace awr {
+namespace {
+
+using namespace awr::datalog::build;  // NOLINT
+using datalog::Database;
+using datalog::Program;
+
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ULL + 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+  bool Chance(int percent) { return Below(100) < static_cast<size_t>(percent); }
+
+ private:
+  uint64_t state_;
+};
+
+struct GenOptions {
+  bool allow_negation = true;
+  // If negation is allowed: restrict negative dependencies to strictly
+  // earlier predicates (guarantees stratifiability).
+  bool stratified_only = false;
+  size_t n_idb = 3;
+  size_t domain_size = 5;
+};
+
+struct Generated {
+  Program program;
+  Database edb;
+  std::vector<std::string> idb_preds;
+};
+
+Generated GenerateProgram(uint64_t seed, const GenOptions& opts) {
+  Lcg rng(seed);
+  Generated out;
+
+  // EDB: e0/2 and e1/1 with random facts over a small domain.
+  for (size_t i = 0; i < opts.domain_size + 3; ++i) {
+    out.edb.AddFact("e0",
+                    {Value::Int(static_cast<int64_t>(rng.Below(opts.domain_size))),
+                     Value::Int(static_cast<int64_t>(rng.Below(opts.domain_size)))});
+  }
+  for (size_t i = 0; i < opts.domain_size; ++i) {
+    if (rng.Chance(60)) {
+      out.edb.AddFact("e1", {Value::Int(static_cast<int64_t>(i))});
+    }
+  }
+
+  // IDB predicates p0..p{k-1} with arities 1 or 2.
+  std::vector<size_t> arity;
+  for (size_t i = 0; i < opts.n_idb; ++i) {
+    out.idb_preds.push_back("p" + std::to_string(i));
+    arity.push_back(1 + rng.Below(2));
+  }
+
+  const char* var_names[4] = {"Xa", "Xb", "Xc", "Xd"};
+  for (size_t pi = 0; pi < opts.n_idb; ++pi) {
+    size_t n_rules = 1 + rng.Below(2);
+    for (size_t r = 0; r < n_rules; ++r) {
+      datalog::Rule rule;
+      std::vector<datalog::Var> bound;
+
+      // 1–2 positive atoms over EDB or IDB (≤ current, allowing
+      // recursion on self and earlier predicates).
+      size_t n_pos = 1 + rng.Below(2);
+      for (size_t b = 0; b < n_pos; ++b) {
+        std::string pred;
+        size_t pred_arity;
+        if (rng.Chance(55)) {
+          pred = rng.Chance(70) ? "e0" : "e1";
+          pred_arity = pred == "e0" ? 2 : 1;
+        } else {
+          size_t target = rng.Below(pi + 1);
+          pred = out.idb_preds[target];
+          pred_arity = arity[target];
+        }
+        datalog::Atom atom;
+        atom.predicate = pred;
+        for (size_t a = 0; a < pred_arity; ++a) {
+          datalog::Var v(var_names[rng.Below(4)]);
+          atom.args.push_back(datalog::TermExpr::Variable(v));
+          bound.push_back(v);
+        }
+        rule.body.push_back(datalog::Literal::Positive(std::move(atom)));
+      }
+
+      // Optional negative atom over bound variables.
+      if (opts.allow_negation && rng.Chance(45) && !bound.empty()) {
+        size_t limit = opts.stratified_only ? pi : opts.n_idb;
+        if (limit > 0) {
+          size_t target = rng.Below(limit);
+          datalog::Atom atom;
+          atom.predicate = out.idb_preds[target];
+          for (size_t a = 0; a < arity[target]; ++a) {
+            atom.args.push_back(
+                datalog::TermExpr::Variable(bound[rng.Below(bound.size())]));
+          }
+          rule.body.push_back(datalog::Literal::Negative(std::move(atom)));
+        }
+      }
+
+      // Optional comparison over a bound variable.
+      if (rng.Chance(30) && !bound.empty()) {
+        rule.body.push_back(datalog::Literal::Compare(
+            rng.Chance(50) ? datalog::CmpOp::kLe : datalog::CmpOp::kNe,
+            datalog::TermExpr::Variable(bound[rng.Below(bound.size())]),
+            datalog::TermExpr::Constant(
+                Value::Int(static_cast<int64_t>(rng.Below(opts.domain_size))))));
+      }
+
+      // Head: bound variables (or constants) to the predicate's arity.
+      rule.head.predicate = out.idb_preds[pi];
+      for (size_t a = 0; a < arity[pi]; ++a) {
+        if (!bound.empty() && rng.Chance(85)) {
+          rule.head.args.push_back(
+              datalog::TermExpr::Variable(bound[rng.Below(bound.size())]));
+        } else {
+          rule.head.args.push_back(datalog::TermExpr::Constant(
+              Value::Int(static_cast<int64_t>(rng.Below(opts.domain_size)))));
+        }
+      }
+      out.program.rules.push_back(std::move(rule));
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------------
+
+class PositiveProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PositiveProgramProperty, AllSemanticsCoincide) {
+  GenOptions opts;
+  opts.allow_negation = false;
+  Generated g = GenerateProgram(GetParam(), opts);
+  ASSERT_TRUE(datalog::CheckProgramSafe(g.program).ok()) << g.program.ToString();
+
+  datalog::EvalOptions naive;
+  naive.seminaive = false;
+  auto m_naive = datalog::EvalMinimalModel(g.program, g.edb, naive);
+  auto m_semi = datalog::EvalMinimalModel(g.program, g.edb);
+  auto m_infl = datalog::EvalInflationary(g.program, g.edb);
+  auto m_strat = datalog::EvalStratified(g.program, g.edb);
+  auto m_wfs = datalog::EvalWellFounded(g.program, g.edb);
+  ASSERT_TRUE(m_naive.ok() && m_semi.ok() && m_infl.ok() && m_strat.ok() &&
+              m_wfs.ok())
+      << g.program.ToString();
+  EXPECT_EQ(*m_naive, *m_semi) << g.program.ToString();
+  EXPECT_EQ(*m_semi, *m_infl) << g.program.ToString();
+  EXPECT_EQ(*m_semi, *m_strat) << g.program.ToString();
+  EXPECT_TRUE(m_wfs->IsTwoValued()) << g.program.ToString();
+  EXPECT_EQ(*m_semi, m_wfs->certain) << g.program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PositiveProgramProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class StratifiedProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StratifiedProgramProperty, StratifiedEqualsWfsAndUniqueStable) {
+  GenOptions opts;
+  opts.stratified_only = true;
+  Generated g = GenerateProgram(GetParam(), opts);
+  ASSERT_TRUE(datalog::Stratify(g.program).ok()) << g.program.ToString();
+
+  auto m_strat = datalog::EvalStratified(g.program, g.edb);
+  auto m_wfs = datalog::EvalWellFounded(g.program, g.edb);
+  ASSERT_TRUE(m_strat.ok() && m_wfs.ok()) << g.program.ToString();
+  EXPECT_TRUE(m_wfs->IsTwoValued()) << g.program.ToString();
+  EXPECT_EQ(*m_strat, m_wfs->certain) << g.program.ToString();
+
+  auto stable = datalog::EvalStableModels(g.program, g.edb);
+  ASSERT_TRUE(stable.ok()) << stable.status();
+  ASSERT_EQ(stable->size(), 1u) << g.program.ToString();
+  EXPECT_EQ((*stable)[0], *m_strat) << g.program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StratifiedProgramProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+class GeneralProgramProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneralProgramProperty, WfsBoundsStableModels) {
+  Generated g = GenerateProgram(GetParam(), GenOptions{});
+  auto wfs = datalog::EvalWellFounded(g.program, g.edb);
+  ASSERT_TRUE(wfs.ok()) << g.program.ToString();
+  EXPECT_TRUE(wfs->certain.IsSubsetOf(wfs->possible));
+
+  auto stable = datalog::EvalStableModels(g.program, g.edb);
+  ASSERT_TRUE(stable.ok()) << stable.status() << "\n" << g.program.ToString();
+  for (const auto& m : *stable) {
+    EXPECT_TRUE(wfs->certain.IsSubsetOf(m)) << g.program.ToString();
+    EXPECT_TRUE(m.IsSubsetOf(wfs->possible)) << g.program.ToString();
+  }
+  if (wfs->IsTwoValued()) {
+    ASSERT_EQ(stable->size(), 1u) << g.program.ToString();
+    EXPECT_EQ((*stable)[0], wfs->certain);
+  }
+}
+
+TEST_P(GeneralProgramProperty, Prop61AlgebraRenderingAgrees) {
+  Generated g = GenerateProgram(GetParam(), GenOptions{});
+  auto wfs = datalog::EvalWellFounded(g.program, g.edb);
+  ASSERT_TRUE(wfs.ok());
+
+  auto system = translate::DatalogToAlgebra(g.program);
+  ASSERT_TRUE(system.ok()) << system.status() << "\n" << g.program.ToString();
+  algebra::AlgebraEvalOptions aopts;
+  aopts.limits = EvalLimits::Large();
+  auto model = algebra::EvalAlgebraValid(*system, translate::EdbToSetDb(g.edb),
+                                         aopts);
+  ASSERT_TRUE(model.ok()) << model.status() << "\n" << g.program.ToString();
+
+  for (const std::string& pred : g.idb_preds) {
+    ValueSet candidates = model->Get(pred).upper;
+    for (const Value& f : wfs->possible.Extent(pred)) candidates.Insert(f);
+    for (const Value& fact : candidates) {
+      EXPECT_EQ(model->Member(pred, fact), wfs->QueryFact(pred, fact))
+          << pred << fact.ToString() << "\n"
+          << g.program.ToString();
+    }
+  }
+}
+
+TEST_P(GeneralProgramProperty, Prop52StepIndexMatchesInflationary) {
+  Generated g = GenerateProgram(GetParam(), GenOptions{});
+  auto infl = datalog::EvalInflationary(g.program, g.edb);
+  ASSERT_TRUE(infl.ok());
+
+  auto indexed = translate::StepIndexAuto(g.program, g.edb);
+  ASSERT_TRUE(indexed.ok()) << indexed.status();
+  auto wfs = datalog::EvalWellFounded(indexed->program, indexed->edb);
+  ASSERT_TRUE(wfs.ok()) << wfs.status();
+  EXPECT_TRUE(wfs->IsTwoValued()) << g.program.ToString();
+  for (const std::string& pred : g.idb_preds) {
+    EXPECT_EQ(wfs->certain.Extent(pred), infl->Extent(pred))
+        << pred << "\n"
+        << g.program.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneralProgramProperty,
+                         ::testing::Range<uint64_t>(1, 16));
+
+class MagicProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MagicProperty, MagicAnswersEqualFilteredFull) {
+  GenOptions opts;
+  opts.allow_negation = false;
+  Generated g = GenerateProgram(GetParam(), opts);
+  Lcg rng(GetParam() * 77 + 5);
+
+  auto full = datalog::EvalMinimalModel(g.program, g.edb);
+  ASSERT_TRUE(full.ok());
+
+  // Random query over a random IDB predicate, binding the first arg.
+  const std::string& pred = g.idb_preds[rng.Below(g.idb_preds.size())];
+  size_t arity = 0;
+  for (const auto& rule : g.program.rules) {
+    if (rule.head.predicate == pred) arity = rule.head.arity();
+  }
+  datalog::QuerySpec q;
+  q.predicate = pred;
+  q.pattern.push_back(Value::Int(static_cast<int64_t>(rng.Below(5))));
+  for (size_t i = 1; i < arity; ++i) q.pattern.push_back(std::nullopt);
+
+  auto magic = datalog::MagicTransform(g.program, q);
+  ASSERT_TRUE(magic.ok()) << magic.status() << "\n" << g.program.ToString();
+  Database seeded = g.edb;
+  seeded.InsertAll(magic->seeds);
+  auto interp = datalog::EvalMinimalModel(magic->program, seeded);
+  ASSERT_TRUE(interp.ok()) << interp.status();
+  auto answers = datalog::MagicAnswers(*interp, *magic, q);
+  ASSERT_TRUE(answers.ok());
+
+  ValueSet expected;
+  for (const Value& fact : full->Extent(pred)) {
+    if (fact.items()[0] == *q.pattern[0]) expected.Insert(fact);
+  }
+  EXPECT_EQ(*answers, expected) << q.ToString() << "\n" << g.program.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace awr

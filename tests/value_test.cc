@@ -1,0 +1,121 @@
+#include "awr/value/value.h"
+
+#include <gtest/gtest.h>
+
+#include "awr/value/value_set.h"
+
+namespace awr {
+namespace {
+
+TEST(ValueTest, ScalarConstructionAndEquality) {
+  EXPECT_EQ(Value::Boolean(true), Value::Boolean(true));
+  EXPECT_NE(Value::Boolean(true), Value::Boolean(false));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_NE(Value::Int(7), Value::Int(8));
+  EXPECT_EQ(Value::Atom("a"), Value::Atom("a"));
+  EXPECT_NE(Value::Atom("a"), Value::Atom("b"));
+  EXPECT_NE(Value::Int(1), Value::Atom("1"));
+}
+
+TEST(ValueTest, DefaultIsFalse) {
+  Value v;
+  ASSERT_TRUE(v.is_bool());
+  EXPECT_FALSE(v.bool_value());
+}
+
+TEST(ValueTest, TupleStructure) {
+  Value t = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  ASSERT_TRUE(t.is_tuple());
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.items()[0], Value::Int(1));
+  EXPECT_EQ(t.items()[1], Value::Atom("x"));
+  EXPECT_EQ(t, Value::Pair(Value::Int(1), Value::Atom("x")));
+}
+
+TEST(ValueTest, SetCanonicalization) {
+  Value s1 = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value s2 = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 2u);
+  EXPECT_TRUE(s1.SetContains(Value::Int(1)));
+  EXPECT_TRUE(s1.SetContains(Value::Int(2)));
+  EXPECT_FALSE(s1.SetContains(Value::Int(3)));
+}
+
+TEST(ValueTest, NestedSetsCompareStructurally) {
+  Value inner1 = Value::Set({Value::Int(1)});
+  Value inner2 = Value::Set({Value::Int(2)});
+  Value outer_a = Value::Set({inner1, inner2});
+  Value outer_b = Value::Set({inner2, inner1});
+  EXPECT_EQ(outer_a, outer_b);
+  EXPECT_TRUE(outer_a.SetContains(inner1));
+  EXPECT_FALSE(outer_a.SetContains(Value::Set({Value::Int(3)})));
+}
+
+TEST(ValueTest, TotalOrderIsStrictAndConsistent) {
+  std::vector<Value> vals = {
+      Value::Boolean(false), Value::Boolean(true),  Value::Int(-1),
+      Value::Int(0),         Value::Atom("a"),      Value::Atom("b"),
+      Value::Tuple({}),      Value::Tuple({Value::Int(1)}),
+      Value::EmptySet(),     Value::Set({Value::Int(1)})};
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      int c = Value::Compare(vals[i], vals[j]);
+      EXPECT_EQ(c == 0, i == j) << vals[i] << " vs " << vals[j];
+      EXPECT_EQ(c, -Value::Compare(vals[j], vals[i]));
+    }
+  }
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  Value a = Value::Set({Value::Pair(Value::Int(1), Value::Atom("x"))});
+  Value b = Value::Set({Value::Pair(Value::Int(1), Value::Atom("x"))});
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Boolean(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Atom("foo").ToString(), "foo");
+  EXPECT_EQ(Value::Pair(Value::Int(1), Value::Int(2)).ToString(), "<1, 2>");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
+  EXPECT_EQ(Value::EmptySet().ToString(), "{}");
+}
+
+TEST(ValueSetTest, InsertContainsErase) {
+  ValueSet s;
+  EXPECT_TRUE(s.Insert(Value::Int(1)));
+  EXPECT_FALSE(s.Insert(Value::Int(1)));
+  EXPECT_TRUE(s.Contains(Value::Int(1)));
+  EXPECT_TRUE(s.Erase(Value::Int(1)));
+  EXPECT_FALSE(s.Erase(Value::Int(1)));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(ValueSetTest, SetAlgebra) {
+  ValueSet a{Value::Int(1), Value::Int(2), Value::Int(3)};
+  ValueSet b{Value::Int(2), Value::Int(4)};
+  EXPECT_EQ(SetUnion(a, b).size(), 4u);
+  EXPECT_EQ(SetDifference(a, b), (ValueSet{Value::Int(1), Value::Int(3)}));
+  EXPECT_EQ(SetIntersection(a, b), (ValueSet{Value::Int(2)}));
+  ValueSet prod = SetProduct(a, b);
+  EXPECT_EQ(prod.size(), 6u);
+  EXPECT_TRUE(prod.Contains(Value::Pair(Value::Int(1), Value::Int(4))));
+}
+
+TEST(ValueSetTest, RoundTripThroughValue) {
+  ValueSet s{Value::Atom("p"), Value::Atom("q")};
+  Value v = s.ToValue();
+  EXPECT_EQ(ValueSet::FromValue(v), s);
+}
+
+TEST(ValueSetTest, SubsetChecks) {
+  ValueSet a{Value::Int(1)};
+  ValueSet b{Value::Int(1), Value::Int(2)};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+}  // namespace
+}  // namespace awr
