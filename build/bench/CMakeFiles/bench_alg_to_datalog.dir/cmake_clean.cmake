@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg_to_datalog.dir/bench_alg_to_datalog.cpp.o"
+  "CMakeFiles/bench_alg_to_datalog.dir/bench_alg_to_datalog.cpp.o.d"
+  "bench_alg_to_datalog"
+  "bench_alg_to_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg_to_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

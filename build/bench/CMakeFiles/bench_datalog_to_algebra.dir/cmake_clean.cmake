@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog_to_algebra.dir/bench_datalog_to_algebra.cpp.o"
+  "CMakeFiles/bench_datalog_to_algebra.dir/bench_datalog_to_algebra.cpp.o.d"
+  "bench_datalog_to_algebra"
+  "bench_datalog_to_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog_to_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

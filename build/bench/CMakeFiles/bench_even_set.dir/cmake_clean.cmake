@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_even_set.dir/bench_even_set.cpp.o"
+  "CMakeFiles/bench_even_set.dir/bench_even_set.cpp.o.d"
+  "bench_even_set"
+  "bench_even_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_even_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

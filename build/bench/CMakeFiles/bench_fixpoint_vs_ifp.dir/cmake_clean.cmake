@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixpoint_vs_ifp.dir/bench_fixpoint_vs_ifp.cpp.o"
+  "CMakeFiles/bench_fixpoint_vs_ifp.dir/bench_fixpoint_vs_ifp.cpp.o.d"
+  "bench_fixpoint_vs_ifp"
+  "bench_fixpoint_vs_ifp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixpoint_vs_ifp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

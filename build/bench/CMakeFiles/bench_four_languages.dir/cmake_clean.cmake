@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_four_languages.dir/bench_four_languages.cpp.o"
+  "CMakeFiles/bench_four_languages.dir/bench_four_languages.cpp.o.d"
+  "bench_four_languages"
+  "bench_four_languages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_four_languages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

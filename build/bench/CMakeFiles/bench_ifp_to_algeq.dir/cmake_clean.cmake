@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ifp_to_algeq.dir/bench_ifp_to_algeq.cpp.o"
+  "CMakeFiles/bench_ifp_to_algeq.dir/bench_ifp_to_algeq.cpp.o.d"
+  "bench_ifp_to_algeq"
+  "bench_ifp_to_algeq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ifp_to_algeq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ifp_to_algeq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ivm_decision.dir/bench_ivm_decision.cpp.o"
+  "CMakeFiles/bench_ivm_decision.dir/bench_ivm_decision.cpp.o.d"
+  "bench_ivm_decision"
+  "bench_ivm_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ivm_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_safety_transform.dir/bench_safety_transform.cpp.o"
+  "CMakeFiles/bench_safety_transform.dir/bench_safety_transform.cpp.o.d"
+  "bench_safety_transform"
+  "bench_safety_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_safety_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

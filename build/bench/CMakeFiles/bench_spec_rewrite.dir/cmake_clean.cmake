@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spec_rewrite.dir/bench_spec_rewrite.cpp.o"
+  "CMakeFiles/bench_spec_rewrite.dir/bench_spec_rewrite.cpp.o.d"
+  "bench_spec_rewrite"
+  "bench_spec_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spec_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

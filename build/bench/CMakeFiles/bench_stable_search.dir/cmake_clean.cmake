@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stable_search.dir/bench_stable_search.cpp.o"
+  "CMakeFiles/bench_stable_search.dir/bench_stable_search.cpp.o.d"
+  "bench_stable_search"
+  "bench_stable_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stable_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_step_index.dir/bench_step_index.cpp.o"
+  "CMakeFiles/bench_step_index.dir/bench_step_index.cpp.o.d"
+  "bench_step_index"
+  "bench_step_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_step_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tc_scaling.dir/bench_tc_scaling.cpp.o"
+  "CMakeFiles/bench_tc_scaling.dir/bench_tc_scaling.cpp.o.d"
+  "bench_tc_scaling"
+  "bench_tc_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tc_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_welldef_reduction.dir/bench_welldef_reduction.cpp.o"
+  "CMakeFiles/bench_welldef_reduction.dir/bench_welldef_reduction.cpp.o.d"
+  "bench_welldef_reduction"
+  "bench_welldef_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_welldef_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wfs_overhead.dir/bench_wfs_overhead.cpp.o"
+  "CMakeFiles/bench_wfs_overhead.dir/bench_wfs_overhead.cpp.o.d"
+  "bench_wfs_overhead"
+  "bench_wfs_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wfs_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

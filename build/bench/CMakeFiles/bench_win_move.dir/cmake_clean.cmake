@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_win_move.dir/bench_win_move.cpp.o"
+  "CMakeFiles/bench_win_move.dir/bench_win_move.cpp.o.d"
+  "bench_win_move"
+  "bench_win_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_win_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_company_bom.dir/company_bom.cpp.o"
+  "CMakeFiles/awr_company_bom.dir/company_bom.cpp.o.d"
+  "awr_company_bom"
+  "awr_company_bom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_company_bom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

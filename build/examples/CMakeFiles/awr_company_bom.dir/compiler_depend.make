@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for awr_company_bom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_datalog_repl.dir/datalog_repl.cpp.o"
+  "CMakeFiles/awr_datalog_repl.dir/datalog_repl.cpp.o.d"
+  "awr_datalog_repl"
+  "awr_datalog_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_datalog_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

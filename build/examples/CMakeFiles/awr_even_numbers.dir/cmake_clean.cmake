@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_even_numbers.dir/even_numbers.cpp.o"
+  "CMakeFiles/awr_even_numbers.dir/even_numbers.cpp.o.d"
+  "awr_even_numbers"
+  "awr_even_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_even_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

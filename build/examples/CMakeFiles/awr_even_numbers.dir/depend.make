@@ -1,0 +1,2 @@
+# Empty dependencies file for awr_even_numbers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/awr_quickstart.dir/quickstart.cpp.o.d"
+  "awr_quickstart"
+  "awr_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_spec_playground.dir/spec_playground.cpp.o"
+  "CMakeFiles/awr_spec_playground.dir/spec_playground.cpp.o.d"
+  "awr_spec_playground"
+  "awr_spec_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_spec_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

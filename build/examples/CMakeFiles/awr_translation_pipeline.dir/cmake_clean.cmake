@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_translation_pipeline.dir/translation_pipeline.cpp.o"
+  "CMakeFiles/awr_translation_pipeline.dir/translation_pipeline.cpp.o.d"
+  "awr_translation_pipeline"
+  "awr_translation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_translation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_win_move_game.dir/win_move_game.cpp.o"
+  "CMakeFiles/awr_win_move_game.dir/win_move_game.cpp.o.d"
+  "awr_win_move_game"
+  "awr_win_move_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_win_move_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awr/algebra/ast.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/ast.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/ast.cc.o.d"
+  "/root/repo/src/awr/algebra/eval.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/eval.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/eval.cc.o.d"
+  "/root/repo/src/awr/algebra/fnexpr.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/fnexpr.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/fnexpr.cc.o.d"
+  "/root/repo/src/awr/algebra/positivity.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/positivity.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/positivity.cc.o.d"
+  "/root/repo/src/awr/algebra/program.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/program.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/program.cc.o.d"
+  "/root/repo/src/awr/algebra/valid_eval.cc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/valid_eval.cc.o" "gcc" "src/awr/algebra/CMakeFiles/awr_algebra.dir/valid_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/value/CMakeFiles/awr_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/datalog/CMakeFiles/awr_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

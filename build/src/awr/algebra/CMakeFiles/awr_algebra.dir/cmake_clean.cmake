@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_algebra.dir/ast.cc.o"
+  "CMakeFiles/awr_algebra.dir/ast.cc.o.d"
+  "CMakeFiles/awr_algebra.dir/eval.cc.o"
+  "CMakeFiles/awr_algebra.dir/eval.cc.o.d"
+  "CMakeFiles/awr_algebra.dir/fnexpr.cc.o"
+  "CMakeFiles/awr_algebra.dir/fnexpr.cc.o.d"
+  "CMakeFiles/awr_algebra.dir/positivity.cc.o"
+  "CMakeFiles/awr_algebra.dir/positivity.cc.o.d"
+  "CMakeFiles/awr_algebra.dir/program.cc.o"
+  "CMakeFiles/awr_algebra.dir/program.cc.o.d"
+  "CMakeFiles/awr_algebra.dir/valid_eval.cc.o"
+  "CMakeFiles/awr_algebra.dir/valid_eval.cc.o.d"
+  "libawr_algebra.a"
+  "libawr_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

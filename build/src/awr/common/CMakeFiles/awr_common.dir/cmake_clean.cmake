@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_common.dir/intern.cc.o"
+  "CMakeFiles/awr_common.dir/intern.cc.o.d"
+  "CMakeFiles/awr_common.dir/status.cc.o"
+  "CMakeFiles/awr_common.dir/status.cc.o.d"
+  "libawr_common.a"
+  "libawr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awr/datalog/ast.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/ast.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/ast.cc.o.d"
+  "/root/repo/src/awr/datalog/database.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/database.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/database.cc.o.d"
+  "/root/repo/src/awr/datalog/depgraph.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/depgraph.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/depgraph.cc.o.d"
+  "/root/repo/src/awr/datalog/eval_core.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/eval_core.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/eval_core.cc.o.d"
+  "/root/repo/src/awr/datalog/functions.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/functions.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/functions.cc.o.d"
+  "/root/repo/src/awr/datalog/ground.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/ground.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/ground.cc.o.d"
+  "/root/repo/src/awr/datalog/inflationary.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/inflationary.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/inflationary.cc.o.d"
+  "/root/repo/src/awr/datalog/leastmodel.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/leastmodel.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/leastmodel.cc.o.d"
+  "/root/repo/src/awr/datalog/magic.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/magic.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/magic.cc.o.d"
+  "/root/repo/src/awr/datalog/parser.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/parser.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/awr/datalog/safety.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/safety.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/safety.cc.o.d"
+  "/root/repo/src/awr/datalog/stable.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/stable.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/stable.cc.o.d"
+  "/root/repo/src/awr/datalog/stratified.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/stratified.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/stratified.cc.o.d"
+  "/root/repo/src/awr/datalog/wellfounded.cc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/wellfounded.cc.o" "gcc" "src/awr/datalog/CMakeFiles/awr_datalog.dir/wellfounded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/value/CMakeFiles/awr_value.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

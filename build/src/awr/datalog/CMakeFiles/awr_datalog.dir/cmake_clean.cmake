@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_datalog.dir/ast.cc.o"
+  "CMakeFiles/awr_datalog.dir/ast.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/database.cc.o"
+  "CMakeFiles/awr_datalog.dir/database.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/depgraph.cc.o"
+  "CMakeFiles/awr_datalog.dir/depgraph.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/eval_core.cc.o"
+  "CMakeFiles/awr_datalog.dir/eval_core.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/functions.cc.o"
+  "CMakeFiles/awr_datalog.dir/functions.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/ground.cc.o"
+  "CMakeFiles/awr_datalog.dir/ground.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/inflationary.cc.o"
+  "CMakeFiles/awr_datalog.dir/inflationary.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/leastmodel.cc.o"
+  "CMakeFiles/awr_datalog.dir/leastmodel.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/magic.cc.o"
+  "CMakeFiles/awr_datalog.dir/magic.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/parser.cc.o"
+  "CMakeFiles/awr_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/safety.cc.o"
+  "CMakeFiles/awr_datalog.dir/safety.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/stable.cc.o"
+  "CMakeFiles/awr_datalog.dir/stable.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/stratified.cc.o"
+  "CMakeFiles/awr_datalog.dir/stratified.cc.o.d"
+  "CMakeFiles/awr_datalog.dir/wellfounded.cc.o"
+  "CMakeFiles/awr_datalog.dir/wellfounded.cc.o.d"
+  "libawr_datalog.a"
+  "libawr_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

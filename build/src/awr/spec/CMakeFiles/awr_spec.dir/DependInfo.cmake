@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awr/spec/builtin_specs.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/builtin_specs.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/builtin_specs.cc.o.d"
+  "/root/repo/src/awr/spec/congruence.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/congruence.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/congruence.cc.o.d"
+  "/root/repo/src/awr/spec/ivm_decision.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/ivm_decision.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/ivm_decision.cc.o.d"
+  "/root/repo/src/awr/spec/rewrite.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/rewrite.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/rewrite.cc.o.d"
+  "/root/repo/src/awr/spec/spec.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/spec.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/spec.cc.o.d"
+  "/root/repo/src/awr/spec/valid_interp.cc" "src/awr/spec/CMakeFiles/awr_spec.dir/valid_interp.cc.o" "gcc" "src/awr/spec/CMakeFiles/awr_spec.dir/valid_interp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/value/CMakeFiles/awr_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/term/CMakeFiles/awr_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/datalog/CMakeFiles/awr_datalog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

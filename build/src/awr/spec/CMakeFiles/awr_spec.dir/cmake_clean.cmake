@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_spec.dir/builtin_specs.cc.o"
+  "CMakeFiles/awr_spec.dir/builtin_specs.cc.o.d"
+  "CMakeFiles/awr_spec.dir/congruence.cc.o"
+  "CMakeFiles/awr_spec.dir/congruence.cc.o.d"
+  "CMakeFiles/awr_spec.dir/ivm_decision.cc.o"
+  "CMakeFiles/awr_spec.dir/ivm_decision.cc.o.d"
+  "CMakeFiles/awr_spec.dir/rewrite.cc.o"
+  "CMakeFiles/awr_spec.dir/rewrite.cc.o.d"
+  "CMakeFiles/awr_spec.dir/spec.cc.o"
+  "CMakeFiles/awr_spec.dir/spec.cc.o.d"
+  "CMakeFiles/awr_spec.dir/valid_interp.cc.o"
+  "CMakeFiles/awr_spec.dir/valid_interp.cc.o.d"
+  "libawr_spec.a"
+  "libawr_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awr/term/signature.cc" "src/awr/term/CMakeFiles/awr_term.dir/signature.cc.o" "gcc" "src/awr/term/CMakeFiles/awr_term.dir/signature.cc.o.d"
+  "/root/repo/src/awr/term/term.cc" "src/awr/term/CMakeFiles/awr_term.dir/term.cc.o" "gcc" "src/awr/term/CMakeFiles/awr_term.dir/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

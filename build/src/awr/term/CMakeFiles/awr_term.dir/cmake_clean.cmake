@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_term.dir/signature.cc.o"
+  "CMakeFiles/awr_term.dir/signature.cc.o.d"
+  "CMakeFiles/awr_term.dir/term.cc.o"
+  "CMakeFiles/awr_term.dir/term.cc.o.d"
+  "libawr_term.a"
+  "libawr_term.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_term.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awr/translate/alg_to_datalog.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/alg_to_datalog.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/alg_to_datalog.cc.o.d"
+  "/root/repo/src/awr/translate/algebra_stable.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/algebra_stable.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/algebra_stable.cc.o.d"
+  "/root/repo/src/awr/translate/datalog_to_alg.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/datalog_to_alg.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/datalog_to_alg.cc.o.d"
+  "/root/repo/src/awr/translate/pipeline.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/pipeline.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/pipeline.cc.o.d"
+  "/root/repo/src/awr/translate/safety_transform.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/safety_transform.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/safety_transform.cc.o.d"
+  "/root/repo/src/awr/translate/step_index.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/step_index.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/step_index.cc.o.d"
+  "/root/repo/src/awr/translate/stratified_ifp.cc" "src/awr/translate/CMakeFiles/awr_translate.dir/stratified_ifp.cc.o" "gcc" "src/awr/translate/CMakeFiles/awr_translate.dir/stratified_ifp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/value/CMakeFiles/awr_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/datalog/CMakeFiles/awr_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/algebra/CMakeFiles/awr_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

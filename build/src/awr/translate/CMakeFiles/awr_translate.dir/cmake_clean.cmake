@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_translate.dir/alg_to_datalog.cc.o"
+  "CMakeFiles/awr_translate.dir/alg_to_datalog.cc.o.d"
+  "CMakeFiles/awr_translate.dir/algebra_stable.cc.o"
+  "CMakeFiles/awr_translate.dir/algebra_stable.cc.o.d"
+  "CMakeFiles/awr_translate.dir/datalog_to_alg.cc.o"
+  "CMakeFiles/awr_translate.dir/datalog_to_alg.cc.o.d"
+  "CMakeFiles/awr_translate.dir/pipeline.cc.o"
+  "CMakeFiles/awr_translate.dir/pipeline.cc.o.d"
+  "CMakeFiles/awr_translate.dir/safety_transform.cc.o"
+  "CMakeFiles/awr_translate.dir/safety_transform.cc.o.d"
+  "CMakeFiles/awr_translate.dir/step_index.cc.o"
+  "CMakeFiles/awr_translate.dir/step_index.cc.o.d"
+  "CMakeFiles/awr_translate.dir/stratified_ifp.cc.o"
+  "CMakeFiles/awr_translate.dir/stratified_ifp.cc.o.d"
+  "libawr_translate.a"
+  "libawr_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

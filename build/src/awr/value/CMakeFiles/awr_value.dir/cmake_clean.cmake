@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_value.dir/value.cc.o"
+  "CMakeFiles/awr_value.dir/value.cc.o.d"
+  "CMakeFiles/awr_value.dir/value_set.cc.o"
+  "CMakeFiles/awr_value.dir/value_set.cc.o.d"
+  "libawr_value.a"
+  "libawr_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

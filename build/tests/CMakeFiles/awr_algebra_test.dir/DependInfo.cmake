@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/algebra_test.cc" "tests/CMakeFiles/awr_algebra_test.dir/algebra_test.cc.o" "gcc" "tests/CMakeFiles/awr_algebra_test.dir/algebra_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awr/spec/CMakeFiles/awr_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/term/CMakeFiles/awr_term.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/translate/CMakeFiles/awr_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/algebra/CMakeFiles/awr_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/datalog/CMakeFiles/awr_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/value/CMakeFiles/awr_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/awr/common/CMakeFiles/awr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

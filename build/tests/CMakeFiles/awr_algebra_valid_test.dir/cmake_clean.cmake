@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_algebra_valid_test.dir/algebra_valid_test.cc.o"
+  "CMakeFiles/awr_algebra_valid_test.dir/algebra_valid_test.cc.o.d"
+  "awr_algebra_valid_test"
+  "awr_algebra_valid_test.pdb"
+  "awr_algebra_valid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_algebra_valid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

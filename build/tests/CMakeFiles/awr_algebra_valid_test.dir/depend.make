@@ -1,0 +1,2 @@
+# Empty dependencies file for awr_algebra_valid_test.
+# This may be replaced when dependencies are built.

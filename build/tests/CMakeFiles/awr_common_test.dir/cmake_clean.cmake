@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_common_test.dir/common_test.cc.o"
+  "CMakeFiles/awr_common_test.dir/common_test.cc.o.d"
+  "awr_common_test"
+  "awr_common_test.pdb"
+  "awr_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

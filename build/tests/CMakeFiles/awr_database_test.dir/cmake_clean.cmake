@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_database_test.dir/database_test.cc.o"
+  "CMakeFiles/awr_database_test.dir/database_test.cc.o.d"
+  "awr_database_test"
+  "awr_database_test.pdb"
+  "awr_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_datalog_eval_test.dir/datalog_eval_test.cc.o"
+  "CMakeFiles/awr_datalog_eval_test.dir/datalog_eval_test.cc.o.d"
+  "awr_datalog_eval_test"
+  "awr_datalog_eval_test.pdb"
+  "awr_datalog_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_datalog_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_domain_independence_test.dir/domain_independence_test.cc.o"
+  "CMakeFiles/awr_domain_independence_test.dir/domain_independence_test.cc.o.d"
+  "awr_domain_independence_test"
+  "awr_domain_independence_test.pdb"
+  "awr_domain_independence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_domain_independence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

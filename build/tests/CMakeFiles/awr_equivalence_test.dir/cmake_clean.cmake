@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_equivalence_test.dir/equivalence_test.cc.o"
+  "CMakeFiles/awr_equivalence_test.dir/equivalence_test.cc.o.d"
+  "awr_equivalence_test"
+  "awr_equivalence_test.pdb"
+  "awr_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_eval_core_test.dir/eval_core_test.cc.o"
+  "CMakeFiles/awr_eval_core_test.dir/eval_core_test.cc.o.d"
+  "awr_eval_core_test"
+  "awr_eval_core_test.pdb"
+  "awr_eval_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_eval_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_magic_test.dir/magic_test.cc.o"
+  "CMakeFiles/awr_magic_test.dir/magic_test.cc.o.d"
+  "awr_magic_test"
+  "awr_magic_test.pdb"
+  "awr_magic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_magic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_paper_examples_test.dir/paper_examples_test.cc.o"
+  "CMakeFiles/awr_paper_examples_test.dir/paper_examples_test.cc.o.d"
+  "awr_paper_examples_test"
+  "awr_paper_examples_test.pdb"
+  "awr_paper_examples_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_paper_examples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_parser_test.dir/parser_test.cc.o"
+  "CMakeFiles/awr_parser_test.dir/parser_test.cc.o.d"
+  "awr_parser_test"
+  "awr_parser_test.pdb"
+  "awr_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_property_test.dir/property_test.cc.o"
+  "CMakeFiles/awr_property_test.dir/property_test.cc.o.d"
+  "awr_property_test"
+  "awr_property_test.pdb"
+  "awr_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

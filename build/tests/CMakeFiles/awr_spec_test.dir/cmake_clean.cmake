@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_spec_test.dir/spec_test.cc.o"
+  "CMakeFiles/awr_spec_test.dir/spec_test.cc.o.d"
+  "awr_spec_test"
+  "awr_spec_test.pdb"
+  "awr_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

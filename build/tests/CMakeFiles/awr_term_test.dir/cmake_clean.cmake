@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_term_test.dir/term_test.cc.o"
+  "CMakeFiles/awr_term_test.dir/term_test.cc.o.d"
+  "awr_term_test"
+  "awr_term_test.pdb"
+  "awr_term_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_term_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_translate_test.dir/translate_test.cc.o"
+  "CMakeFiles/awr_translate_test.dir/translate_test.cc.o.d"
+  "awr_translate_test"
+  "awr_translate_test.pdb"
+  "awr_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

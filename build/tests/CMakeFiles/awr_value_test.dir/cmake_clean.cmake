@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awr_value_test.dir/value_test.cc.o"
+  "CMakeFiles/awr_value_test.dir/value_test.cc.o.d"
+  "awr_value_test"
+  "awr_value_test.pdb"
+  "awr_value_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awr_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/awr_value_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_datalog_core_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_datalog_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_algebra_valid_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_translate_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_term_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_common_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_magic_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_algebra_stable_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_property_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_domain_independence_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_database_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/awr_eval_core_test[1]_include.cmake")
