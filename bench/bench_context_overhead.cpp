@@ -1,0 +1,73 @@
+// Benchmark B8: governance overhead of ExecutionContext.
+//
+// Compares transitive closure on a chain graph under three regimes:
+//   * plain        — no caller context (engine builds a private one;
+//                    the pre-ExecutionContext baseline path);
+//   * governed     — caller context with a far deadline, a live cancel
+//                    token and an armed-but-never-tripping injector, so
+//                    every check the governance layer can do is active;
+//   * governed-min — caller context with limits only (checks all
+//                    short-circuit on null/absent state).
+//
+// Acceptance target (ISSUE 1): governed vs plain within 2% on this
+// workload.  The per-round checks are a handful of branches; the only
+// recurring real cost is the amortized steady_clock read, one per
+// kClockStride charges.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "awr/common/context.h"
+#include "awr/datalog/leastmodel.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+namespace {
+
+constexpr int kChain = 128;
+
+void RunTc(benchmark::State& state, bool with_context, bool fully_armed) {
+  datalog::Database edb = ChainEdges(kChain);
+  datalog::Program program = TcProgram();
+  CancelSource source;
+  FaultInjector injector;
+  injector.TripAt(~size_t{0});  // counts every charge, never fires
+  for (auto _ : state) {
+    datalog::EvalOptions opts;
+    opts.limits = EvalLimits::Large();
+    ExecutionContext ctx(opts.limits);
+    if (with_context) {
+      if (fully_armed) {
+        ctx.set_timeout(std::chrono::hours(1));
+        ctx.set_cancel_token(source.token());
+        ctx.set_fault_injector(&injector);
+      }
+      opts.context = &ctx;
+    }
+    auto r = EvalMinimalModel(program, edb, opts);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["chain"] = kChain;
+}
+
+void BM_TcPlain(benchmark::State& state) {
+  RunTc(state, /*with_context=*/false, /*fully_armed=*/false);
+}
+BENCHMARK(BM_TcPlain);
+
+void BM_TcGoverned(benchmark::State& state) {
+  RunTc(state, /*with_context=*/true, /*fully_armed=*/true);
+}
+BENCHMARK(BM_TcGoverned);
+
+void BM_TcGovernedMinimal(benchmark::State& state) {
+  RunTc(state, /*with_context=*/true, /*fully_armed=*/false);
+}
+BENCHMARK(BM_TcGovernedMinimal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

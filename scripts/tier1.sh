@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the interruption
+# tests again under AddressSanitizer/UBSan so that unwinding from an
+# injected fault at every charge point is checked for leaks and UB.
+#
+# Usage: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
+cmake --build build-asan -j"$(nproc)" --target awr_interruption_test
+(cd build-asan && ctest --output-on-failure -R Interruption)

@@ -9,8 +9,8 @@ namespace {
 class Evaluator {
  public:
   Evaluator(const SetDb& db, const std::unordered_set<std::string>& recursive,
-            const AlgebraEvalOptions& opts, EvalBudget* budget)
-      : db_(db), recursive_(recursive), opts_(opts), budget_(budget) {}
+            const AlgebraEvalOptions& opts, ExecutionContext* ctx)
+      : db_(db), recursive_(recursive), opts_(opts), ctx_(ctx) {}
 
   Result<ValueSet> Eval(const AlgebraExpr& e) {
     switch (e.kind()) {
@@ -42,7 +42,7 @@ class Evaluator {
         AWR_ASSIGN_OR_RETURN(ValueSet l, Eval(e.children()[0]));
         AWR_ASSIGN_OR_RETURN(ValueSet r, Eval(e.children()[1]));
         AWR_RETURN_IF_ERROR(
-            budget_->ChargeFacts(l.size() * r.size(), "algebra ×"));
+            ctx_->ChargeFacts(l.size() * r.size(), "algebra ×"));
         return SetProduct(l, r);
       }
       case AlgebraExpr::Kind::kSelect: {
@@ -67,14 +67,15 @@ class Evaluator {
         // Inflationary fixed point: IFP_exp = ∪_i F_exp(i) (§3.1).
         ValueSet acc;
         for (;;) {
-          AWR_RETURN_IF_ERROR(budget_->ChargeRound("IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeRound("IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeMemory(acc.approx_bytes(), "IFP"));
           iters_.push_back(&acc);
           auto step = Eval(e.children()[0]);
           iters_.pop_back();
           AWR_RETURN_IF_ERROR(step.status());
           size_t added = acc.InsertAll(*step);
           if (added == 0) break;
-          AWR_RETURN_IF_ERROR(budget_->ChargeFacts(added, "IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeFacts(added, "IFP"));
         }
         return acc;
       }
@@ -96,7 +97,7 @@ class Evaluator {
   const SetDb& db_;
   const std::unordered_set<std::string>& recursive_;
   const AlgebraEvalOptions& opts_;
-  EvalBudget* budget_;
+  ExecutionContext* ctx_;
   std::vector<const ValueSet*> iters_;
 };
 
@@ -110,8 +111,9 @@ Result<ValueSet> EvalAlgebra(const AlgebraExpr& query,
   AWR_ASSIGN_OR_RETURN(AlgebraExpr inlined, InlineCalls(query, program));
   std::vector<std::string> rec = program.RecursiveDefs();
   std::unordered_set<std::string> recursive(rec.begin(), rec.end());
-  EvalBudget budget(opts.limits);
-  Evaluator evaluator(db, recursive, opts, &budget);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
+  Evaluator evaluator(db, recursive, opts, ctx);
   return evaluator.Eval(inlined);
 }
 

@@ -2,6 +2,7 @@
 #define AWR_ALGEBRA_EVAL_H_
 
 #include "awr/algebra/program.h"
+#include "awr/common/context.h"
 #include "awr/common/limits.h"
 #include "awr/common/result.h"
 #include "awr/datalog/functions.h"
@@ -13,6 +14,10 @@ namespace awr::algebra {
 struct AlgebraEvalOptions {
   FunctionRegistry functions = FunctionRegistry::Default();
   EvalLimits limits = EvalLimits::Default();
+  /// Optional resource governance (borrowed); same semantics as
+  /// datalog::EvalOptions::context — when set it supersedes `limits`,
+  /// adding deadline / cancellation / memory / fault-injection checks.
+  ExecutionContext* context = nullptr;
 };
 
 /// Evaluates an (IFP-)algebra query: a 2-valued, terminating-by-budget

@@ -28,8 +28,8 @@ using PairAssignment = std::map<std::string, ThreeValuedSet>;
 class PairEvaluator {
  public:
   PairEvaluator(const SetDb& db, const PairAssignment& unknowns,
-                const AlgebraEvalOptions& opts, EvalBudget* budget)
-      : db_(db), unknowns_(unknowns), opts_(opts), budget_(budget) {}
+                const AlgebraEvalOptions& opts, ExecutionContext* ctx)
+      : db_(db), unknowns_(unknowns), opts_(opts), ctx_(ctx) {}
 
   Result<ThreeValuedSet> Eval(const AlgebraExpr& e) {
     switch (e.kind()) {
@@ -60,7 +60,7 @@ class PairEvaluator {
       case AlgebraExpr::Kind::kProduct: {
         AWR_ASSIGN_OR_RETURN(ThreeValuedSet l, Eval(e.children()[0]));
         AWR_ASSIGN_OR_RETURN(ThreeValuedSet r, Eval(e.children()[1]));
-        AWR_RETURN_IF_ERROR(budget_->ChargeFacts(
+        AWR_RETURN_IF_ERROR(ctx_->ChargeFacts(
             l.upper.size() * r.upper.size(), "valid-eval ×"));
         return ThreeValuedSet{SetProduct(l.lower, r.lower),
                               SetProduct(l.upper, r.upper)};
@@ -102,7 +102,10 @@ class PairEvaluator {
         // the IFP body does not consume undefined parts of the model.
         ThreeValuedSet acc;
         for (;;) {
-          AWR_RETURN_IF_ERROR(budget_->ChargeRound("valid-eval IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeRound("valid-eval IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeMemory(
+              acc.lower.approx_bytes() + acc.upper.approx_bytes(),
+              "valid-eval IFP"));
           iters_.push_back(&acc);
           auto step = Eval(e.children()[0]);
           iters_.pop_back();
@@ -110,7 +113,7 @@ class PairEvaluator {
           size_t added = acc.lower.InsertAll(step->lower) +
                          acc.upper.InsertAll(step->upper);
           if (added == 0) break;
-          AWR_RETURN_IF_ERROR(budget_->ChargeFacts(added, "valid-eval IFP"));
+          AWR_RETURN_IF_ERROR(ctx_->ChargeFacts(added, "valid-eval IFP"));
         }
         return acc;
       }
@@ -132,7 +135,7 @@ class PairEvaluator {
   const SetDb& db_;
   const PairAssignment& unknowns_;
   const AlgebraEvalOptions& opts_;
-  EvalBudget* budget_;
+  ExecutionContext* ctx_;
   std::vector<const ThreeValuedSet*> iters_;
 };
 
@@ -170,7 +173,8 @@ Result<ValidAlgebraResult> EvalAlgebraValid(const AlgebraProgram& program,
     }
   }
 
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
 
   // T_k / U_k per unknown; T_0 = U_0 = ∅ assignments.
   PairAssignment assignment;
@@ -179,22 +183,22 @@ Result<ValidAlgebraResult> EvalAlgebraValid(const AlgebraProgram& program,
   }
 
   for (;;) {
-    AWR_RETURN_IF_ERROR(budget.ChargeRound("valid-eval(alternation)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("valid-eval(alternation)"));
 
     // U_{k+1}: least fixpoint of the upper components, with the lower
     // components frozen at T_k.
     PairAssignment upper_iter = assignment;
     for (auto& [name, tvs] : upper_iter) tvs.upper.Clear();
     for (;;) {
-      AWR_RETURN_IF_ERROR(budget.ChargeRound("valid-eval(upper lfp)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeRound("valid-eval(upper lfp)"));
       size_t added = 0;
       for (const Definition& d : normalized.defs()) {
-        PairEvaluator eval(db, upper_iter, opts, &budget);
+        PairEvaluator eval(db, upper_iter, opts, ctx);
         AWR_ASSIGN_OR_RETURN(ThreeValuedSet result, eval.Eval(d.body));
         added += upper_iter[d.name].upper.InsertAll(result.upper);
       }
       if (added == 0) break;
-      AWR_RETURN_IF_ERROR(budget.ChargeFacts(added, "valid-eval(upper lfp)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "valid-eval(upper lfp)"));
     }
 
     // T_{k+1}: least fixpoint of the lower components, with the upper
@@ -202,15 +206,15 @@ Result<ValidAlgebraResult> EvalAlgebraValid(const AlgebraProgram& program,
     PairAssignment lower_iter = upper_iter;
     for (auto& [name, tvs] : lower_iter) tvs.lower.Clear();
     for (;;) {
-      AWR_RETURN_IF_ERROR(budget.ChargeRound("valid-eval(lower lfp)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeRound("valid-eval(lower lfp)"));
       size_t added = 0;
       for (const Definition& d : normalized.defs()) {
-        PairEvaluator eval(db, lower_iter, opts, &budget);
+        PairEvaluator eval(db, lower_iter, opts, ctx);
         AWR_ASSIGN_OR_RETURN(ThreeValuedSet result, eval.Eval(d.body));
         added += lower_iter[d.name].lower.InsertAll(result.lower);
       }
       if (added == 0) break;
-      AWR_RETURN_IF_ERROR(budget.ChargeFacts(added, "valid-eval(lower lfp)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "valid-eval(lower lfp)"));
     }
 
     if (getenv("AWR_DEBUG_VALID") != nullptr) {
@@ -238,8 +242,9 @@ Result<ThreeValuedSet> EvalQueryValid(const AlgebraExpr& query,
   AWR_ASSIGN_OR_RETURN(AlgebraExpr inlined, InlineCalls(query, program));
   PairAssignment assignment;
   for (const auto& [name, tvs] : model) assignment[name] = tvs;
-  EvalBudget budget(opts.limits);
-  PairEvaluator eval(db, assignment, opts, &budget);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
+  PairEvaluator eval(db, assignment, opts, ctx);
   return eval.Eval(inlined);
 }
 

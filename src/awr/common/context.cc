@@ -1,0 +1,28 @@
+#include "awr/common/context.h"
+
+namespace awr {
+
+Status ExecutionContext::Governance(std::string_view what, bool force_clock) {
+  // Order matters for testability: the injector sees every charge first
+  // (so trip points are dense and deterministic), then the cheap atomic
+  // cancellation poll, then the amortized clock read.
+  if (fault_ != nullptr) AWR_RETURN_IF_ERROR(fault_->OnCharge());
+  if (cancel_.cancelled()) {
+    return Status::Cancelled(std::string(what) + ": cancelled by caller");
+  }
+  if (has_deadline_) {
+    // Consult the clock on the very first charge (engines that only
+    // poll CheckInterrupt — rewriting, universe enumeration — must
+    // still notice an already-expired deadline immediately), then once
+    // every kClockStride charges; round charges always look.
+    bool read_clock = force_clock || clock_phase_ == 0;
+    if (++clock_phase_ >= kClockStride) clock_phase_ = 0;
+    if (read_clock && Clock::now() >= deadline_) {
+      return Status::DeadlineExceeded(std::string(what) +
+                                      ": wall-clock deadline exceeded");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace awr

@@ -1,0 +1,220 @@
+#ifndef AWR_COMMON_CONTEXT_H_
+#define AWR_COMMON_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "awr/common/limits.h"
+#include "awr/common/status.h"
+
+namespace awr {
+
+class CancelSource;
+
+/// A cheap, copyable handle observing a CancelSource.  A
+/// default-constructed token can never be cancelled, so engines may hold
+/// one unconditionally.  Reads are relaxed atomic loads: safe to poll
+/// from the evaluating thread while another thread signals the source.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// True once the owning CancelSource has been signalled.
+  bool cancelled() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// The writable end of a cancellation channel.  Create one, hand its
+/// token() to an ExecutionContext, and call RequestCancel() — from any
+/// thread — to make every engine polling that context fail with
+/// kCancelled at its next charge point.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Signals cancellation.  Idempotent; thread-safe.
+  void RequestCancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// A programmable fault for interruption testing: every governance check
+/// an ExecutionContext performs (ChargeRound / ChargeFacts /
+/// ChargeMemory / CheckInterrupt) counts as one charge; the injector
+/// returns its fault status on exactly the `nth` charge.
+///
+/// Usage (tests/interruption_test.cc): run an engine once with a
+/// disarmed injector to learn the total number of charge points N, then
+/// re-run with TripAt(i) for i = 1..N and verify the engine surfaces the
+/// injected status cleanly and leaves caller-visible state intact.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Arms the injector: the `nth` subsequent charge (1-based) fails with
+  /// `fault`.  Resets the charge counter.
+  void TripAt(size_t nth, Status fault = Status::Internal("injected fault")) {
+    trip_at_ = nth;
+    fault_ = std::move(fault);
+    count_ = 0;
+  }
+
+  /// Disarms the injector but keeps counting charges.
+  void Disarm() {
+    trip_at_ = 0;
+    count_ = 0;
+  }
+
+  /// Charges observed since the last TripAt/Disarm.
+  size_t charges_seen() const { return count_; }
+
+  /// Called by ExecutionContext at every charge point.
+  Status OnCharge() {
+    ++count_;
+    if (trip_at_ != 0 && count_ == trip_at_) return fault_;
+    return Status::OK();
+  }
+
+ private:
+  size_t trip_at_ = 0;
+  size_t count_ = 0;
+  Status fault_;
+};
+
+/// Unified resource governance for one evaluation: an EvalBudget
+/// (rounds/facts) plus a wall-clock deadline, a cooperative cancellation
+/// token, a byte-denominated memory accountant, and an optional
+/// FaultInjector.  Every fixpoint engine charges an ExecutionContext at
+/// its loop heads and bulk-insertion points; callers that need
+/// governance construct one and pass it via the engine's options struct
+/// (EvalOptions::context, AlgebraEvalOptions::context,
+/// RewriteOptions::context).  Engines given no context build a private
+/// one from their options' EvalLimits, so plain calls behave as before.
+///
+/// Interruption contract (see DESIGN.md §"Resource governance"): on any
+/// non-OK status from a charge, the engine must return that status
+/// without touching caller-visible state — all awr engines take their
+/// inputs by const reference and deliver results only through a
+/// Result<T> return, so an interrupted evaluation can never leave a
+/// half-written Database or ValueSet in the caller's hands.
+///
+/// Not thread-safe except where noted: one context governs one
+/// evaluation on one thread; only CancelToken is designed for
+/// cross-thread signalling.
+class ExecutionContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  ExecutionContext() : ExecutionContext(EvalLimits::Default()) {}
+  explicit ExecutionContext(EvalLimits limits) : budget_(limits) {}
+
+  /// Fluent configuration -------------------------------------------
+
+  /// Fails charges with kDeadlineExceeded once `deadline` passes.
+  ExecutionContext& set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+    return *this;
+  }
+
+  /// Convenience: deadline = now + timeout.
+  ExecutionContext& set_timeout(std::chrono::nanoseconds timeout) {
+    return set_deadline(Clock::now() + timeout);
+  }
+
+  /// Fails charges with kCancelled once the token's source is signalled.
+  ExecutionContext& set_cancel_token(CancelToken token) {
+    cancel_ = std::move(token);
+    return *this;
+  }
+
+  /// Routes every charge through `injector` (borrowed, may be null).
+  ExecutionContext& set_fault_injector(FaultInjector* injector) {
+    fault_ = injector;
+    return *this;
+  }
+
+  /// Charge points ---------------------------------------------------
+
+  /// Charges one fixpoint round.  Always consults the wall clock, so a
+  /// deadline is detected no later than the next round boundary.
+  Status ChargeRound(std::string_view what) {
+    AWR_RETURN_IF_ERROR(Governance(what, /*force_clock=*/true));
+    return budget_.ChargeRound(what);
+  }
+
+  /// Charges `n` derived facts / set elements.
+  Status ChargeFacts(size_t n, std::string_view what) {
+    AWR_RETURN_IF_ERROR(Governance(what, /*force_clock=*/false));
+    return budget_.ChargeFacts(n, what);
+  }
+
+  /// Records the evaluator's current live footprint (approximate bytes,
+  /// per ValueSet::approx_bytes); fails with kResourceExhausted when it
+  /// exceeds EvalLimits::max_bytes.  Engines report the footprint each
+  /// round, so the high-water mark tracks peak usage.
+  Status ChargeMemory(size_t bytes_in_use, std::string_view what) {
+    AWR_RETURN_IF_ERROR(Governance(what, /*force_clock=*/false));
+    if (bytes_in_use > high_water_bytes_) high_water_bytes_ = bytes_in_use;
+    if (bytes_in_use > budget_.limits().max_bytes) {
+      return Status::ResourceExhausted(
+          std::string(what) + ": live state ~" + std::to_string(bytes_in_use) +
+          " bytes exceeds max_bytes=" +
+          std::to_string(budget_.limits().max_bytes));
+    }
+    return Status::OK();
+  }
+
+  /// A pure interruption poll (cancellation, deadline, injected fault)
+  /// that consumes no budget.  Cheap enough to call on every join match;
+  /// the wall clock is only consulted every kClockStride calls.
+  Status CheckInterrupt(std::string_view what) {
+    return Governance(what, /*force_clock=*/false);
+  }
+
+  /// Introspection ----------------------------------------------------
+  size_t rounds() const { return budget_.rounds(); }
+  size_t facts() const { return budget_.facts(); }
+  size_t high_water_bytes() const { return high_water_bytes_; }
+  const EvalLimits& limits() const { return budget_.limits(); }
+  bool has_deadline() const { return has_deadline_; }
+  const CancelToken& cancel_token() const { return cancel_; }
+
+ private:
+  /// Clock polls are amortized: non-round charges look at the wall clock
+  /// once every kClockStride charges.
+  static constexpr uint32_t kClockStride = 64;
+
+  Status Governance(std::string_view what, bool force_clock);
+
+  EvalBudget budget_;
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  CancelToken cancel_;
+  FaultInjector* fault_ = nullptr;  // borrowed
+  size_t high_water_bytes_ = 0;
+  uint32_t clock_phase_ = 0;
+};
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_CONTEXT_H_

@@ -19,13 +19,19 @@ struct EvalLimits {
   size_t max_rounds = 10000;
   /// Maximum number of facts / set elements ever derived.
   size_t max_facts = 10'000'000;
+  /// Maximum approximate bytes of live evaluator state (derived extents),
+  /// as accounted by ValueSet::approx_bytes.  Enforced by
+  /// ExecutionContext::ChargeMemory (context.h).
+  size_t max_bytes = 4ull << 30;
 
   /// A small budget for unit tests of divergence behaviour.
-  static EvalLimits Tiny() { return EvalLimits{16, 4096}; }
+  static EvalLimits Tiny() { return EvalLimits{16, 4096, 64ull << 20}; }
   /// The default budget.
   static EvalLimits Default() { return EvalLimits{}; }
   /// A large budget for benchmarks.
-  static EvalLimits Large() { return EvalLimits{1'000'000, 100'000'000}; }
+  static EvalLimits Large() {
+    return EvalLimits{1'000'000, 100'000'000, 16ull << 30};
+  }
 };
 
 /// Mutable per-run accounting against an EvalLimits budget.

@@ -20,8 +20,29 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool StatusCodeFromString(std::string_view name, StatusCode* out) {
+  static constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,            StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+      StatusCode::kNotFound,      StatusCode::kUndefined,
+      StatusCode::kInternal,      StatusCode::kNotImplemented,
+      StatusCode::kCancelled,     StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kAllCodes) {
+    if (StatusCodeToString(code) == name) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 Status::Status(StatusCode code, std::string message)

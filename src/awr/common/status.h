@@ -37,10 +37,22 @@ enum class StatusCode {
   /// Feature intentionally outside the supported fragment (e.g. a
   /// recursive parameterized definition not in §6 normal form).
   kNotImplemented,
+  /// The computation was cooperatively cancelled via a CancelToken
+  /// (context.h) signalled by another thread / the caller.
+  kCancelled,
+  /// The computation ran past its ExecutionContext wall-clock deadline.
+  /// Distinct from kResourceExhausted (rounds/facts/bytes budgets): a
+  /// deadline bounds *time*, which is the only budget that also catches
+  /// slow progress inside a single fixpoint round.
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical name of a code, e.g. "InvalidArgument".
 std::string_view StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString: parses a canonical code name.
+/// Returns false (leaving `out` untouched) for unknown names.
+bool StatusCodeFromString(std::string_view name, StatusCode* out);
 
 /// An Arrow-style status object: cheap to pass around when OK (a single
 /// null pointer), carries a code + message on failure.  All fallible awr
@@ -93,6 +105,12 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
   bool IsFailedPrecondition() const {
@@ -105,6 +123,10 @@ class Status {
   bool IsUndefined() const { return code() == StatusCode::kUndefined; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
  private:
   struct Rep {

@@ -72,6 +72,17 @@ class Interpretation {
     return n;
   }
 
+  /// Approximate heap footprint across all extents (see
+  /// ValueSet::approx_bytes).  O(#predicates): engines report this to
+  /// ExecutionContext::ChargeMemory once per fixpoint round.
+  size_t ApproxBytes() const {
+    size_t n = 0;
+    for (const auto& [pred, extent] : relations_) {
+      n += extent.approx_bytes() + pred.size() + sizeof(ValueSet);
+    }
+    return n;
+  }
+
   bool operator==(const Interpretation& other) const {
     return IsSubsetOf(other) && other.IsSubsetOf(*this);
   }

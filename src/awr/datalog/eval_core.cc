@@ -63,7 +63,12 @@ class BodyEnumerator {
 
  private:
   Status EvalFrom(size_t k, Env& env) {
-    if (k == plan_.size()) return on_match_(env);
+    if (k == plan_.size()) {
+      if (ctx_.context != nullptr) {
+        AWR_RETURN_IF_ERROR(ctx_.context->CheckInterrupt("body-match"));
+      }
+      return on_match_(env);
+    }
     const Literal& lit = rule_.body[plan_[k]];
     if (lit.is_atom()) {
       return lit.positive ? MatchPositive(lit, k, env) : TestNegative(lit, k, env);

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "awr/common/context.h"
 #include "awr/common/result.h"
 #include "awr/datalog/ast.h"
 #include "awr/datalog/database.h"
@@ -55,6 +56,11 @@ struct BodyContext {
       positive_extent;
   std::function<bool(const std::string& pred, const Value& fact)>
       negation_holds;
+  /// Optional governance (borrowed): when set, the enumerator polls
+  /// ExecutionContext::CheckInterrupt before delivering each body match,
+  /// so cancellation and deadlines take effect inside a round, not just
+  /// between rounds.
+  ExecutionContext* context = nullptr;
 };
 
 /// Enumerates every satisfying assignment of `rule`'s body (processed in

@@ -58,9 +58,10 @@ Result<GroundProgram> GroundProgramFor(const Program& program,
     }
   }
 
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
   for (const PlannedRule& pr : planned) {
-    BodyContext ctx{
+    BodyContext body_ctx{
         &opts.functions,
         // Positive atoms range over everything possibly true.
         [&wfs](const std::string& pred, size_t) -> const ValueSet& {
@@ -69,10 +70,11 @@ Result<GroundProgram> GroundProgramFor(const Program& program,
         // Keep an instance unless its negative literal certainly fails.
         [&wfs](const std::string& pred, const Value& fact) {
           return !wfs.certain.Holds(pred, fact);
-        }};
+        },
+        ctx};
     AWR_RETURN_IF_ERROR(ForEachBodyMatch(
-        pr.rule, pr.plan, ctx, [&](const Env& env) -> Status {
-          AWR_RETURN_IF_ERROR(budget.ChargeFacts(1, "grounding"));
+        pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
+          AWR_RETURN_IF_ERROR(ctx->ChargeFacts(1, "grounding"));
           GroundRule instance;
           AWR_ASSIGN_OR_RETURN(Value head,
                                EvalHead(pr.rule, env, opts.functions));

@@ -7,27 +7,31 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
                                                   const EvalOptions& opts,
                                                   size_t* rounds_out) {
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
 
   Interpretation interp = edb;
   size_t rounds = 0;
   for (;;) {
-    AWR_RETURN_IF_ERROR(budget.ChargeRound("inflationary"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("inflationary"));
+    AWR_RETURN_IF_ERROR(
+        ctx->ChargeMemory(interp.ApproxBytes(), "inflationary"));
     // All rules fire simultaneously against the frozen snapshot: both
     // positive and negative literals read the facts derived so far.
     const Interpretation snapshot = interp;
-    BodyContext ctx{
+    BodyContext body_ctx{
         &opts.functions,
         [&snapshot](const std::string& pred, size_t) -> const ValueSet& {
           return snapshot.Extent(pred);
         },
         [&snapshot](const std::string& pred, const Value& fact) {
           return !snapshot.Holds(pred, fact);
-        }};
+        },
+        ctx};
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
       AWR_RETURN_IF_ERROR(ForEachBodyMatch(
-          pr.rule, pr.plan, ctx, [&](const Env& env) -> Status {
+          pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
             AWR_ASSIGN_OR_RETURN(Value fact,
                                  EvalHead(pr.rule, env, opts.functions));
             if (interp.AddFactTuple(pr.rule.head.predicate, std::move(fact))) {
@@ -38,7 +42,7 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
     }
     if (added == 0) break;
     ++rounds;
-    AWR_RETURN_IF_ERROR(budget.ChargeFacts(added, "inflationary"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "inflationary"));
   }
   if (rounds_out != nullptr) *rounds_out = rounds;
   return interp;

@@ -1,5 +1,6 @@
 #include "awr/datalog/leastmodel.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace awr::datalog {
@@ -28,7 +29,7 @@ Result<size_t> FireRule(const PlannedRule& pr, const BodyContext& ctx,
 Result<Interpretation> LeastModelWithFrozenNegation(
     const std::vector<PlannedRule>& rules, const Interpretation& base,
     const Interpretation& neg_context, const EvalOptions& opts,
-    EvalBudget* budget) {
+    ExecutionContext* ctx) {
   Interpretation interp = base;
 
   auto neg_holds = [&neg_context](const std::string& pred, const Value& fact) {
@@ -39,22 +40,24 @@ Result<Interpretation> LeastModelWithFrozenNegation(
     // Naive iteration: every round fires every rule against the full
     // interpretation.
     for (;;) {
-      AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(naive)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(naive)"));
       Interpretation delta;
-      BodyContext ctx{
+      BodyContext body_ctx{
           &opts.functions,
           [&interp](const std::string& pred, size_t) -> const ValueSet& {
             return interp.Extent(pred);
           },
-          neg_holds};
+          neg_holds, ctx};
       size_t added = 0;
       for (const PlannedRule& pr : rules) {
-        AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &delta));
+        AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, body_ctx, interp, &delta));
         added += n;
       }
       if (added == 0) break;
-      AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(naive)"));
+      AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(naive)"));
       interp.InsertAll(delta);
+      AWR_RETURN_IF_ERROR(
+          ctx->ChargeMemory(interp.ApproxBytes(), "least-model(naive)"));
     }
     return interp;
   }
@@ -65,24 +68,26 @@ Result<Interpretation> LeastModelWithFrozenNegation(
   // at a time.
   Interpretation delta;
   {
-    AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(seminaive)"));
-    BodyContext ctx{
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(seminaive)"));
+    BodyContext body_ctx{
         &opts.functions,
         [&interp](const std::string& pred, size_t) -> const ValueSet& {
           return interp.Extent(pred);
         },
-        neg_holds};
+        neg_holds, ctx};
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
-      AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &delta));
+      AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, body_ctx, interp, &delta));
       added += n;
     }
-    AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(seminaive)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(seminaive)"));
     interp.InsertAll(delta);
   }
 
   while (delta.TotalFacts() > 0) {
-    AWR_RETURN_IF_ERROR(budget->ChargeRound("least-model(seminaive)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(seminaive)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeMemory(
+        interp.ApproxBytes() + delta.ApproxBytes(), "least-model(seminaive)"));
     Interpretation next_delta;
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
@@ -96,23 +101,43 @@ Result<Interpretation> LeastModelWithFrozenNegation(
         }
       }
       for (size_t occ : delta_occurrences) {
-        BodyContext ctx{
+        BodyContext body_ctx{
             &opts.functions,
             [&interp, &delta, occ](const std::string& pred,
                                    size_t body_index) -> const ValueSet& {
               return body_index == occ ? delta.Extent(pred)
                                        : interp.Extent(pred);
             },
-            neg_holds};
-        AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, ctx, interp, &next_delta));
+            neg_holds, ctx};
+        AWR_ASSIGN_OR_RETURN(size_t n,
+                             FireRule(pr, body_ctx, interp, &next_delta));
         added += n;
       }
     }
-    AWR_RETURN_IF_ERROR(budget->ChargeFacts(added, "least-model(seminaive)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(seminaive)"));
     interp.InsertAll(next_delta);
     delta = std::move(next_delta);
   }
   return interp;
+}
+
+Result<Interpretation> LeastModelWithFrozenNegation(
+    const std::vector<PlannedRule>& rules, const Interpretation& base,
+    const Interpretation& neg_context, const EvalOptions& opts,
+    EvalBudget* budget) {
+  EvalLimits remaining = budget->limits();
+  remaining.max_rounds -= std::min(budget->rounds(), remaining.max_rounds);
+  remaining.max_facts -= std::min(budget->facts(), remaining.max_facts);
+  ExecutionContext ctx(remaining);
+  auto result = LeastModelWithFrozenNegation(rules, base, neg_context, opts,
+                                             &ctx);
+  for (size_t i = 0; i < ctx.rounds(); ++i) {
+    Status ignored = budget->ChargeRound("least-model");
+    (void)ignored;
+  }
+  Status ignored = budget->ChargeFacts(ctx.facts(), "least-model");
+  (void)ignored;
+  return result;
 }
 
 Result<Interpretation> EvalMinimalModel(const Program& program,
@@ -124,9 +149,10 @@ Result<Interpretation> EvalMinimalModel(const Program& program,
         "EvalInflationary or EvalWellFounded for programs with negation");
   }
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
   Interpretation empty;
-  return LeastModelWithFrozenNegation(rules, edb, empty, opts, &budget);
+  return LeastModelWithFrozenNegation(rules, edb, empty, opts, ctx);
 }
 
 }  // namespace awr::datalog

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "awr/common/context.h"
 #include "awr/common/limits.h"
 #include "awr/common/result.h"
 #include "awr/datalog/database.h"
@@ -19,6 +20,13 @@ struct EvalOptions {
   /// computations; naive iteration otherwise.  Both compute the same
   /// model — the flag exists for benchmarking (bench_tc_scaling).
   bool seminaive = true;
+  /// Optional resource governance (borrowed, may outlive the call but
+  /// not vice versa).  When set, the evaluator charges this context —
+  /// deadline, cancellation, fault injection and memory accounting all
+  /// apply, and `limits` above is ignored in favour of the context's
+  /// own budget.  When null, the evaluator builds a private context
+  /// from `limits`.
+  ExecutionContext* context = nullptr;
 };
 
 /// Computes the least model of `rules` + `edb` where every *negative*
@@ -36,6 +44,16 @@ struct EvalOptions {
 /// evaluation passes one stratum at a time); derived facts accumulate
 /// on top of `base`, which must already contain everything lower
 /// strata / the EDB established.
+Result<Interpretation> LeastModelWithFrozenNegation(
+    const std::vector<PlannedRule>& rules, const Interpretation& base,
+    const Interpretation& neg_context, const EvalOptions& opts,
+    ExecutionContext* ctx);
+
+/// Compatibility overload for callers still holding a bare EvalBudget:
+/// runs under a private ExecutionContext carrying the budget's remaining
+/// allowance, then mirrors the consumed rounds/facts back into `budget`.
+/// Prefer the ExecutionContext overload, which adds deadlines,
+/// cancellation and memory accounting.
 Result<Interpretation> LeastModelWithFrozenNegation(
     const std::vector<PlannedRule>& rules, const Interpretation& base,
     const Interpretation& neg_context, const EvalOptions& opts,

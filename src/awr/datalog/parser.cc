@@ -7,6 +7,11 @@ namespace awr::datalog {
 
 namespace {
 
+// Terms nest through function application, tuples and sets; the parser
+// recurses per level, so untrusted deeply-nested input would otherwise
+// overflow the stack.  512 is far beyond any legitimate program.
+constexpr size_t kMaxTermDepth = 512;
+
 struct Token {
   enum class Kind {
     kIdent,    // lowercase identifier
@@ -248,7 +253,7 @@ class Parser {
     AWR_RETURN_IF_ERROR(Expect(Token::Kind::kLParen, "'('"));
     if (Peek().kind != Token::Kind::kRParen) {
       for (;;) {
-        AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm());
+        AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm(0));
         atom.args.push_back(std::move(t));
         if (Peek().kind != Token::Kind::kComma) break;
         Advance();
@@ -279,7 +284,7 @@ class Parser {
       if (!cmp.has_value()) return Literal::Positive(std::move(atom));
       pos_ = save;  // it was a function-application term
     }
-    AWR_ASSIGN_OR_RETURN(TermExpr lhs, ParseTerm());
+    AWR_ASSIGN_OR_RETURN(TermExpr lhs, ParseTerm(0));
     auto cmp = PeekCompareOp();
     if (!cmp.has_value()) {
       return Status::InvalidArgument(
@@ -287,7 +292,7 @@ class Parser {
           std::to_string(Peek().pos));
     }
     Advance();
-    AWR_ASSIGN_OR_RETURN(TermExpr rhs, ParseTerm());
+    AWR_ASSIGN_OR_RETURN(TermExpr rhs, ParseTerm(0));
     return Literal::Compare(*cmp, std::move(lhs), std::move(rhs));
   }
 
@@ -306,7 +311,13 @@ class Parser {
     }
   }
 
-  Result<TermExpr> ParseTerm() {
+  Result<TermExpr> ParseTerm(size_t depth) {
+    if (depth > kMaxTermDepth) {
+      return Status::InvalidArgument(
+          "term nesting exceeds depth limit " +
+          std::to_string(kMaxTermDepth) + " at offset " +
+          std::to_string(Peek().pos));
+    }
     const Token& t = Peek();
     switch (t.kind) {
       case Token::Kind::kVar: {
@@ -324,7 +335,7 @@ class Parser {
           std::vector<TermExpr> args;
           if (Peek().kind != Token::Kind::kRParen) {
             for (;;) {
-              AWR_ASSIGN_OR_RETURN(TermExpr a, ParseTerm());
+              AWR_ASSIGN_OR_RETURN(TermExpr a, ParseTerm(depth + 1));
               args.push_back(std::move(a));
               if (Peek().kind != Token::Kind::kComma) break;
               Advance();
@@ -343,7 +354,7 @@ class Parser {
         std::vector<Value> items;
         if (Peek().kind != Token::Kind::kRAngle) {
           for (;;) {
-            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue());
+            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue(depth + 1));
             items.push_back(std::move(v));
             if (Peek().kind != Token::Kind::kComma) break;
             Advance();
@@ -357,7 +368,7 @@ class Parser {
         std::vector<Value> items;
         if (Peek().kind != Token::Kind::kRBrace) {
           for (;;) {
-            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue());
+            AWR_ASSIGN_OR_RETURN(Value v, ParseGroundValue(depth + 1));
             items.push_back(std::move(v));
             if (Peek().kind != Token::Kind::kComma) break;
             Advance();
@@ -373,8 +384,8 @@ class Parser {
     }
   }
 
-  Result<Value> ParseGroundValue() {
-    AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm());
+  Result<Value> ParseGroundValue(size_t depth) {
+    AWR_ASSIGN_OR_RETURN(TermExpr t, ParseTerm(depth));
     if (!t.is_const()) {
       return Status::InvalidArgument(
           "tuple/set values must be ground (no variables or functions)");

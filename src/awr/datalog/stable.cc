@@ -158,8 +158,8 @@ bool IsStableModel(const IProgram& p, const Assignment& m) {
 class StableSearch {
  public:
   StableSearch(const IProgram& program, const AtomIndex& index,
-               const StableOptions& opts)
-      : program_(program), index_(index), opts_(opts) {}
+               const StableOptions& opts, ExecutionContext* ctx)
+      : program_(program), index_(index), opts_(opts), ctx_(ctx) {}
 
   Status Run(std::vector<Interpretation>* models) {
     Assignment blocked(program_.n_atoms, false);
@@ -179,6 +179,11 @@ class StableSearch {
 
  private:
   Status Dfs(std::vector<int>* assumed_true, Assignment* blocked) {
+    // Every search node is a charge point: each runs a full ground
+    // alternating fixpoint, so deadlines/cancellation must be able to
+    // stop the exponential search between nodes.  A pure interrupt poll
+    // (not ChargeRound) so max_nodes stays the search's only budget.
+    AWR_RETURN_IF_ERROR(ctx_->CheckInterrupt("stable-search"));
     if (found_.size() >= opts_.max_models) return Status::OK();
     if (++nodes_ > opts_.max_nodes) {
       return Status::ResourceExhausted(
@@ -216,6 +221,7 @@ class StableSearch {
   const IProgram& program_;
   const AtomIndex& index_;
   const StableOptions& opts_;
+  ExecutionContext* ctx_;
   size_t nodes_ = 0;
   std::set<Assignment> seen_;
   std::vector<Assignment> found_;
@@ -228,6 +234,11 @@ Result<std::vector<Interpretation>> EvalStableModels(
     const StableOptions& stable_opts) {
   AWR_ASSIGN_OR_RETURN(GroundProgram ground,
                        GroundProgramFor(program, edb, opts));
+  // Grounding charged opts.context (or a private context) already; the
+  // search below charges a round per node, so give the search its own
+  // allowance when the caller did not supply a context.
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
   AtomIndex index;
   IProgram indexed = IndexGround(ground, &index);
 
@@ -248,7 +259,7 @@ Result<std::vector<Interpretation>> EvalStableModels(
   }
 
   std::vector<Interpretation> models;
-  StableSearch search(indexed, index, stable_opts);
+  StableSearch search(indexed, index, stable_opts, ctx);
   AWR_RETURN_IF_ERROR(search.Run(&models));
   return models;
 }

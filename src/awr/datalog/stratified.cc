@@ -18,7 +18,8 @@ Result<Interpretation> EvalStratified(const Program& program,
     for (const std::string& pred : strata[s]) stratum_of[pred] = s;
   }
 
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
   Interpretation interp = edb;
   for (size_t s = 0; s < strata.size(); ++s) {
     std::vector<PlannedRule> stratum_rules;
@@ -33,7 +34,7 @@ Result<Interpretation> EvalStratified(const Program& program,
     Interpretation before = interp;
     AWR_ASSIGN_OR_RETURN(
         interp, LeastModelWithFrozenNegation(stratum_rules, interp, before,
-                                             opts, &budget));
+                                             opts, ctx));
   }
   return interp;
 }

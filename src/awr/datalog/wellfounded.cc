@@ -6,7 +6,8 @@ Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
                                           const Database& edb,
                                           const EvalOptions& opts) {
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
-  EvalBudget budget(opts.limits);
+  ExecutionContext local_ctx(opts.limits);
+  ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
 
   // I_{k+1} = S(I_k), I_0 = ∅.  Track the last two iterates; the
   // sequence converges when I_{k+1} == I_{k-1} (period 2) or
@@ -16,10 +17,10 @@ Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
   bool have_two = false;
 
   for (;;) {
-    AWR_RETURN_IF_ERROR(budget.ChargeRound("well-founded(alternation)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("well-founded(alternation)"));
     AWR_ASSIGN_OR_RETURN(
         Interpretation next,
-        LeastModelWithFrozenNegation(rules, edb, prev, opts, &budget));
+        LeastModelWithFrozenNegation(rules, edb, prev, opts, ctx));
     if (next == prev) {
       // Total (2-valued) fixpoint.
       return ThreeValuedInterp{next, next};

@@ -115,6 +115,11 @@ Result<bool> RewriteSystem::RewriteAtRoot(const Term& t, Term* out,
                                        std::to_string(opts_.max_steps));
     }
     --*fuel;
+    // Each consumed step is a governance charge point, so a conditional
+    // system looping through deep premises stays interruptible.
+    if (opts_.context != nullptr) {
+      AWR_RETURN_IF_ERROR(opts_.context->CheckInterrupt("rewrite"));
+    }
     // Conditions: normalize both instantiated sides and compare.
     bool premises_hold = true;
     for (const EqLiteral& p : rule.premises) {

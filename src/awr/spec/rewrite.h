@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "awr/common/context.h"
 #include "awr/common/limits.h"
 #include "awr/common/result.h"
 #include "awr/spec/spec.h"
@@ -15,6 +16,10 @@ struct RewriteOptions {
   size_t max_steps = 100000;
   /// Maximum size a term may grow to.
   size_t max_term_size = 100000;
+  /// Optional resource governance (borrowed).  When set, every rewrite
+  /// step also polls deadlines / cancellation / fault injection; the
+  /// step and size limits above still apply unchanged.
+  ExecutionContext* context = nullptr;
 };
 
 /// A conditional term rewriting system obtained by orienting a

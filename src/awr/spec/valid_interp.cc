@@ -77,6 +77,12 @@ Result<SpecValidInterp> SpecValidInterp::Compute(const Specification& spec,
       if (!possible) continue;
       std::vector<size_t> idx(op.arg_sorts.size(), 0);
       for (;;) {
+        // Universe enumeration can dwarf the fixpoint itself on wide
+        // signatures, so it honours the same governance context the
+        // well-founded evaluation below will use.
+        if (opts.eval.context != nullptr) {
+          AWR_RETURN_IF_ERROR(opts.eval.context->CheckInterrupt("spec universe"));
+        }
         std::vector<Term> args;
         for (size_t i = 0; i < idx.size(); ++i) args.push_back(choices[i][idx[i]]);
         Term t = Term::Op(op.name, std::move(args));

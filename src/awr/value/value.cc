@@ -148,6 +148,15 @@ const std::vector<Value>& Value::items() const {
   return rep_->items;
 }
 
+size_t Value::ApproxBytes() const {
+  // Rep + control block + the shared_ptr slot holding it.
+  size_t bytes = sizeof(Rep) + 2 * sizeof(void*) + sizeof(rep_);
+  if (is_tuple() || is_set()) {
+    for (const Value& item : rep_->items) bytes += item.ApproxBytes();
+  }
+  return bytes;
+}
+
 bool Value::SetContains(const Value& element) const {
   assert(is_set());
   const auto& elems = rep_->items;

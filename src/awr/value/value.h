@@ -87,6 +87,13 @@ class Value {
   /// Precomputed structural hash.
   size_t hash() const;
 
+  /// Approximate heap footprint of this value in bytes (the Rep record
+  /// plus, recursively, tuple/set components).  Shared structure is
+  /// counted once per reference — intentionally: the memory accountant
+  /// (ExecutionContext::ChargeMemory) wants an upper bound on what the
+  /// extent keeps alive, not an exact allocator figure.
+  size_t ApproxBytes() const;
+
   /// Renders the value: `true`, `42`, `atom`, `<a, b>`, `{x, y}`.
   std::string ToString() const;
 

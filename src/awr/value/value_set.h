@@ -26,15 +26,31 @@ class ValueSet {
   }
 
   /// Inserts `v`; returns true if it was not already present.
-  bool Insert(const Value& v) { return items_.insert(v).second; }
+  bool Insert(const Value& v) {
+    if (!items_.insert(v).second) return false;
+    bytes_ += v.ApproxBytes() + kSlotOverhead;
+    return true;
+  }
 
   /// Removes `v`; returns true if it was present.
-  bool Erase(const Value& v) { return items_.erase(v) > 0; }
+  bool Erase(const Value& v) {
+    if (items_.erase(v) == 0) return false;
+    bytes_ -= v.ApproxBytes() + kSlotOverhead;
+    return true;
+  }
 
   bool Contains(const Value& v) const { return items_.count(v) > 0; }
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
-  void Clear() { items_.clear(); }
+  void Clear() {
+    items_.clear();
+    bytes_ = 0;
+  }
+
+  /// Approximate heap footprint of the extent (element values plus a
+  /// per-slot hash-table overhead).  Maintained incrementally on
+  /// Insert/Erase; feeds ExecutionContext::ChargeMemory.
+  size_t approx_bytes() const { return bytes_; }
 
   auto begin() const { return items_.begin(); }
   auto end() const { return items_.end(); }
@@ -71,7 +87,11 @@ class ValueSet {
   std::string ToString() const { return ToValue().ToString(); }
 
  private:
+  // Hash-table node + bucket share, on top of the element's own bytes.
+  static constexpr size_t kSlotOverhead = 4 * sizeof(void*);
+
   std::unordered_set<Value> items_;
+  size_t bytes_ = 0;
 };
 
 /// Set-algebra primitives, the semantics of the paper's operators.

@@ -1,6 +1,9 @@
 // Tests for the common substrate: Status, Result, interning, budgets.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "awr/common/context.h"
 #include "awr/common/hash.h"
 #include "awr/common/intern.h"
 #include "awr/common/limits.h"
@@ -34,6 +37,61 @@ TEST(StatusTest, MessageAndToString) {
   Status st = Status::NotFound("relation foo");
   EXPECT_EQ(st.message(), "relation foo");
   EXPECT_EQ(st.ToString(), "NotFound: relation foo");
+}
+
+TEST(StatusTest, InterruptionFactoriesAndPredicates) {
+  Status cancelled = Status::Cancelled("stop requested");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: stop requested");
+
+  Status late = Status::DeadlineExceeded("5ms elapsed");
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_FALSE(late.IsCancelled());
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: 5ms elapsed");
+}
+
+TEST(StatusTest, CodeStringRoundTripAllCodes) {
+  constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+      StatusCode::kNotFound,     StatusCode::kUndefined,
+      StatusCode::kInternal,     StatusCode::kNotImplemented,
+      StatusCode::kCancelled,    StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kAll) {
+    std::string_view name = StatusCodeToString(code);
+    EXPECT_FALSE(name.empty());
+    StatusCode parsed;
+    ASSERT_TRUE(StatusCodeFromString(name, &parsed)) << name;
+    EXPECT_EQ(parsed, code) << name;
+  }
+  StatusCode unused;
+  EXPECT_FALSE(StatusCodeFromString("NoSuchCode", &unused));
+  EXPECT_FALSE(StatusCodeFromString("", &unused));
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::Cancelled("original");
+  Status b = a;  // copy construction shares/duplicates the rep
+  EXPECT_TRUE(b.IsCancelled());
+  EXPECT_EQ(b.message(), "original");
+  Status c;
+  c = b;  // copy assignment
+  EXPECT_TRUE(c.IsCancelled());
+  EXPECT_EQ(c.message(), "original");
+  // The source is unaffected by copies going out of scope.
+  {
+    Status d = a;
+    EXPECT_EQ(d.message(), "original");
+  }
+  EXPECT_EQ(a.ToString(), "Cancelled: original");
+}
+
+TEST(StatusTest, OstreamOutput) {
+  std::ostringstream os;
+  os << Status::OK() << " | " << Status::DeadlineExceeded("too slow");
+  EXPECT_EQ(os.str(), "OK | DeadlineExceeded: too slow");
 }
 
 TEST(StatusTest, ReturnIfErrorMacro) {
@@ -123,6 +181,63 @@ TEST(LimitsTest, FactBudgetTrips) {
   EXPECT_TRUE(budget.ChargeFacts(4, "t").ok());
   EXPECT_TRUE(budget.ChargeFacts(1, "t").IsResourceExhausted());
   EXPECT_EQ(budget.facts(), 11u);
+}
+
+TEST(ContextTest, DefaultTokenNeverCancels) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  ExecutionContext ctx;
+  ctx.set_cancel_token(token);
+  EXPECT_TRUE(ctx.CheckInterrupt("t").ok());
+}
+
+TEST(ContextTest, CancelSourceSignalsAllTokens) {
+  CancelSource source;
+  CancelToken t1 = source.token();
+  CancelToken t2 = t1;  // copies observe the same source
+  EXPECT_FALSE(t1.cancelled());
+  source.RequestCancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(t1.cancelled());
+  EXPECT_TRUE(t2.cancelled());
+  ExecutionContext ctx;
+  ctx.set_cancel_token(t2);
+  EXPECT_TRUE(ctx.CheckInterrupt("t").IsCancelled());
+}
+
+TEST(ContextTest, FaultInjectorTripsExactlyOnNthCharge) {
+  FaultInjector injector;
+  injector.TripAt(3, Status::Internal("boom"));
+  ExecutionContext ctx;
+  ctx.set_fault_injector(&injector);
+  EXPECT_TRUE(ctx.CheckInterrupt("t").ok());
+  EXPECT_TRUE(ctx.ChargeFacts(5, "t").ok());
+  Status st = ctx.ChargeRound("t");
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(st.message(), "boom");
+  // Past its trip point the injector is inert but keeps counting.
+  EXPECT_TRUE(ctx.CheckInterrupt("t").ok());
+  EXPECT_EQ(injector.charges_seen(), 4u);
+}
+
+TEST(ContextTest, ChargeMemoryTracksHighWaterAndTrips) {
+  EvalLimits limits;
+  limits.max_bytes = 1000;
+  ExecutionContext ctx(limits);
+  EXPECT_TRUE(ctx.ChargeMemory(400, "t").ok());
+  EXPECT_TRUE(ctx.ChargeMemory(250, "t").ok());  // below high water
+  EXPECT_EQ(ctx.high_water_bytes(), 400u);
+  Status st = ctx.ChargeMemory(1001, "loop-name");
+  EXPECT_TRUE(st.IsResourceExhausted());
+  EXPECT_NE(st.message().find("loop-name"), std::string::npos);
+  EXPECT_NE(st.message().find("max_bytes"), std::string::npos);
+  EXPECT_EQ(ctx.high_water_bytes(), 1001u);
+}
+
+TEST(ContextTest, DeadlinePreemptsBudget) {
+  ExecutionContext ctx(EvalLimits::Large());
+  ctx.set_timeout(std::chrono::milliseconds(-1));
+  EXPECT_TRUE(ctx.ChargeRound("t").IsDeadlineExceeded());
 }
 
 TEST(StringsTest, JoinVariants) {

@@ -1,0 +1,389 @@
+// Interruption-contract tests for every fixpoint engine: cancellation,
+// deadlines, memory budgets and systematic fault injection must all
+// surface as clean non-OK statuses (never a crash, hang, or corrupted
+// caller state).  See DESIGN.md §"Resource governance & interruption
+// contract".
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "awr/algebra/eval.h"
+#include "awr/algebra/valid_eval.h"
+#include "awr/common/context.h"
+#include "awr/datalog/ground.h"
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/parser.h"
+#include "awr/datalog/stable.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+#include "awr/spec/builtin_specs.h"
+#include "awr/spec/rewrite.h"
+#include "awr/spec/valid_interp.h"
+
+namespace awr {
+namespace {
+
+using datalog::Database;
+using datalog::EvalInflationary;
+using datalog::EvalMinimalModel;
+using datalog::EvalOptions;
+using datalog::EvalStableModels;
+using datalog::EvalStratified;
+using datalog::EvalWellFounded;
+using datalog::GroundProgramFor;
+using datalog::Program;
+
+// ----------------------------------------------------------------------
+// Workloads.  Small enough for a full fault-point sweep, real enough to
+// exercise every charge site (rounds, facts, memory, per-match polls).
+
+Program TcProgram() {
+  auto p = datalog::ParseProgram(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+  )");
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+Database ChainEdges(int n) {
+  Database db;
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  return db;
+}
+
+Program ReachProgram() {
+  auto p = datalog::ParseProgram(R"(
+    reach(X) :- source(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+Database ReachDb(int n) {
+  Database db = ChainEdges(n);
+  for (int i = 0; i <= n; ++i) db.AddFact("node", {Value::Int(i)});
+  db.AddFact("source", {Value::Int(0)});
+  return db;
+}
+
+Program WinMoveProgram() {
+  auto p = datalog::ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+// A chain into a 2-cycle: won, lost and drawn positions.
+Database GameDb() {
+  Database db;
+  db.AddFact("move", {Value::Int(1), Value::Int(2)});
+  db.AddFact("move", {Value::Int(2), Value::Int(3)});
+  db.AddFact("move", {Value::Int(3), Value::Int(4)});
+  db.AddFact("move", {Value::Int(4), Value::Int(3)});
+  return db;
+}
+
+// The divergent workload: the set of all even naturals (paper Example 1
+// in rule form).  Only an external stop — deadline, cancellation, or a
+// budget — terminates it.
+Program EvenProgram() {
+  auto p = datalog::ParseProgram(R"(
+    even(0).
+    even(Y) :- even(X), Y = add(X, 2).
+  )");
+  EXPECT_TRUE(p.ok()) << p.status();
+  return *p;
+}
+
+// Transitive closure as a positive IFP algebra query.
+algebra::AlgebraExpr TcIfpQuery() {
+  using E = algebra::AlgebraExpr;
+  using algebra::FnExpr;
+  FnExpr match = FnExpr::Eq(FnExpr::Get(algebra::fn::Proj(0), 1),
+                            FnExpr::Get(algebra::fn::Proj(1), 0));
+  FnExpr compose = FnExpr::MkTuple({FnExpr::Get(algebra::fn::Proj(0), 0),
+                                    FnExpr::Get(algebra::fn::Proj(1), 1)});
+  return E::Ifp(E::Union(
+      E::Relation("edge"),
+      E::Map(compose,
+             E::Select(match, E::Product(E::IterVar(0), E::Relation("edge"))))));
+}
+
+algebra::SetDb EdgeSetDb(int n) {
+  algebra::SetDb db;
+  ValueSet s;
+  for (int i = 0; i < n; ++i) {
+    s.Insert(Value::Tuple({Value::Int(i), Value::Int(i + 1)}));
+  }
+  db.Define("edge", std::move(s));
+  return db;
+}
+
+// WIN = π₁(MOVE − (π₁MOVE × WIN)) as an algebra= program.
+algebra::AlgebraProgram WinMoveAlgebra() {
+  using E = algebra::AlgebraExpr;
+  E pi1_move = E::Map(algebra::fn::Proj(0), E::Relation("MOVE"));
+  algebra::AlgebraProgram prog;
+  prog.DefineConstant(
+      "WIN", E::Map(algebra::fn::Proj(0),
+                    E::Diff(E::Relation("MOVE"),
+                            E::Product(pi1_move, E::Relation("WIN")))));
+  return prog;
+}
+
+algebra::SetDb MoveSetDb() {
+  algebra::SetDb db;
+  ValueSet moves;
+  Database game = GameDb();  // bind first: Extent() of a temporary dangles
+  for (const Value& f : game.Extent("move")) moves.Insert(f);
+  db.Define("MOVE", moves);
+  return db;
+}
+
+// ----------------------------------------------------------------------
+// The engine matrix.  Each entry re-runs one engine under a fresh
+// ExecutionContext and reports the resulting status; the workload is
+// chosen so an ungoverned run completes OK.
+
+struct EngineCase {
+  std::string name;
+  std::function<Status(ExecutionContext*)> run;
+};
+
+std::vector<EngineCase> AllEngines() {
+  std::vector<EngineCase> out;
+
+  out.push_back({"least-model(seminaive)", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return EvalMinimalModel(TcProgram(), ChainEdges(6), opts)
+                       .status();
+                 }});
+  out.push_back({"least-model(naive)", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.seminaive = false;
+                   opts.context = ctx;
+                   return EvalMinimalModel(TcProgram(), ChainEdges(6), opts)
+                       .status();
+                 }});
+  out.push_back({"stratified", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return EvalStratified(ReachProgram(), ReachDb(6), opts)
+                       .status();
+                 }});
+  out.push_back({"inflationary", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return EvalInflationary(WinMoveProgram(), GameDb(), opts)
+                       .status();
+                 }});
+  out.push_back({"well-founded", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return EvalWellFounded(WinMoveProgram(), GameDb(), opts)
+                       .status();
+                 }});
+  out.push_back({"grounding", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return GroundProgramFor(WinMoveProgram(), GameDb(), opts)
+                       .status();
+                 }});
+  out.push_back({"stable-models", [](ExecutionContext* ctx) {
+                   EvalOptions opts;
+                   opts.context = ctx;
+                   return EvalStableModels(WinMoveProgram(), GameDb(), opts)
+                       .status();
+                 }});
+  out.push_back({"algebra-ifp", [](ExecutionContext* ctx) {
+                   algebra::AlgebraEvalOptions opts;
+                   opts.context = ctx;
+                   return algebra::EvalAlgebra(TcIfpQuery(), EdgeSetDb(6), opts)
+                       .status();
+                 }});
+  out.push_back({"algebra-valid", [](ExecutionContext* ctx) {
+                   algebra::AlgebraEvalOptions opts;
+                   opts.context = ctx;
+                   return algebra::EvalAlgebraValid(WinMoveAlgebra(),
+                                                    MoveSetDb(), opts)
+                       .status();
+                 }});
+  out.push_back({"rewrite", [](ExecutionContext* ctx) {
+                   spec::RewriteOptions opts;
+                   opts.context = ctx;
+                   auto rs = spec::RewriteSystem::FromSpec(spec::SetNatSpec(),
+                                                           opts);
+                   if (!rs.ok()) return rs.status();
+                   return rs->Normalize(spec::MemTerm(2, spec::SetTerm({1, 2, 3})))
+                       .status();
+                 }});
+  out.push_back({"spec-valid-interp", [](ExecutionContext* ctx) {
+                   spec::ValidInterpOptions opts;
+                   opts.max_depth = 2;
+                   opts.eval.context = ctx;
+                   return spec::SpecValidInterp::Compute(spec::BoolSpec(), opts)
+                       .status();
+                 }});
+  return out;
+}
+
+// ----------------------------------------------------------------------
+// 1. A pre-signalled cancellation token stops every engine with
+//    kCancelled before it does any work.
+
+TEST(InterruptionTest, PreCancelledTokenStopsEveryEngine) {
+  for (const EngineCase& engine : AllEngines()) {
+    CancelSource source;
+    source.RequestCancel();
+    ExecutionContext ctx;
+    ctx.set_cancel_token(source.token());
+    Status st = engine.run(&ctx);
+    EXPECT_TRUE(st.IsCancelled()) << engine.name << ": " << st;
+  }
+}
+
+// 2. An already-expired deadline stops every engine with
+//    kDeadlineExceeded.
+
+TEST(InterruptionTest, ExpiredDeadlineStopsEveryEngine) {
+  for (const EngineCase& engine : AllEngines()) {
+    ExecutionContext ctx;
+    ctx.set_deadline(ExecutionContext::Clock::now() -
+                     std::chrono::milliseconds(1));
+    Status st = engine.run(&ctx);
+    EXPECT_TRUE(st.IsDeadlineExceeded()) << engine.name << ": " << st;
+  }
+}
+
+// 3. Fault sweep: learn each engine's number of governance charge
+//    points N from a disarmed run, then trip charge i for a sample of
+//    i = 1..N and require the injected status to surface verbatim.
+//    Engines take all inputs by const& and deliver results only through
+//    Result<T>, so this also demonstrates that an interruption at ANY
+//    charge point leaves caller state untouched (the inputs are rebuilt
+//    and re-used across hundreds of interrupted runs).
+
+TEST(InterruptionTest, FaultSweepTripsEveryChargePoint) {
+  for (const EngineCase& engine : AllEngines()) {
+    FaultInjector injector;
+    injector.Disarm();
+    {
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      Status st = engine.run(&ctx);
+      ASSERT_TRUE(st.ok()) << engine.name << " (disarmed): " << st;
+    }
+    const size_t n = injector.charges_seen();
+    ASSERT_GT(n, 0u) << engine.name << " performed no governance charges";
+
+    // Sweep a dense prefix, a sampled middle, and the final charge.
+    std::set<size_t> trip_points;
+    for (size_t i = 1; i <= std::min<size_t>(n, 32); ++i) trip_points.insert(i);
+    for (size_t i = 33; i < n; i += std::max<size_t>(1, n / 64)) {
+      trip_points.insert(i);
+    }
+    trip_points.insert(n);
+
+    for (size_t i : trip_points) {
+      injector.TripAt(i, Status::Internal("injected fault"));
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      Status st = engine.run(&ctx);
+      EXPECT_EQ(st.code(), StatusCode::kInternal)
+          << engine.name << " trip point " << i << "/" << n << ": " << st;
+      EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+          << engine.name << " trip point " << i << ": " << st;
+    }
+  }
+}
+
+// 4. Cross-thread cancellation: a separate thread signals the source
+//    mid-evaluation; the divergent even-set computation stops with
+//    kCancelled instead of exhausting its (huge) budget.
+
+TEST(InterruptionTest, CrossThreadCancelStopsDivergentEvaluation) {
+  CancelSource source;
+  ExecutionContext ctx(EvalLimits::Large());
+  ctx.set_cancel_token(source.token());
+  std::thread canceller([&source] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    source.RequestCancel();
+  });
+  EvalOptions opts;
+  opts.context = &ctx;
+  Status st = EvalMinimalModel(EvenProgram(), {}, opts).status();
+  canceller.join();
+  EXPECT_TRUE(st.IsCancelled()) << st;
+}
+
+// 5. Acceptance: a few-millisecond deadline stops the divergent
+//    even-set evaluation promptly, where the rounds/facts budgets alone
+//    (set huge here) would let it spin for a very long time.
+
+TEST(InterruptionTest, DeadlineStopsDivergentEvaluationPromptly) {
+  ExecutionContext ctx(EvalLimits::Large());
+  ctx.set_timeout(std::chrono::milliseconds(5));
+  EvalOptions opts;
+  opts.context = &ctx;
+  auto start = std::chrono::steady_clock::now();
+  Status st = EvalMinimalModel(EvenProgram(), {}, opts).status();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(st.IsDeadlineExceeded()) << st;
+  // Generous bound: deadline is 5ms; anything under 2s proves the
+  // evaluation did not run to its million-round budget.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+}
+
+// 6. Memory accounting: a tiny byte budget trips kResourceExhausted on
+//    transitive closure long before rounds or facts run out.
+
+TEST(InterruptionTest, MemoryBudgetTripsOnTransitiveClosure) {
+  EvalLimits limits = EvalLimits::Large();
+  limits.max_bytes = 2048;
+  ExecutionContext ctx(limits);
+  EvalOptions opts;
+  opts.context = &ctx;
+  Status st = EvalMinimalModel(TcProgram(), ChainEdges(64), opts).status();
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_NE(st.message().find("max_bytes"), std::string::npos) << st;
+  EXPECT_GT(ctx.high_water_bytes(), 2048u);
+}
+
+// 7. Introspection: a successful governed run reports its consumption.
+
+TEST(InterruptionTest, ContextReportsConsumption) {
+  ExecutionContext ctx;
+  EvalOptions opts;
+  opts.context = &ctx;
+  auto model = EvalMinimalModel(TcProgram(), ChainEdges(6), opts);
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_GT(ctx.rounds(), 0u);
+  EXPECT_GT(ctx.facts(), 0u);
+  EXPECT_GT(ctx.high_water_bytes(), 0u);
+  // tc over a 6-chain: 6+5+...+1 = 21 pairs, plus the edge facts.
+  EXPECT_TRUE(model->Holds("tc", Value::Tuple({Value::Int(0), Value::Int(6)})));
+}
+
+// 8. Compatibility: engines given no context behave exactly as before
+//    (budget semantics unchanged).
+
+TEST(InterruptionTest, NoContextPathStillEnforcesBudgets) {
+  EvalOptions opts;
+  opts.limits = EvalLimits::Tiny();
+  Status st = EvalMinimalModel(EvenProgram(), {}, opts).status();
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+}
+
+}  // namespace
+}  // namespace awr

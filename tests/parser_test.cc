@@ -126,5 +126,43 @@ TEST(ParserTest, NotAsFunctionNameInTermPosition) {
   ASSERT_TRUE(rule.ok()) << rule.status();
 }
 
+TEST(ParserTest, DeeplyNestedFunctionTermRejected) {
+  // Regression: a 100k-deep term used to recurse once per level and
+  // overflow the stack; it must fail with InvalidArgument instead.
+  constexpr size_t kDepth = 100000;
+  std::string text = "p(";
+  for (size_t i = 0; i < kDepth; ++i) text += "f(";
+  text += "0";
+  text.append(kDepth, ')');
+  text += ").";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.status().IsInvalidArgument()) << rule.status();
+  EXPECT_NE(rule.status().message().find("depth"), std::string::npos)
+      << rule.status();
+}
+
+TEST(ParserTest, DeeplyNestedTupleValueRejected) {
+  constexpr size_t kDepth = 100000;
+  std::string text = "p(";
+  text.append(kDepth, '<');
+  text.append(kDepth, '>');
+  text += ").";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.status().IsInvalidArgument()) << rule.status();
+  EXPECT_NE(rule.status().message().find("depth"), std::string::npos)
+      << rule.status();
+}
+
+TEST(ParserTest, ReasonableNestingStillParses) {
+  // Well under the limit: 100 levels parse fine.
+  std::string text = "p(X) :- q(X), Y = ";
+  for (int i = 0; i < 100; ++i) text += "f(";
+  text += "X";
+  text.append(100, ')');
+  text += ".";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.ok()) << rule.status();
+}
+
 }  // namespace
 }  // namespace awr::datalog
