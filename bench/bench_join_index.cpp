@@ -1,0 +1,167 @@
+// Experiment E15: scan vs hash-index join performance.
+//
+// Runs the same workloads through the shared evaluation core with the
+// join indexes enabled (EvalOptions::use_join_index = true, the
+// default) and forced onto the scan path, verifies the models are
+// identical, and reports the speedup:
+//   * semi-naive transitive closure on a random graph (>= 2000 edges),
+//     where the recursive rule's delta join probes tc on position 0;
+//   * naive transitive closure on a chain (worst case for rescans);
+//   * WIN-MOVE well-founded evaluation on a random game graph.
+//
+// Writes the measurements to a JSON file (default
+// BENCH_join_index.json in the current directory; override with
+// argv[1]) so the claimed speedup is recorded with the revision.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "awr/datalog/leastmodel.h"
+#include "awr/datalog/wellfounded.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  size_t facts_in = 0;
+  size_t facts_out = 0;
+  double scan_ms = 0;
+  double index_ms = 0;
+  bool models_equal = false;
+  double Speedup() const { return index_ms > 0 ? scan_ms / index_ms : 0; }
+};
+
+datalog::EvalOptions Opts(bool use_index) {
+  datalog::EvalOptions o;
+  o.limits = EvalLimits::Large();
+  o.use_join_index = use_index;
+  return o;
+}
+
+size_t TotalFacts(const datalog::Interpretation& m) { return m.TotalFacts(); }
+size_t TotalFacts(const datalog::ThreeValuedInterp& m) {
+  return m.possible.TotalFacts();
+}
+
+// Times `eval` on both paths, checking the results agree via `equal`.
+template <typename EvalFn, typename EqualFn>
+Row Measure(const std::string& name, size_t facts_in, const EvalFn& eval,
+            const EqualFn& equal) {
+  Row row;
+  row.name = name;
+  row.facts_in = facts_in;
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto scan = eval(Opts(false));
+  row.scan_ms = MillisSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto indexed = eval(Opts(true));
+  row.index_ms = MillisSince(t0);
+
+  if (!scan.ok() || !indexed.ok()) {
+    std::fprintf(stderr, "%s failed: scan=%s indexed=%s\n", name.c_str(),
+                 scan.status().ToString().c_str(),
+                 indexed.status().ToString().c_str());
+    return row;
+  }
+  row.models_equal = equal(*scan, *indexed);
+  row.facts_out = TotalFacts(*indexed);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_join_index.json";
+  std::vector<Row> rows;
+
+  {
+    // Semi-naive TC on a random graph: >= 2000 distinct edges over 250
+    // nodes (2200 samples, minus duplicates).
+    datalog::Database edb = RandomEdges(250, 2200, /*seed=*/42);
+    rows.push_back(Measure(
+        "tc_seminaive_random_2000",
+        edb.Extent("edge").size(),
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalMinimalModel(TcProgram(), edb, o);
+        },
+        [](const datalog::Interpretation& a, const datalog::Interpretation& b) {
+          return a == b;
+        }));
+  }
+  {
+    // Naive TC on a chain: every round rescans the full extents.
+    datalog::Database edb = ChainEdges(160);
+    rows.push_back(Measure(
+        "tc_naive_chain_160",
+        edb.Extent("edge").size(),
+        [&](datalog::EvalOptions o) {
+          o.seminaive = false;
+          return datalog::EvalMinimalModel(TcProgram(), edb, o);
+        },
+        [](const datalog::Interpretation& a, const datalog::Interpretation& b) {
+          return a == b;
+        }));
+  }
+  {
+    // WIN-MOVE well-founded on a random game with draw cycles.
+    datalog::Database edb = RandomGame(2000, 64, /*seed=*/7);
+    rows.push_back(Measure(
+        "winmove_wfs_random_2000",
+        edb.Extent("move").size(),
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalWellFounded(WinMoveProgram(), edb, o);
+        },
+        [](const datalog::ThreeValuedInterp& a,
+           const datalog::ThreeValuedInterp& b) {
+          return a.certain == b.certain && a.possible == b.possible;
+        }));
+  }
+
+  std::printf("E15: scan vs hash-index joins\n");
+  std::printf("%-28s %9s %9s %11s %11s %8s %7s\n", "workload", "facts_in",
+              "facts_out", "scan (ms)", "index (ms)", "speedup", "equal?");
+  bool all_equal = true;
+  for (const Row& r : rows) {
+    all_equal &= r.models_equal;
+    std::printf("%-28s %9zu %9zu %11.2f %11.2f %7.1fx %7s\n", r.name.c_str(),
+                r.facts_in, r.facts_out, r.scan_ms, r.index_ms, r.Speedup(),
+                r.models_equal ? "yes" : "NO");
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"join_index_vs_scan\",\n");
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"facts_in\": %zu, "
+                 "\"facts_out\": %zu, \"scan_ms\": %.3f, "
+                 "\"index_ms\": %.3f, \"speedup\": %.2f, "
+                 "\"models_equal\": %s}%s\n",
+                 r.name.c_str(), r.facts_in, r.facts_out, r.scan_ms,
+                 r.index_ms, r.Speedup(), r.models_equal ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_equal ? 0 : 1;
+}

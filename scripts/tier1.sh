@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the interruption
-# tests again under AddressSanitizer/UBSan so that unwinding from an
-# injected fault at every charge point is checked for leaks and UB.
+# Tier-1 verification: full build + test suite — run twice, once on the
+# default hash-indexed join path and once with AWR_FORCE_SCAN_JOINS=1
+# so the scan oracle stays green — then the interruption tests again
+# under AddressSanitizer/UBSan so that unwinding from an injected fault
+# at every charge point is checked for leaks and UB.
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -10,6 +12,7 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
+(cd build && AWR_FORCE_SCAN_JOINS=1 ctest --output-on-failure -j"$(nproc)")
 
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
 cmake --build build-asan -j"$(nproc)" --target awr_interruption_test

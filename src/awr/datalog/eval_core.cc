@@ -69,7 +69,7 @@ class BodyEnumerator {
       }
       return on_match_(env);
     }
-    const Literal& lit = rule_.body[plan_[k]];
+    const Literal& lit = rule_.body[plan_.steps[k].literal];
     if (lit.is_atom()) {
       return lit.positive ? MatchPositive(lit, k, env) : TestNegative(lit, k, env);
     }
@@ -77,42 +77,76 @@ class BodyEnumerator {
   }
 
   Status MatchPositive(const Literal& lit, size_t k, Env& env) {
+    const PlanStep& step = plan_.steps[k];
     const ValueSet& extent =
-        ctx_.positive_extent(lit.atom.predicate, plan_[k]);
-    for (const Value& fact : extent) {
-      if (!fact.is_tuple() || fact.size() != lit.atom.arity()) {
-        return Status::InvalidArgument(
-            "arity mismatch: atom " + lit.atom.ToString() + " vs fact " +
-            fact.ToString());
-      }
-      std::vector<Var> bound_here;
-      bool match = true;
-      for (size_t i = 0; i < lit.atom.args.size() && match; ++i) {
-        const TermExpr& arg = lit.atom.args[i];
-        const Value& component = fact.items()[i];
-        if (arg.is_var()) {
-          const Value* existing = env.Lookup(arg.var());
-          if (existing == nullptr) {
-            env.Bind(arg.var(), component);
-            bound_here.push_back(arg.var());
-          } else if (*existing != component) {
-            match = false;
-          }
-        } else {
-          // Ground (given current bindings) term in a matching position.
-          auto value = EvalTerm(arg, env, *ctx_.fns);
-          if (!value.ok()) {
-            for (const Var& v : bound_here) env.Unbind(v);
-            return value.status();
-          }
-          if (*value != component) match = false;
+        ctx_.positive_extent(lit.atom.predicate, step.literal);
+    if (extent.empty()) return Status::OK();
+    // Arity validation, hoisted out of the per-fact loop: the extent's
+    // shape histogram answers the uniform case in O(1); only a
+    // malformed extent is scanned for the offending fact.
+    if (!extent.UniformTupleArity(lit.atom.arity())) {
+      for (const Value& fact : extent) {
+        if (!fact.is_tuple() || fact.size() != lit.atom.arity()) {
+          return Status::InvalidArgument(
+              "arity mismatch: atom " + lit.atom.ToString() + " vs fact " +
+              fact.ToString());
         }
       }
-      Status st = match ? EvalFrom(k + 1, env) : Status::OK();
-      for (const Var& v : bound_here) env.Unbind(v);
-      AWR_RETURN_IF_ERROR(st);
+    }
+    if (ctx_.use_join_index && !step.bound_positions.empty()) {
+      // Probe the hash index on the bound positions.  The key terms are
+      // constants or bound variables (the planner excludes fallible
+      // ground applications), so evaluation cannot fail here.
+      std::vector<Value> key_parts;
+      key_parts.reserve(step.bound_positions.size());
+      for (size_t pos : step.bound_positions) {
+        AWR_ASSIGN_OR_RETURN(
+            Value v, EvalTerm(lit.atom.args[pos], env, *ctx_.fns));
+        key_parts.push_back(std::move(v));
+      }
+      const std::vector<Value>& bucket =
+          extent.Probe(step.bound_positions, Value::Tuple(std::move(key_parts)));
+      for (const Value& fact : bucket) {
+        AWR_RETURN_IF_ERROR(MatchFact(lit, fact, k, env));
+      }
+      return Status::OK();
+    }
+    for (const Value& fact : extent) {
+      AWR_RETURN_IF_ERROR(MatchFact(lit, fact, k, env));
     }
     return Status::OK();
+  }
+
+  /// Unifies `fact` against the atom's argument terms under `env` and,
+  /// on a match, recurses into the remaining plan steps.  Bindings made
+  /// here are undone before returning.
+  Status MatchFact(const Literal& lit, const Value& fact, size_t k, Env& env) {
+    std::vector<Var> bound_here;
+    bool match = true;
+    for (size_t i = 0; i < lit.atom.args.size() && match; ++i) {
+      const TermExpr& arg = lit.atom.args[i];
+      const Value& component = fact.items()[i];
+      if (arg.is_var()) {
+        const Value* existing = env.Lookup(arg.var());
+        if (existing == nullptr) {
+          env.Bind(arg.var(), component);
+          bound_here.push_back(arg.var());
+        } else if (*existing != component) {
+          match = false;
+        }
+      } else {
+        // Ground (given current bindings) term in a matching position.
+        auto value = EvalTerm(arg, env, *ctx_.fns);
+        if (!value.ok()) {
+          for (const Var& v : bound_here) env.Unbind(v);
+          return value.status();
+        }
+        if (*value != component) match = false;
+      }
+    }
+    Status st = match ? EvalFrom(k + 1, env) : Status::OK();
+    for (const Var& v : bound_here) env.Unbind(v);
+    return st;
   }
 
   Status TestNegative(const Literal& lit, size_t k, Env& env) {

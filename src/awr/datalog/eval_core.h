@@ -61,6 +61,11 @@ struct BodyContext {
   /// so cancellation and deadlines take effect inside a round, not just
   /// between rounds.
   ExecutionContext* context = nullptr;
+  /// When true, positive atoms with bound argument positions probe the
+  /// extent's hash index (ValueSet::Probe) instead of scanning it.  The
+  /// scan path (false) computes the same matches and is kept alive as
+  /// the differential-test oracle; see EvalOptions::use_join_index.
+  bool use_join_index = true;
 };
 
 /// Enumerates every satisfying assignment of `rule`'s body (processed in

@@ -71,7 +71,7 @@ Result<GroundProgram> GroundProgramFor(const Program& program,
         [&wfs](const std::string& pred, const Value& fact) {
           return !wfs.certain.Holds(pred, fact);
         },
-        ctx};
+        ctx, opts.use_join_index};
     AWR_RETURN_IF_ERROR(ForEachBodyMatch(
         pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
           AWR_RETURN_IF_ERROR(ctx->ChargeFacts(1, "grounding"));

@@ -27,7 +27,7 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
         [&snapshot](const std::string& pred, const Value& fact) {
           return !snapshot.Holds(pred, fact);
         },
-        ctx};
+        ctx, opts.use_join_index};
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
       AWR_RETURN_IF_ERROR(ForEachBodyMatch(

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace awr::datalog {
+
+bool JoinIndexEnabledByDefault() {
+  static const bool enabled = [] {
+    const char* force_scan = std::getenv("AWR_FORCE_SCAN_JOINS");
+    return force_scan == nullptr || *force_scan == '\0' ||
+           std::strcmp(force_scan, "0") == 0;
+  }();
+  return enabled;
+}
 
 namespace {
 
@@ -47,7 +58,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
           [&interp](const std::string& pred, size_t) -> const ValueSet& {
             return interp.Extent(pred);
           },
-          neg_holds, ctx};
+          neg_holds, ctx, opts.use_join_index};
       size_t added = 0;
       for (const PlannedRule& pr : rules) {
         AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, body_ctx, interp, &delta));
@@ -74,7 +85,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
         [&interp](const std::string& pred, size_t) -> const ValueSet& {
           return interp.Extent(pred);
         },
-        neg_holds, ctx};
+        neg_holds, ctx, opts.use_join_index};
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
       AWR_ASSIGN_OR_RETURN(size_t n, FireRule(pr, body_ctx, interp, &delta));
@@ -108,7 +119,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
               return body_index == occ ? delta.Extent(pred)
                                        : interp.Extent(pred);
             },
-            neg_holds, ctx};
+            neg_holds, ctx, opts.use_join_index};
         AWR_ASSIGN_OR_RETURN(size_t n,
                              FireRule(pr, body_ctx, interp, &next_delta));
         added += n;

@@ -12,6 +12,12 @@
 
 namespace awr::datalog {
 
+/// True unless the environment variable AWR_FORCE_SCAN_JOINS is set to
+/// a non-empty value other than "0".  The default for
+/// EvalOptions::use_join_index; scripts/tier1.sh runs the test suite
+/// both ways.
+bool JoinIndexEnabledByDefault();
+
 /// Shared evaluation configuration for all datalog evaluators.
 struct EvalOptions {
   FunctionRegistry functions = FunctionRegistry::Default();
@@ -20,6 +26,13 @@ struct EvalOptions {
   /// computations; naive iteration otherwise.  Both compute the same
   /// model — the flag exists for benchmarking (bench_tc_scaling).
   bool seminaive = true;
+  /// Probe per-predicate hash indexes (ValueSet::Probe) for positive
+  /// atoms with bound argument positions instead of scanning the full
+  /// extent.  Both paths compute the same model with identical
+  /// governance charge points; the scan path (false) is the
+  /// differential-test oracle.  Env-overridable: AWR_FORCE_SCAN_JOINS=1
+  /// flips the default to false process-wide.
+  bool use_join_index = JoinIndexEnabledByDefault();
   /// Optional resource governance (borrowed, may outlive the call but
   /// not vice versa).  When set, the evaluator charges this context —
   /// deadline, cancellation, fault injection and memory accounting all

@@ -123,7 +123,7 @@ class MagicRewriter {
           Atom{MagicName(pred, adorn), magic_head_args}));
 
       for (size_t k = 0; k < plan.size(); ++k) {
-        const Literal& lit = rule.body[plan[k]];
+        const Literal& lit = rule.body[plan.steps[k].literal];
         if (lit.is_atom() && idb_.count(lit.atom.predicate) > 0) {
           // Adorn the IDB atom from the current bound set.
           std::string sub_adorn;

@@ -62,6 +62,23 @@ bool LiteralReady(const Literal& lit, const VarSet& bound,
   return AllVarsBound(lit.lhs, bound) && AllVarsBound(lit.rhs, bound);
 }
 
+// The argument positions of a ready positive atom whose term is a
+// constant or an already-bound variable, stopping at the first function
+// application: the hash-index key the step probes (see PlanStep for why
+// applications bound the key).
+std::vector<size_t> BoundPositions(const Literal& lit, const VarSet& bound) {
+  std::vector<size_t> positions;
+  for (size_t i = 0; i < lit.atom.args.size(); ++i) {
+    const TermExpr& arg = lit.atom.args[i];
+    if (arg.is_apply()) break;
+    if (arg.is_const() ||
+        (arg.is_var() && bound.count(arg.var().id) > 0)) {
+      positions.push_back(i);
+    }
+  }
+  return positions;
+}
+
 }  // namespace
 
 Result<RulePlan> PlanRule(const Rule& rule) {
@@ -71,18 +88,38 @@ Result<RulePlan> PlanRule(const Rule& rule) {
   std::vector<uint32_t> newly;
 
   for (size_t step = 0; step < rule.body.size(); ++step) {
-    bool progressed = false;
+    // Sideways information passing: among the ready literals pick the
+    // cheapest next step — any ready comparison or negated atom first
+    // (a filter over the current bindings), otherwise the positive atom
+    // with the most bound argument positions (the most selective index
+    // probe).  Ties break on the lower body index, so the plan is a
+    // deterministic function of the rule.
+    size_t best = rule.body.size();
+    bool best_is_filter = false;
+    size_t best_bound_count = 0;
     for (size_t i = 0; i < rule.body.size(); ++i) {
       if (used[i]) continue;
-      if (LiteralReady(rule.body[i], bound, &newly)) {
-        used[i] = true;
-        plan.push_back(i);
-        for (uint32_t v : newly) bound.insert(v);
-        progressed = true;
-        break;
+      if (!LiteralReady(rule.body[i], bound, &newly)) continue;
+      const Literal& lit = rule.body[i];
+      bool is_filter = !lit.is_atom() || !lit.positive;
+      size_t bound_count =
+          is_filter ? 0 : BoundPositions(lit, bound).size();
+      bool better;
+      if (best == rule.body.size()) {
+        better = true;
+      } else if (is_filter != best_is_filter) {
+        better = is_filter;
+      } else {
+        better = bound_count > best_bound_count;
       }
+      if (better) {
+        best = i;
+        best_is_filter = is_filter;
+        best_bound_count = bound_count;
+      }
+      if (is_filter) break;  // the first ready filter always wins
     }
-    if (!progressed) {
+    if (best == rule.body.size()) {
       for (size_t i = 0; i < rule.body.size(); ++i) {
         if (!used[i]) {
           return Status::FailedPrecondition(
@@ -91,6 +128,18 @@ Result<RulePlan> PlanRule(const Rule& rule) {
         }
       }
     }
+    const Literal& chosen = rule.body[best];
+    PlanStep plan_step;
+    plan_step.literal = best;
+    if (chosen.is_atom() && chosen.positive) {
+      plan_step.bound_positions = BoundPositions(chosen, bound);
+    }
+    used[best] = true;
+    // Recompute the bindings the chosen literal contributes (the probe
+    // loop reuses `newly` across candidates).
+    LiteralReady(chosen, bound, &newly);
+    for (uint32_t v : newly) bound.insert(v);
+    plan.steps.push_back(std::move(plan_step));
   }
 
   // All head variables must be restricted by the body (Definition 4.1).

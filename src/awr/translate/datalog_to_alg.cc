@@ -196,7 +196,7 @@ class RuleCompiler {
 Result<AlgebraExpr> CompileRule(const Rule& rule) {
   AWR_ASSIGN_OR_RETURN(datalog::RulePlan plan, datalog::PlanRule(rule));
   RuleCompiler compiler;
-  for (size_t idx : plan) {
+  for (size_t idx : plan.LiteralOrder()) {
     AWR_RETURN_IF_ERROR(compiler.AddLiteral(rule.body[idx]));
   }
   return compiler.FinishWithHead(rule.head);

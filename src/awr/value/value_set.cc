@@ -5,6 +5,68 @@
 
 namespace awr {
 
+namespace {
+
+// Packs the components of `fact` at `positions` as the index key, or
+// returns false when the fact has no key there (not a tuple, or too
+// short) and so belongs to no bucket.
+bool ExtractKey(const Value& fact, const std::vector<size_t>& positions,
+                Value* key) {
+  if (!fact.is_tuple()) return false;
+  std::vector<Value> parts;
+  parts.reserve(positions.size());
+  for (size_t pos : positions) {
+    if (pos >= fact.size()) return false;
+    parts.push_back(fact.items()[pos]);
+  }
+  *key = Value::Tuple(std::move(parts));
+  return true;
+}
+
+}  // namespace
+
+const std::vector<Value>& ValueSet::Probe(const std::vector<size_t>& positions,
+                                          const Value& key) const {
+  static const std::vector<Value> kEmptyBucket;
+  PositionIndex* index = nullptr;
+  for (PositionIndex& candidate : indexes_) {
+    if (candidate.positions == positions) {
+      index = &candidate;
+      break;
+    }
+  }
+  if (index == nullptr) {
+    indexes_.push_back(PositionIndex{positions, {}});
+    index = &indexes_.back();
+    for (const Value& fact : items_) IndexInsert(*index, fact);
+  }
+  auto it = index->buckets.find(key);
+  return it == index->buckets.end() ? kEmptyBucket : it->second;
+}
+
+void ValueSet::IndexInsert(PositionIndex& index, const Value& fact) {
+  Value key;
+  if (ExtractKey(fact, index.positions, &key)) {
+    index.buckets[std::move(key)].push_back(fact);
+  }
+}
+
+void ValueSet::IndexErase(PositionIndex& index, const Value& fact) {
+  Value key;
+  if (!ExtractKey(fact, index.positions, &key)) return;
+  auto it = index.buckets.find(key);
+  if (it == index.buckets.end()) return;
+  std::vector<Value>& bucket = it->second;
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    if (bucket[i] == fact) {
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+      break;
+    }
+  }
+  if (bucket.empty()) index.buckets.erase(it);
+}
+
 std::vector<Value> ValueSet::Sorted() const {
   std::vector<Value> out(items_.begin(), items_.end());
   std::sort(out.begin(), out.end(), [](const Value& a, const Value& b) {

@@ -2,6 +2,7 @@
 #define AWR_VALUE_VALUE_SET_H_
 
 #include <initializer_list>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -15,6 +16,15 @@ namespace awr {
 /// Iteration order is unspecified (hash order); use Sorted() for
 /// deterministic output.  Convert to/from the immutable set Value with
 /// ToValue() / FromValue().
+///
+/// Extents additionally carry lazily-built hash indexes keyed on
+/// argument-position subsets (see Probe), used by the join planner in
+/// datalog/eval_core to replace full-extent scans with bucket probes.
+/// Indexes are derived state: built on first probe, maintained
+/// incrementally by Insert/Erase, dropped on copy (a copied snapshot
+/// rebuilds its own on demand), and excluded from approx_bytes so that
+/// memory governance observes identical figures on the indexed and
+/// scan evaluation paths.
 class ValueSet {
  public:
   ValueSet() = default;
@@ -25,10 +35,36 @@ class ValueSet {
     for (const Value& v : items) Insert(v);
   }
 
+  // Copies carry the elements but not the derived indexes; moves keep
+  // everything.
+  ValueSet(const ValueSet& other)
+      : items_(other.items_),
+        bytes_(other.bytes_),
+        non_tuple_count_(other.non_tuple_count_),
+        tuple_arity_counts_(other.tuple_arity_counts_) {}
+  ValueSet& operator=(const ValueSet& other) {
+    if (this != &other) {
+      items_ = other.items_;
+      bytes_ = other.bytes_;
+      non_tuple_count_ = other.non_tuple_count_;
+      tuple_arity_counts_ = other.tuple_arity_counts_;
+      indexes_.clear();
+    }
+    return *this;
+  }
+  ValueSet(ValueSet&&) = default;
+  ValueSet& operator=(ValueSet&&) = default;
+
   /// Inserts `v`; returns true if it was not already present.
   bool Insert(const Value& v) {
     if (!items_.insert(v).second) return false;
     bytes_ += v.ApproxBytes() + kSlotOverhead;
+    if (v.is_tuple()) {
+      ++tuple_arity_counts_[v.size()];
+    } else {
+      ++non_tuple_count_;
+    }
+    for (PositionIndex& index : indexes_) IndexInsert(index, v);
     return true;
   }
 
@@ -36,6 +72,13 @@ class ValueSet {
   bool Erase(const Value& v) {
     if (items_.erase(v) == 0) return false;
     bytes_ -= v.ApproxBytes() + kSlotOverhead;
+    if (v.is_tuple()) {
+      auto it = tuple_arity_counts_.find(v.size());
+      if (--it->second == 0) tuple_arity_counts_.erase(it);
+    } else {
+      --non_tuple_count_;
+    }
+    for (PositionIndex& index : indexes_) IndexErase(index, v);
     return true;
   }
 
@@ -45,11 +88,15 @@ class ValueSet {
   void Clear() {
     items_.clear();
     bytes_ = 0;
+    non_tuple_count_ = 0;
+    tuple_arity_counts_.clear();
+    indexes_.clear();
   }
 
   /// Approximate heap footprint of the extent (element values plus a
   /// per-slot hash-table overhead).  Maintained incrementally on
-  /// Insert/Erase; feeds ExecutionContext::ChargeMemory.
+  /// Insert/Erase; feeds ExecutionContext::ChargeMemory.  Derived join
+  /// indexes are deliberately excluded (see class comment).
   size_t approx_bytes() const { return bytes_; }
 
   auto begin() const { return items_.begin(); }
@@ -74,6 +121,31 @@ class ValueSet {
   bool operator==(const ValueSet& other) const { return items_ == other.items_; }
   bool operator!=(const ValueSet& other) const { return !(*this == other); }
 
+  /// True iff every element is a tuple of arity `arity` (vacuously true
+  /// for the empty extent).  O(1): the shape histogram is maintained on
+  /// Insert/Erase, so body matching validates an extent's arity once
+  /// per probe instead of once per fact.
+  bool UniformTupleArity(size_t arity) const {
+    if (non_tuple_count_ != 0) return false;
+    if (tuple_arity_counts_.empty()) return true;
+    return tuple_arity_counts_.size() == 1 &&
+           tuple_arity_counts_.begin()->first == arity;
+  }
+
+  /// The facts whose components at `positions` equal the corresponding
+  /// components of `key` (a tuple of the same length), served from a
+  /// hash index keyed on those positions.  The index is built on first
+  /// probe and maintained incrementally afterwards.  Elements that are
+  /// not tuples or are too short for `positions` are never indexed —
+  /// they cannot equal `key` at those positions.  Returns an empty
+  /// bucket on a miss.
+  const std::vector<Value>& Probe(const std::vector<size_t>& positions,
+                                  const Value& key) const;
+
+  /// Number of distinct position-subset indexes currently built
+  /// (introspection for tests and benchmarks).
+  size_t index_count() const { return indexes_.size(); }
+
   /// Elements in the canonical total order.
   std::vector<Value> Sorted() const;
 
@@ -90,8 +162,24 @@ class ValueSet {
   // Hash-table node + bucket share, on top of the element's own bytes.
   static constexpr size_t kSlotOverhead = 4 * sizeof(void*);
 
+  /// One hash index: buckets of facts sharing the key extracted at
+  /// `positions` (the key is packed as a tuple Value).
+  struct PositionIndex {
+    std::vector<size_t> positions;
+    std::unordered_map<Value, std::vector<Value>> buckets;
+  };
+
+  static void IndexInsert(PositionIndex& index, const Value& fact);
+  static void IndexErase(PositionIndex& index, const Value& fact);
+
   std::unordered_set<Value> items_;
   size_t bytes_ = 0;
+  // Shape histogram for UniformTupleArity.
+  size_t non_tuple_count_ = 0;
+  std::unordered_map<size_t, size_t> tuple_arity_counts_;
+  // Built lazily in the const Probe; mutation is confined to this
+  // derived cache (extents are evaluated single-threaded).
+  mutable std::vector<PositionIndex> indexes_;
 };
 
 /// Set-algebra primitives, the semantics of the paper's operators.

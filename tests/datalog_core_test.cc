@@ -92,7 +92,7 @@ TEST(SafetyTest, PlanReordersLiterals) {
   Rule r = R(H("p", V("x")), {N("q", V("x")), B("r", V("x"))});
   auto plan = PlanRule(r);
   ASSERT_TRUE(plan.ok()) << plan.status();
-  EXPECT_EQ(*plan, (RulePlan{1, 0}));
+  EXPECT_EQ(plan->LiteralOrder(), (std::vector<size_t>{1, 0}));
 }
 
 TEST(SafetyTest, FunctionApplicationInAtomArgNeedsBoundVars) {

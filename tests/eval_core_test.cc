@@ -124,6 +124,40 @@ TEST(BodyMatchTest, ArityMismatchIsReported) {
   EXPECT_TRUE(st.IsInvalidArgument());
 }
 
+TEST(BodyMatchTest, ArityMismatchMessageIdenticalOnBothJoinPaths) {
+  // The arity check is hoisted out of the per-fact match loop (it runs
+  // once per extent via the shape histogram); this guards that the
+  // original per-fact InvalidArgument, message included, still
+  // surfaces on the indexed path, the scan path, and an indexed probe
+  // with a bound position.
+  Rule rule = R(H("p", V("x"), V("y")),
+                {B("b", V("x")), B("e", V("x"), V("y"))});
+  auto plan = PlanRule(rule);
+  ASSERT_TRUE(plan.ok());
+  Interpretation interp;
+  interp.AddFact("b", {Value::Int(1)});
+  interp.AddFact("e", {Value::Int(1), Value::Int(2)});
+  interp.AddFact("e", {Value::Int(7)});  // wrong arity for e(x, y)
+  FunctionRegistry fns = FunctionRegistry::Default();
+  ExecutionContext exec(EvalLimits::Default());
+  std::string messages[2];
+  for (bool use_index : {true, false}) {
+    BodyContext ctx{
+        &fns,
+        [&interp](const std::string& p, size_t) -> const ValueSet& {
+          return interp.Extent(p);
+        },
+        [](const std::string&, const Value&) { return true; },
+        &exec, use_index};
+    Status st = ForEachBodyMatch(rule, *plan, ctx,
+                                 [](const Env&) { return Status::OK(); });
+    ASSERT_TRUE(st.IsInvalidArgument()) << st;
+    messages[use_index ? 0 : 1] = st.message();
+  }
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_EQ(messages[0], "arity mismatch: atom e(x, y) vs fact <7>");
+}
+
 // ----------------------------------------------------------------------
 // Failure injection: the unbounded-generation program of Example 1,
 // fed to every engine with a tiny budget.

@@ -12,16 +12,36 @@
 //  P5  Prop 5.2: inflationary(P) == valid(stepindex(P));
 //  P6  magic sets: query answers equal filtered full evaluation.
 //
+// Every engine invocation in P1–P6 additionally runs twice — once with
+// the hash-join indexes (EvalOptions::use_join_index = true) and once
+// forced onto the scan path — and the two models must be identical.
+// The scan path is the oracle for the indexed planner: it predates the
+// indexes and enumerates extents exhaustively, so any divergence is an
+// index/planner bug.  The ScanVsIndexDifferential suite widens that
+// oracle to 200 random programs per semantics, and the governance
+// parity tests check that deadline/cancel/fault interruptions surface
+// the same statuses at the same charge points on both paths.
+//
 // Programs are generated safe *by construction* (head variables are
 // drawn from variables bound by positive body atoms).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "awr/algebra/valid_eval.h"
+#include "awr/common/context.h"
 #include "awr/datalog/builders.h"
 #include "awr/datalog/depgraph.h"
+#include "awr/datalog/ground.h"
 #include "awr/datalog/inflationary.h"
 #include "awr/datalog/leastmodel.h"
 #include "awr/datalog/magic.h"
+#include "awr/datalog/parser.h"
 #include "awr/datalog/stable.h"
 #include "awr/datalog/stratified.h"
 #include "awr/datalog/wellfounded.h"
@@ -160,6 +180,71 @@ Generated GenerateProgram(uint64_t seed, const GenOptions& opts) {
 }
 
 // ----------------------------------------------------------------------
+// Scan-vs-index differential harness.  EvalBothWays runs one engine
+// under both join strategies and requires agreement; it returns the
+// indexed result so the surrounding property checks exercise the new
+// path while the scan path acts as oracle.
+
+datalog::EvalOptions IndexOpts(bool use_index) {
+  datalog::EvalOptions o;
+  o.use_join_index = use_index;
+  return o;
+}
+
+void ExpectSameResult(const datalog::Interpretation& a,
+                      const datalog::Interpretation& b,
+                      const std::string& what) {
+  EXPECT_EQ(a, b) << what;
+}
+
+void ExpectSameResult(const datalog::ThreeValuedInterp& a,
+                      const datalog::ThreeValuedInterp& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.certain, b.certain) << what;
+  EXPECT_EQ(a.possible, b.possible) << what;
+}
+
+// Stable models arrive in search order, which legitimately differs
+// between the paths (ground-rule enumeration order feeds the DFS), so
+// the vectors are compared as sets.
+void ExpectSameResult(const std::vector<datalog::Interpretation>& a,
+                      const std::vector<datalog::Interpretation>& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (const auto& model : a) {
+    EXPECT_TRUE(std::find(b.begin(), b.end(), model) != b.end()) << what;
+  }
+}
+
+// Ground rule instances likewise arrive in enumeration order; compare
+// the programs as sorted line sets.
+void ExpectSameResult(const datalog::GroundProgram& a,
+                      const datalog::GroundProgram& b,
+                      const std::string& what) {
+  auto lines = [](const datalog::GroundProgram& gp) {
+    std::vector<std::string> out;
+    for (const auto& f : gp.facts) out.push_back(f.ToString());
+    for (const auto& r : gp.rules) out.push_back(r.ToString());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(lines(a), lines(b)) << what;
+}
+
+template <typename Fn>
+auto EvalBothWays(const Fn& eval, const std::string& what) {
+  auto indexed = eval(IndexOpts(true));
+  auto scanned = eval(IndexOpts(false));
+  EXPECT_EQ(indexed.status().code(), scanned.status().code())
+      << what << "\nindexed: " << indexed.status()
+      << "\nscan:    " << scanned.status();
+  if (indexed.ok() && scanned.ok()) {
+    ExpectSameResult(*indexed, *scanned, what);
+  }
+  return indexed;
+}
+
+// ----------------------------------------------------------------------
 
 class PositiveProgramProperty : public ::testing::TestWithParam<uint64_t> {};
 
@@ -169,13 +254,33 @@ TEST_P(PositiveProgramProperty, AllSemanticsCoincide) {
   Generated g = GenerateProgram(GetParam(), opts);
   ASSERT_TRUE(datalog::CheckProgramSafe(g.program).ok()) << g.program.ToString();
 
-  datalog::EvalOptions naive;
-  naive.seminaive = false;
-  auto m_naive = datalog::EvalMinimalModel(g.program, g.edb, naive);
-  auto m_semi = datalog::EvalMinimalModel(g.program, g.edb);
-  auto m_infl = datalog::EvalInflationary(g.program, g.edb);
-  auto m_strat = datalog::EvalStratified(g.program, g.edb);
-  auto m_wfs = datalog::EvalWellFounded(g.program, g.edb);
+  const std::string what = g.program.ToString();
+  auto m_naive = EvalBothWays(
+      [&](datalog::EvalOptions o) {
+        o.seminaive = false;
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+  auto m_semi = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+  auto m_infl = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalInflationary(g.program, g.edb, o);
+      },
+      what);
+  auto m_strat = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStratified(g.program, g.edb, o);
+      },
+      what);
+  auto m_wfs = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(m_naive.ok() && m_semi.ok() && m_infl.ok() && m_strat.ok() &&
               m_wfs.ok())
       << g.program.ToString();
@@ -197,13 +302,26 @@ TEST_P(StratifiedProgramProperty, StratifiedEqualsWfsAndUniqueStable) {
   Generated g = GenerateProgram(GetParam(), opts);
   ASSERT_TRUE(datalog::Stratify(g.program).ok()) << g.program.ToString();
 
-  auto m_strat = datalog::EvalStratified(g.program, g.edb);
-  auto m_wfs = datalog::EvalWellFounded(g.program, g.edb);
+  const std::string what = g.program.ToString();
+  auto m_strat = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStratified(g.program, g.edb, o);
+      },
+      what);
+  auto m_wfs = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(m_strat.ok() && m_wfs.ok()) << g.program.ToString();
   EXPECT_TRUE(m_wfs->IsTwoValued()) << g.program.ToString();
   EXPECT_EQ(*m_strat, m_wfs->certain) << g.program.ToString();
 
-  auto stable = datalog::EvalStableModels(g.program, g.edb);
+  auto stable = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStableModels(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(stable.ok()) << stable.status();
   ASSERT_EQ(stable->size(), 1u) << g.program.ToString();
   EXPECT_EQ((*stable)[0], *m_strat) << g.program.ToString();
@@ -216,11 +334,20 @@ class GeneralProgramProperty : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(GeneralProgramProperty, WfsBoundsStableModels) {
   Generated g = GenerateProgram(GetParam(), GenOptions{});
-  auto wfs = datalog::EvalWellFounded(g.program, g.edb);
+  const std::string what = g.program.ToString();
+  auto wfs = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(wfs.ok()) << g.program.ToString();
   EXPECT_TRUE(wfs->certain.IsSubsetOf(wfs->possible));
 
-  auto stable = datalog::EvalStableModels(g.program, g.edb);
+  auto stable = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStableModels(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(stable.ok()) << stable.status() << "\n" << g.program.ToString();
   for (const auto& m : *stable) {
     EXPECT_TRUE(wfs->certain.IsSubsetOf(m)) << g.program.ToString();
@@ -234,7 +361,11 @@ TEST_P(GeneralProgramProperty, WfsBoundsStableModels) {
 
 TEST_P(GeneralProgramProperty, Prop61AlgebraRenderingAgrees) {
   Generated g = GenerateProgram(GetParam(), GenOptions{});
-  auto wfs = datalog::EvalWellFounded(g.program, g.edb);
+  auto wfs = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      g.program.ToString());
   ASSERT_TRUE(wfs.ok());
 
   auto system = translate::DatalogToAlgebra(g.program);
@@ -258,12 +389,21 @@ TEST_P(GeneralProgramProperty, Prop61AlgebraRenderingAgrees) {
 
 TEST_P(GeneralProgramProperty, Prop52StepIndexMatchesInflationary) {
   Generated g = GenerateProgram(GetParam(), GenOptions{});
-  auto infl = datalog::EvalInflationary(g.program, g.edb);
+  const std::string what = g.program.ToString();
+  auto infl = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalInflationary(g.program, g.edb, o);
+      },
+      what);
   ASSERT_TRUE(infl.ok());
 
   auto indexed = translate::StepIndexAuto(g.program, g.edb);
   ASSERT_TRUE(indexed.ok()) << indexed.status();
-  auto wfs = datalog::EvalWellFounded(indexed->program, indexed->edb);
+  auto wfs = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(indexed->program, indexed->edb, o);
+      },
+      what);
   ASSERT_TRUE(wfs.ok()) << wfs.status();
   EXPECT_TRUE(wfs->IsTwoValued()) << g.program.ToString();
   for (const std::string& pred : g.idb_preds) {
@@ -284,7 +424,11 @@ TEST_P(MagicProperty, MagicAnswersEqualFilteredFull) {
   Generated g = GenerateProgram(GetParam(), opts);
   Lcg rng(GetParam() * 77 + 5);
 
-  auto full = datalog::EvalMinimalModel(g.program, g.edb);
+  auto full = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      g.program.ToString());
   ASSERT_TRUE(full.ok());
 
   // Random query over a random IDB predicate, binding the first arg.
@@ -302,7 +446,11 @@ TEST_P(MagicProperty, MagicAnswersEqualFilteredFull) {
   ASSERT_TRUE(magic.ok()) << magic.status() << "\n" << g.program.ToString();
   Database seeded = g.edb;
   seeded.InsertAll(magic->seeds);
-  auto interp = datalog::EvalMinimalModel(magic->program, seeded);
+  auto interp = EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalMinimalModel(magic->program, seeded, o);
+      },
+      g.program.ToString());
   ASSERT_TRUE(interp.ok()) << interp.status();
   auto answers = datalog::MagicAnswers(*interp, *magic, q);
   ASSERT_TRUE(answers.ok());
@@ -316,6 +464,230 @@ TEST_P(MagicProperty, MagicAnswersEqualFilteredFull) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MagicProperty,
                          ::testing::Range<uint64_t>(1, 21));
+
+// ----------------------------------------------------------------------
+// Scan-vs-index differential oracle at scale: 200 random programs per
+// semantics, every engine run both ways, zero divergences tolerated.
+// The seeds are decorrelated from the property suites above so these
+// cover fresh programs.
+
+class ScanVsIndexDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanVsIndexDifferential, PositiveProgramSemantics) {
+  GenOptions opts;
+  opts.allow_negation = false;
+  Generated g = GenerateProgram(GetParam() * 7919 + 31, opts);
+  const std::string what = g.program.ToString();
+  EvalBothWays(
+      [&](datalog::EvalOptions o) {
+        o.seminaive = false;
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+}
+
+TEST_P(ScanVsIndexDifferential, GeneralProgramSemantics) {
+  Generated g = GenerateProgram(GetParam() * 104729 + 97, GenOptions{});
+  const std::string what = g.program.ToString();
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalInflationary(g.program, g.edb, o);
+      },
+      what);
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      what);
+  // Random general programs may be unstratifiable; EvalBothWays still
+  // requires the two paths to fail identically in that case.
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStratified(g.program, g.edb, o);
+      },
+      what);
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStableModels(g.program, g.edb, o);
+      },
+      what);
+  EvalBothWays(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::GroundProgramFor(g.program, g.edb, o);
+      },
+      what);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanVsIndexDifferential,
+                         ::testing::Range<uint64_t>(1, 201));
+
+// ----------------------------------------------------------------------
+// Governance parity: interruptions (deadline, cancellation, injected
+// faults) must surface the same statuses on the indexed and scan paths.
+// Both paths visit the same matches and charge the same governance
+// points, so a fault tripped at charge i yields the same outcome —
+// verified here by sweeping trip points through whole evaluations.
+
+struct GovernedEngine {
+  std::string name;
+  std::function<Status(ExecutionContext*, bool use_index)> run;
+  // Stable-model search explores ground rules in enumeration order, so
+  // its total charge count may legitimately differ between the paths.
+  bool counts_must_match = true;
+};
+
+std::vector<GovernedEngine> GovernedEngines() {
+  auto tc = *datalog::ParseProgram(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+  )");
+  Database edges;
+  for (int i = 0; i < 6; ++i) {
+    edges.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  auto reach = *datalog::ParseProgram(R"(
+    reach(X) :- source(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  Database reach_db = edges;
+  for (int i = 0; i <= 6; ++i) reach_db.AddFact("node", {Value::Int(i)});
+  reach_db.AddFact("source", {Value::Int(0)});
+  auto game = *datalog::ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  Database game_db;
+  game_db.AddFact("move", {Value::Int(1), Value::Int(2)});
+  game_db.AddFact("move", {Value::Int(2), Value::Int(3)});
+  game_db.AddFact("move", {Value::Int(3), Value::Int(4)});
+  game_db.AddFact("move", {Value::Int(4), Value::Int(3)});
+
+  auto opts_for = [](ExecutionContext* ctx, bool use_index) {
+    datalog::EvalOptions o = IndexOpts(use_index);
+    o.context = ctx;
+    return o;
+  };
+  std::vector<GovernedEngine> out;
+  out.push_back({"least-model(seminaive)",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::EvalMinimalModel(tc, edges,
+                                                    opts_for(ctx, ix))
+                       .status();
+                 }});
+  out.push_back({"least-model(naive)",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   datalog::EvalOptions o = opts_for(ctx, ix);
+                   o.seminaive = false;
+                   return datalog::EvalMinimalModel(tc, edges, o).status();
+                 }});
+  out.push_back({"stratified",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::EvalStratified(reach, reach_db,
+                                                  opts_for(ctx, ix))
+                       .status();
+                 }});
+  out.push_back({"inflationary",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::EvalInflationary(game, game_db,
+                                                    opts_for(ctx, ix))
+                       .status();
+                 }});
+  out.push_back({"well-founded",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::EvalWellFounded(game, game_db,
+                                                   opts_for(ctx, ix))
+                       .status();
+                 }});
+  out.push_back({"grounding",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::GroundProgramFor(game, game_db,
+                                                    opts_for(ctx, ix))
+                       .status();
+                 }});
+  out.push_back({"stable-models",
+                 [=](ExecutionContext* ctx, bool ix) {
+                   return datalog::EvalStableModels(game, game_db,
+                                                    opts_for(ctx, ix))
+                       .status();
+                 },
+                 /*counts_must_match=*/false});
+  return out;
+}
+
+TEST(ScanVsIndexGovernance, PreCancelledAndExpiredDeadlineParity) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (bool use_index : {true, false}) {
+      CancelSource source;
+      source.RequestCancel();
+      ExecutionContext cancelled;
+      cancelled.set_cancel_token(source.token());
+      EXPECT_TRUE(engine.run(&cancelled, use_index).IsCancelled())
+          << engine.name << " use_index=" << use_index;
+
+      ExecutionContext expired;
+      expired.set_deadline(ExecutionContext::Clock::now() -
+                           std::chrono::milliseconds(1));
+      EXPECT_TRUE(engine.run(&expired, use_index).IsDeadlineExceeded())
+          << engine.name << " use_index=" << use_index;
+    }
+  }
+}
+
+TEST(ScanVsIndexGovernance, FaultSweepStatusesIdenticalAcrossPaths) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    // Disarmed runs: learn each path's charge-point count.
+    size_t n_by_path[2];
+    for (bool use_index : {true, false}) {
+      FaultInjector injector;
+      injector.Disarm();
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      Status st = engine.run(&ctx, use_index);
+      ASSERT_TRUE(st.ok()) << engine.name << " disarmed use_index="
+                           << use_index << ": " << st;
+      n_by_path[use_index ? 0 : 1] = injector.charges_seen();
+    }
+    if (engine.counts_must_match) {
+      EXPECT_EQ(n_by_path[0], n_by_path[1])
+          << engine.name << ": indexed and scan paths disagree on the "
+          << "number of governance charge points";
+    }
+    const size_t n = std::min(n_by_path[0], n_by_path[1]);
+    ASSERT_GT(n, 0u) << engine.name;
+
+    // Trip a dense prefix, a sampled middle, and the final shared
+    // charge on both paths; the injected status must surface verbatim
+    // from each.
+    std::set<size_t> trip_points;
+    for (size_t i = 1; i <= std::min<size_t>(n, 16); ++i) trip_points.insert(i);
+    for (size_t i = 17; i < n; i += std::max<size_t>(1, n / 32)) {
+      trip_points.insert(i);
+    }
+    trip_points.insert(n);
+    for (size_t i : trip_points) {
+      Status statuses[2];
+      for (bool use_index : {true, false}) {
+        FaultInjector injector;
+        injector.TripAt(i, Status::Internal("injected fault"));
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        statuses[use_index ? 0 : 1] = engine.run(&ctx, use_index);
+      }
+      EXPECT_EQ(statuses[0].code(), statuses[1].code())
+          << engine.name << " trip point " << i << "/" << n
+          << "\nindexed: " << statuses[0] << "\nscan:    " << statuses[1];
+      for (const Status& st : statuses) {
+        EXPECT_EQ(st.code(), StatusCode::kInternal)
+            << engine.name << " trip point " << i << ": " << st;
+        EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+            << engine.name << " trip point " << i << ": " << st;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace awr
