@@ -1,0 +1,143 @@
+// Experiment E16: parallel fixpoint scaling.
+//
+// Runs the E15 semi-naive transitive-closure workload (random graph,
+// >= 2000 edges over 250 nodes) and the naive-chain workload through
+// the work-partitioned parallel evaluator at 1, 2, 4 and 8 threads,
+// verifies the rendered model is byte-identical to the 1-thread
+// (sequential-oracle) run at every thread count, and reports the
+// speedup over the sequential path.
+//
+// Writes the measurements to a JSON file (default
+// BENCH_parallel_scaling.json in the current directory; override with
+// argv[1]) together with std::thread::hardware_concurrency(), so the
+// recorded numbers carry the hardware context: on a single-core host
+// the machinery is exercised but no speedup is physically possible.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "awr/datalog/leastmodel.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  size_t threads = 1;
+  size_t facts_out = 0;
+  double ms = 0;
+  double speedup = 1.0;  // sequential_ms / ms
+  bool identical = false;
+};
+
+datalog::EvalOptions Opts(size_t threads, bool seminaive) {
+  datalog::EvalOptions o;
+  o.limits = EvalLimits::Large();
+  o.num_threads = threads;
+  o.seminaive = seminaive;
+  return o;
+}
+
+// Times the workload across thread counts; every run's rendering must
+// equal the 1-thread oracle byte for byte.
+void MeasureWorkload(const std::string& name, const datalog::Program& program,
+                     const datalog::Database& edb, bool seminaive,
+                     std::vector<Row>* rows) {
+  std::string oracle_rendering;
+  double sequential_ms = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto model = datalog::EvalMinimalModel(program, edb,
+                                           Opts(threads, seminaive));
+    Row row;
+    row.name = name;
+    row.threads = threads;
+    row.ms = MillisSince(t0);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s threads=%zu failed: %s\n", name.c_str(),
+                   threads, model.status().ToString().c_str());
+      rows->push_back(row);
+      continue;
+    }
+    row.facts_out = model->TotalFacts();
+    if (threads == 1) {
+      oracle_rendering = model->ToString();
+      sequential_ms = row.ms;
+      row.identical = true;
+      row.speedup = 1.0;
+    } else {
+      row.identical = model->ToString() == oracle_rendering;
+      row.speedup = row.ms > 0 ? sequential_ms / row.ms : 0;
+    }
+    rows->push_back(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_parallel_scaling.json";
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::vector<Row> rows;
+
+  {
+    // The E15 headline workload: semi-naive TC on a random graph.
+    datalog::Database edb = RandomEdges(250, 2200, /*seed=*/42);
+    MeasureWorkload("tc_seminaive_random_2000", TcProgram(), edb,
+                    /*seminaive=*/true, &rows);
+  }
+  {
+    // Naive TC on a chain: every round re-fires every rule against the
+    // full extents, so the scan-split partitioner does the work.
+    datalog::Database edb = ChainEdges(160);
+    MeasureWorkload("tc_naive_chain_160", TcProgram(), edb,
+                    /*seminaive=*/false, &rows);
+  }
+
+  std::printf("E16: parallel fixpoint scaling (hardware_concurrency=%u)\n",
+              hw);
+  std::printf("%-28s %8s %9s %11s %8s %11s\n", "workload", "threads",
+              "facts_out", "time (ms)", "speedup", "identical?");
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical &= r.identical;
+    std::printf("%-28s %8zu %9zu %11.2f %7.2fx %11s\n", r.name.c_str(),
+                r.threads, r.facts_out, r.ms, r.speedup,
+                r.identical ? "yes" : "NO");
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"parallel_scaling\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"threads\": %zu, "
+                 "\"facts_out\": %zu, \"ms\": %.3f, \"speedup\": %.2f, "
+                 "\"identical\": %s}%s\n",
+                 r.name.c_str(), r.threads, r.facts_out, r.ms, r.speedup,
+                 r.identical ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite — run twice, once on the
-# default hash-indexed join path and once with AWR_FORCE_SCAN_JOINS=1
-# so the scan oracle stays green — then the interruption tests again
-# under AddressSanitizer/UBSan so that unwinding from an injected fault
-# at every charge point is checked for leaks and UB.
+# Tier-1 verification: full build + test suite — run three times: on the
+# default hash-indexed join path, with AWR_FORCE_SCAN_JOINS=1 so the
+# scan oracle stays green, and with AWR_EVAL_THREADS=4 so every engine
+# exercises the work-partitioned parallel rounds.  Then the interruption
+# tests again under AddressSanitizer/UBSan (injected-fault unwinding is
+# checked for leaks and UB) and the parallel + property suites under
+# ThreadSanitizer at 4 threads (data races across the round barrier,
+# the sharded interner and the pre-built indexes).
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -13,7 +16,13 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_FORCE_SCAN_JOINS=1 ctest --output-on-failure -j"$(nproc)")
+(cd build && AWR_EVAL_THREADS=4 ctest --output-on-failure -j"$(nproc)")
 
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
 cmake --build build-asan -j"$(nproc)" --target awr_interruption_test
 (cd build-asan && ctest --output-on-failure -R Interruption)
+
+cmake -B build-tsan -S . -DAWR_SANITIZE=thread
+cmake --build build-tsan -j"$(nproc)" \
+  --target awr_parallel_test --target awr_property_test
+(cd build-tsan && AWR_EVAL_THREADS=4 ctest --output-on-failure -R 'Parallel')

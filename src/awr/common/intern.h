@@ -13,6 +13,16 @@ namespace awr {
 /// A process-wide string interner.  Atoms, sort names and symbol names
 /// are interned so that values and terms can compare identifiers by
 /// integer id.  Thread-safe; ids are stable for the process lifetime.
+///
+/// The table is sharded 16 ways by string hash so that parallel
+/// fixpoint workers constructing atom values concurrently do not
+/// serialize on a single mutex (bench_intern_contention measures the
+/// effect).  An id encodes its shard in the low bits and the shard-
+/// local index above them, so Intern stays idempotent and Lookup stays
+/// O(1) without any cross-shard coordination.  Note that identifier
+/// *values* therefore depend on shard layout, not global arrival order;
+/// nothing may assume ids are dense or ordered — atom ordering is by
+/// spelling (Value::Compare), never by id.
 class Interner {
  public:
   /// Returns the singleton interner.
@@ -30,9 +40,22 @@ class Interner {
  private:
   Interner() = default;
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, uint32_t> ids_;
-  std::vector<const std::string*> strings_;
+  static constexpr uint32_t kShardBits = 4;
+  static constexpr uint32_t kShardCount = 1u << kShardBits;
+
+  /// One stripe: its own mutex, map and id-to-string table.  The
+  /// pointers in `strings` target the map's node-stable keys.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, uint32_t> ids;
+    std::vector<const std::string*> strings;
+  };
+
+  static size_t ShardOf(std::string_view s) {
+    return std::hash<std::string_view>{}(s) & (kShardCount - 1);
+  }
+
+  Shard shards_[kShardCount];
 };
 
 /// Convenience: interns `s` in the global interner.

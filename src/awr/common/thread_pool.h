@@ -1,0 +1,68 @@
+#ifndef AWR_COMMON_THREAD_POOL_H_
+#define AWR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace awr {
+
+/// A fixed-size worker pool for the fan-out/barrier parallelism inside
+/// fixpoint rounds: the evaluating thread submits one task per
+/// (rule × extent-partition), blocks on the returned futures (the round
+/// barrier), then merges the per-task results deterministically.
+///
+/// The pool is deliberately minimal: no work stealing, no priorities,
+/// no task dependencies — a fixpoint round is an embarrassingly
+/// parallel batch with a single join point.  Cancellation is
+/// cooperative and lives outside the pool: tasks poll their
+/// ParallelGovernor (see awr/common/context.h) and return early with a
+/// status; the pool itself never kills a task.
+///
+/// Threads are started in the constructor and joined in the destructor.
+/// Submit is thread-safe, though in the evaluators only the round
+/// driver calls it.  Tasks must not submit to their own pool (a task
+/// blocking on a sibling future could deadlock a full pool).
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers.  Any queued tasks are completed first, so
+  /// futures obtained from Submit never dangle — though the intended
+  /// discipline is that every round waits out its own futures.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` and returns the future that completes when it ran.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  size_t size() const { return workers_.size(); }
+
+  /// True when called from a pool worker thread — i.e. inside a
+  /// parallel region.  ValueSet uses this as a debug guard: lazy hash
+  /// indexes must be pre-built before fan-out (workers only read), so a
+  /// build observed on a worker thread is a planner bug and asserts.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace awr
+
+#endif  // AWR_COMMON_THREAD_POOL_H_

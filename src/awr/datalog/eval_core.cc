@@ -64,7 +64,9 @@ class BodyEnumerator {
  private:
   Status EvalFrom(size_t k, Env& env) {
     if (k == plan_.size()) {
-      if (ctx_.context != nullptr) {
+      if (ctx_.governor != nullptr) {
+        AWR_RETURN_IF_ERROR(ctx_.governor->CheckInterrupt("body-match"));
+      } else if (ctx_.context != nullptr) {
         AWR_RETURN_IF_ERROR(ctx_.context->CheckInterrupt("body-match"));
       }
       return on_match_(env);

@@ -66,6 +66,12 @@ struct BodyContext {
   /// scan path (false) computes the same matches and is kept alive as
   /// the differential-test oracle; see EvalOptions::use_join_index.
   bool use_join_index = true;
+  /// Thread-safe governance for parallel rounds (borrowed).  When set it
+  /// takes precedence over `context`: the enumerator polls the governor
+  /// at exactly the per-match site where the sequential path polls the
+  /// context, so the total number of interrupt polls per round is
+  /// identical for every thread count (see ParallelGovernor).
+  ParallelGovernor* governor = nullptr;
 };
 
 /// Enumerates every satisfying assignment of `rule`'s body (processed in

@@ -1,5 +1,11 @@
 #include "awr/datalog/inflationary.h"
 
+#include <deque>
+#include <optional>
+
+#include "awr/common/thread_pool.h"
+#include "awr/datalog/parallel_eval.h"
+
 namespace awr::datalog {
 
 Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
@@ -9,6 +15,17 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
   ExecutionContext local_ctx(opts.limits);
   ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
+
+  // Parallel rounds reuse one pool across the whole fixpoint; the
+  // governor is the workers' thread-safe window onto `ctx`.
+  std::optional<ThreadPool> local_pool;
+  ThreadPool* pool = opts.pool;
+  if (pool == nullptr && opts.num_threads > 1) {
+    local_pool.emplace(opts.num_threads);
+    pool = &*local_pool;
+  }
+  std::optional<ParallelGovernor> governor;
+  if (pool != nullptr) governor.emplace(ctx);
 
   Interpretation interp = edb;
   size_t rounds = 0;
@@ -27,18 +44,31 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
         [&snapshot](const std::string& pred, const Value& fact) {
           return !snapshot.Holds(pred, fact);
         },
-        ctx, opts.use_join_index};
+        pool != nullptr ? nullptr : ctx, opts.use_join_index};
     size_t added = 0;
-    for (const PlannedRule& pr : rules) {
-      AWR_RETURN_IF_ERROR(ForEachBodyMatch(
-          pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
-            AWR_ASSIGN_OR_RETURN(Value fact,
-                                 EvalHead(pr.rule, env, opts.functions));
-            if (interp.AddFactTuple(pr.rule.head.predicate, std::move(fact))) {
-              ++added;
-            }
-            return Status::OK();
-          }));
+    if (pool != nullptr) {
+      // Because rules read the frozen snapshot and insertions are
+      // deferred to the barrier merge, the parallel round computes the
+      // same added set (and count: both count facts new to `interp`,
+      // which equals `snapshot` until the merge) as the loop below.
+      std::deque<ValueSet> chunks;
+      std::vector<FireTask> tasks =
+          MakeScanSplitTasks(rules, body_ctx, pool->size(), &chunks);
+      AWR_ASSIGN_OR_RETURN(added, RunFireTasks(tasks, body_ctx, snapshot,
+                                               &interp, pool, &*governor));
+    } else {
+      for (const PlannedRule& pr : rules) {
+        AWR_RETURN_IF_ERROR(ForEachBodyMatch(
+            pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
+              AWR_ASSIGN_OR_RETURN(Value fact,
+                                   EvalHead(pr.rule, env, opts.functions));
+              if (interp.AddFactTuple(pr.rule.head.predicate,
+                                      std::move(fact))) {
+                ++added;
+              }
+              return Status::OK();
+            }));
+      }
     }
     if (added == 0) break;
     ++rounds;

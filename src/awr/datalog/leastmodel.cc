@@ -4,6 +4,11 @@
 #include <cassert>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <optional>
+
+#include "awr/common/thread_pool.h"
+#include "awr/datalog/parallel_eval.h"
 
 namespace awr::datalog {
 
@@ -14,6 +19,18 @@ bool JoinIndexEnabledByDefault() {
            std::strcmp(force_scan, "0") == 0;
   }();
   return enabled;
+}
+
+size_t DefaultEvalThreads() {
+  static const size_t threads = [] {
+    const char* env = std::getenv("AWR_EVAL_THREADS");
+    if (env == nullptr || *env == '\0') return size_t{1};
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || parsed < 1) return size_t{1};
+    return std::min<size_t>(static_cast<size_t>(parsed), 64);
+  }();
+  return threads;
 }
 
 namespace {
@@ -35,12 +52,94 @@ Result<size_t> FireRule(const PlannedRule& pr, const BodyContext& ctx,
   return added;
 }
 
+// The parallel twin of the sequential loops below: the same round
+// structure with the same charge skeleton (ChargeRound / ChargeFacts /
+// ChargeMemory at the same points with the same values), but each
+// round's rule firings fanned out over `pool` as
+// (rule × extent-partition) tasks with a deterministic merge at the
+// barrier (see parallel_eval.h).  Computes a model bit-identical to the
+// sequential path for every pool size.
+Result<Interpretation> LeastModelParallel(
+    const std::vector<PlannedRule>& rules, const Interpretation& base,
+    const Interpretation& neg_context, const EvalOptions& opts,
+    ExecutionContext* ctx, ThreadPool* pool) {
+  Interpretation interp = base;
+  ParallelGovernor governor(ctx);
+  const size_t max_parts = pool->size();
+
+  auto neg_holds = [&neg_context](const std::string& pred, const Value& fact) {
+    return !neg_context.Holds(pred, fact);
+  };
+  BodyContext body_ctx{
+      &opts.functions,
+      [&interp](const std::string& pred, size_t) -> const ValueSet& {
+        return interp.Extent(pred);
+      },
+      neg_holds, /*context=*/nullptr, opts.use_join_index};
+
+  if (!opts.seminaive) {
+    for (;;) {
+      AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(naive)"));
+      Interpretation delta;
+      std::deque<ValueSet> chunks;
+      std::vector<FireTask> tasks =
+          MakeScanSplitTasks(rules, body_ctx, max_parts, &chunks);
+      AWR_ASSIGN_OR_RETURN(
+          size_t added,
+          RunFireTasks(tasks, body_ctx, interp, &delta, pool, &governor));
+      if (added == 0) break;
+      AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(naive)"));
+      interp.InsertAll(delta);
+      AWR_RETURN_IF_ERROR(
+          ctx->ChargeMemory(interp.ApproxBytes(), "least-model(naive)"));
+    }
+    return interp;
+  }
+
+  Interpretation delta;
+  {
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(seminaive)"));
+    std::deque<ValueSet> chunks;
+    std::vector<FireTask> tasks =
+        MakeScanSplitTasks(rules, body_ctx, max_parts, &chunks);
+    AWR_ASSIGN_OR_RETURN(
+        size_t added,
+        RunFireTasks(tasks, body_ctx, interp, &delta, pool, &governor));
+    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(seminaive)"));
+    interp.InsertAll(delta);
+  }
+
+  while (delta.TotalFacts() > 0) {
+    AWR_RETURN_IF_ERROR(ctx->ChargeRound("least-model(seminaive)"));
+    AWR_RETURN_IF_ERROR(ctx->ChargeMemory(
+        interp.ApproxBytes() + delta.ApproxBytes(), "least-model(seminaive)"));
+    Interpretation next_delta;
+    std::deque<ValueSet> chunks;
+    std::vector<FireTask> tasks =
+        MakeDeltaTasks(rules, delta, max_parts, &chunks);
+    AWR_ASSIGN_OR_RETURN(
+        size_t added,
+        RunFireTasks(tasks, body_ctx, interp, &next_delta, pool, &governor));
+    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "least-model(seminaive)"));
+    interp.InsertAll(next_delta);
+    delta = std::move(next_delta);
+  }
+  return interp;
+}
+
 }  // namespace
 
 Result<Interpretation> LeastModelWithFrozenNegation(
     const std::vector<PlannedRule>& rules, const Interpretation& base,
     const Interpretation& neg_context, const EvalOptions& opts,
     ExecutionContext* ctx) {
+  if (opts.pool != nullptr) {
+    return LeastModelParallel(rules, base, neg_context, opts, ctx, opts.pool);
+  }
+  if (opts.num_threads > 1) {
+    ThreadPool pool(opts.num_threads);
+    return LeastModelParallel(rules, base, neg_context, opts, ctx, &pool);
+  }
   Interpretation interp = base;
 
   auto neg_holds = [&neg_context](const std::string& pred, const Value& fact) {

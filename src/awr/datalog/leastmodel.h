@@ -10,6 +10,10 @@
 #include "awr/datalog/eval_core.h"
 #include "awr/datalog/functions.h"
 
+namespace awr {
+class ThreadPool;
+}
+
 namespace awr::datalog {
 
 /// True unless the environment variable AWR_FORCE_SCAN_JOINS is set to
@@ -17,6 +21,12 @@ namespace awr::datalog {
 /// EvalOptions::use_join_index; scripts/tier1.sh runs the test suite
 /// both ways.
 bool JoinIndexEnabledByDefault();
+
+/// The default for EvalOptions::num_threads: the value of the
+/// environment variable AWR_EVAL_THREADS clamped to [1, 64], or 1 (the
+/// sequential path) when unset or unparsable.  scripts/tier1.sh runs
+/// the test suite with AWR_EVAL_THREADS=4 as one of its passes.
+size_t DefaultEvalThreads();
 
 /// Shared evaluation configuration for all datalog evaluators.
 struct EvalOptions {
@@ -40,6 +50,19 @@ struct EvalOptions {
   /// own budget.  When null, the evaluator builds a private context
   /// from `limits`.
   ExecutionContext* context = nullptr;
+  /// Worker threads for the parallel fixpoint path.  1 (the default)
+  /// keeps today's sequential evaluation, which doubles as the
+  /// differential-test oracle; >1 fans each round out as one task per
+  /// (rule × extent-partition) with a deterministic merge at the round
+  /// barrier, so the computed model is identical for every value.
+  /// Env-overridable via AWR_EVAL_THREADS (see DefaultEvalThreads).
+  size_t num_threads = DefaultEvalThreads();
+  /// Optional pre-built worker pool (borrowed).  When set it is used
+  /// regardless of num_threads — engines that call the least-model
+  /// fixpoint repeatedly (well-founded alternation, stratified strata)
+  /// hoist one pool across all calls.  When null and num_threads > 1,
+  /// each evaluation builds its own.
+  ThreadPool* pool = nullptr;
 };
 
 /// Computes the least model of `rules` + `edb` where every *negative*

@@ -1,0 +1,199 @@
+#include "awr/datalog/parallel_eval.h"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+namespace awr::datalog {
+
+std::vector<ValueSet> PartitionExtent(const ValueSet& extent,
+                                      size_t max_parts) {
+  size_t parts =
+      std::min(max_parts, std::max<size_t>(1, extent.size() / kMinPartitionGrain));
+  if (parts <= 1) return {};
+  std::vector<ValueSet> out(parts);
+  size_t i = 0;
+  for (const Value& fact : extent) {
+    out[i % parts].Insert(fact);
+    ++i;
+  }
+  return out;
+}
+
+namespace {
+
+/// Appends one task per partition chunk of `extent` (or a single task
+/// borrowing `extent` itself when partitioning is not worthwhile),
+/// overriding the positive atom at body position `override_index`.
+void AppendPartitionedTasks(const PlannedRule& pr, size_t override_index,
+                            const ValueSet& extent, size_t max_parts,
+                            std::deque<ValueSet>* chunk_storage,
+                            std::vector<FireTask>* tasks) {
+  std::vector<ValueSet> parts = PartitionExtent(extent, max_parts);
+  if (parts.empty()) {
+    tasks->push_back(FireTask{&pr, override_index, &extent});
+    return;
+  }
+  for (ValueSet& part : parts) {
+    chunk_storage->push_back(std::move(part));
+    tasks->push_back(FireTask{&pr, override_index, &chunk_storage->back()});
+  }
+}
+
+}  // namespace
+
+std::vector<FireTask> MakeScanSplitTasks(
+    const std::vector<PlannedRule>& rules, const BodyContext& ctx,
+    size_t max_parts, std::deque<ValueSet>* chunk_storage) {
+  std::vector<FireTask> tasks;
+  for (const PlannedRule& pr : rules) {
+    if (pr.plan.size() == 0) {
+      tasks.push_back(FireTask{&pr});
+      continue;
+    }
+    const size_t first_literal = pr.plan.steps[0].literal;
+    const Literal& lit = pr.rule.body[first_literal];
+    if (!lit.is_atom() || !lit.positive) {
+      tasks.push_back(FireTask{&pr});
+      continue;
+    }
+    const ValueSet& extent = ctx.positive_extent(lit.atom.predicate,
+                                                 first_literal);
+    AppendPartitionedTasks(pr, first_literal, extent, max_parts, chunk_storage,
+                           &tasks);
+  }
+  return tasks;
+}
+
+std::vector<FireTask> MakeDeltaTasks(const std::vector<PlannedRule>& rules,
+                                     const Interpretation& delta,
+                                     size_t max_parts,
+                                     std::deque<ValueSet>* chunk_storage) {
+  std::vector<FireTask> tasks;
+  for (const PlannedRule& pr : rules) {
+    for (size_t i = 0; i < pr.rule.body.size(); ++i) {
+      const Literal& lit = pr.rule.body[i];
+      if (!lit.is_atom() || !lit.positive) continue;
+      const ValueSet& delta_extent = delta.Extent(lit.atom.predicate);
+      if (delta_extent.empty()) continue;
+      AppendPartitionedTasks(pr, i, delta_extent, max_parts, chunk_storage,
+                             &tasks);
+    }
+  }
+  return tasks;
+}
+
+namespace {
+
+/// Builds, on the calling (driver) thread, every hash index the task's
+/// plan will probe — on the base extents and on the override chunk — so
+/// workers only ever read indexes.  Mirrors the probe condition in
+/// BodyEnumerator::MatchPositive exactly.
+void PrebuildTaskIndexes(const FireTask& t, const BodyContext& base_ctx) {
+  if (!base_ctx.use_join_index) return;
+  const PlannedRule& pr = *t.rule;
+  for (const PlanStep& step : pr.plan.steps) {
+    if (step.bound_positions.empty()) continue;
+    const Literal& lit = pr.rule.body[step.literal];
+    if (!lit.is_atom() || !lit.positive) continue;
+    const ValueSet& extent =
+        step.literal == t.override_index
+            ? *t.override_extent
+            : base_ctx.positive_extent(lit.atom.predicate, step.literal);
+    extent.BuildIndex(step.bound_positions);
+  }
+}
+
+struct TaskResult {
+  Interpretation derived;
+  Status status = Status::OK();
+};
+
+}  // namespace
+
+Result<size_t> RunFireTasks(const std::vector<FireTask>& tasks,
+                            const BodyContext& base_ctx,
+                            const Interpretation& existing,
+                            Interpretation* out, ThreadPool* pool,
+                            ParallelGovernor* governor) {
+  // Pre-build every index any task will probe (driver thread only):
+  // after this, extents are immutable shared state for the round.
+  for (const FireTask& t : tasks) PrebuildTaskIndexes(t, base_ctx);
+
+  // Per-task contexts: workers poll the governor, never the parent
+  // context; override tasks view their chunk at the overridden body
+  // position and the base extents everywhere else.
+  std::vector<BodyContext> contexts(tasks.size());
+  std::vector<TaskResult> results(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const FireTask& t = tasks[i];
+    BodyContext ctx = base_ctx;
+    ctx.context = nullptr;
+    ctx.governor = governor;
+    if (t.override_index != FireTask::kNoOverride) {
+      auto base_extent = base_ctx.positive_extent;
+      ctx.positive_extent =
+          [base_extent, override_index = t.override_index,
+           override_extent = t.override_extent](
+              const std::string& pred, size_t body_index) -> const ValueSet& {
+        if (body_index == override_index) return *override_extent;
+        return base_extent(pred, body_index);
+      };
+    }
+    contexts[i] = std::move(ctx);
+  }
+
+  auto run_task = [&existing, &contexts, &results](size_t i,
+                                                   const FireTask& t) {
+    const PlannedRule& pr = *t.rule;
+    TaskResult& result = results[i];
+    result.status = ForEachBodyMatch(
+        pr.rule, pr.plan, contexts[i], [&](const Env& env) -> Status {
+          AWR_ASSIGN_OR_RETURN(Value fact,
+                               EvalHead(pr.rule, env, *contexts[i].fns));
+          if (!existing.Holds(pr.rule.head.predicate, fact)) {
+            result.derived.AddFactTuple(pr.rule.head.predicate,
+                                        std::move(fact));
+          }
+          return Status::OK();
+        });
+  };
+
+  if (pool == nullptr) {
+    for (size_t i = 0; i < tasks.size(); ++i) run_task(i, tasks[i]);
+  } else {
+    std::vector<std::future<void>> futures;
+    futures.reserve(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      futures.push_back(
+          pool->Submit([&run_task, i, &tasks] { run_task(i, tasks[i]); }));
+    }
+    // The round barrier: every task runs to completion (aborting
+    // siblings mid-round would make poll counts depend on scheduling).
+    for (std::future<void>& f : futures) f.get();
+  }
+
+  // First non-OK in task order; nothing merged on error — the caller
+  // discards the round, as the sequential loop does when FireRule fails.
+  for (const TaskResult& r : results) {
+    if (!r.status.ok()) return r.status;
+  }
+
+  // Deterministic merge in task order.  Duplicates across tasks (the
+  // same head derived by different rules or chunks) collapse here just
+  // as they do in the sequential shared accumulator, so `added` counts
+  // distinct new facts exactly as FireRule's loop does.
+  size_t added = 0;
+  for (const TaskResult& r : results) {
+    for (const auto& [pred, extent] : r.derived) {
+      for (const Value& fact : extent) {
+        if (!existing.Holds(pred, fact) && out->AddFactTuple(pred, fact)) {
+          ++added;
+        }
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace awr::datalog

@@ -1,8 +1,10 @@
 #include "awr/datalog/stratified.h"
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "awr/common/thread_pool.h"
 #include "awr/datalog/depgraph.h"
 
 namespace awr::datalog {
@@ -20,6 +22,16 @@ Result<Interpretation> EvalStratified(const Program& program,
 
   ExecutionContext local_ctx(opts.limits);
   ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
+
+  // Hoist one worker pool across all strata instead of paying thread
+  // startup once per stratum.
+  EvalOptions eff_opts = opts;
+  std::optional<ThreadPool> local_pool;
+  if (eff_opts.pool == nullptr && eff_opts.num_threads > 1) {
+    local_pool.emplace(eff_opts.num_threads);
+    eff_opts.pool = &*local_pool;
+  }
+
   Interpretation interp = edb;
   for (size_t s = 0; s < strata.size(); ++s) {
     std::vector<PlannedRule> stratum_rules;
@@ -34,7 +46,7 @@ Result<Interpretation> EvalStratified(const Program& program,
     Interpretation before = interp;
     AWR_ASSIGN_OR_RETURN(
         interp, LeastModelWithFrozenNegation(stratum_rules, interp, before,
-                                             opts, ctx));
+                                             eff_opts, ctx));
   }
   return interp;
 }

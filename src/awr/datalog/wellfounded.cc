@@ -1,5 +1,9 @@
 #include "awr/datalog/wellfounded.h"
 
+#include <optional>
+
+#include "awr/common/thread_pool.h"
+
 namespace awr::datalog {
 
 Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
@@ -8,6 +12,15 @@ Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
   ExecutionContext local_ctx(opts.limits);
   ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
+
+  // Hoist one worker pool across all alternation steps instead of
+  // paying thread startup once per inner least-model fixpoint.
+  EvalOptions eff_opts = opts;
+  std::optional<ThreadPool> local_pool;
+  if (eff_opts.pool == nullptr && eff_opts.num_threads > 1) {
+    local_pool.emplace(eff_opts.num_threads);
+    eff_opts.pool = &*local_pool;
+  }
 
   // I_{k+1} = S(I_k), I_0 = ∅.  Track the last two iterates; the
   // sequence converges when I_{k+1} == I_{k-1} (period 2) or
@@ -20,7 +33,7 @@ Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
     AWR_RETURN_IF_ERROR(ctx->ChargeRound("well-founded(alternation)"));
     AWR_ASSIGN_OR_RETURN(
         Interpretation next,
-        LeastModelWithFrozenNegation(rules, edb, prev, opts, ctx));
+        LeastModelWithFrozenNegation(rules, edb, prev, eff_opts, ctx));
     if (next == prev) {
       // Total (2-valued) fixpoint.
       return ThreeValuedInterp{next, next};

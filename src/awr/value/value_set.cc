@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "awr/common/thread_pool.h"
+
 namespace awr {
 
 namespace {
@@ -25,23 +27,29 @@ bool ExtractKey(const Value& fact, const std::vector<size_t>& positions,
 
 }  // namespace
 
+const ValueSet::PositionIndex& ValueSet::EnsureIndex(
+    const std::vector<size_t>& positions) const {
+  for (const PositionIndex& candidate : indexes_) {
+    if (candidate.positions == positions) return candidate;
+  }
+  // Building mutates the derived cache, which is only safe while no
+  // other thread reads this extent: parallel rounds must pre-build
+  // every planned index (RunFireTasks does) before fanning out.
+  assert(!ThreadPool::OnWorkerThread() &&
+         "ValueSet index built inside a parallel region; pre-build planned "
+         "indexes with BuildIndex before fan-out");
+  indexes_.push_back(PositionIndex{positions, {}});
+  PositionIndex& index = indexes_.back();
+  for (const Value& fact : items_) IndexInsert(index, fact);
+  return index;
+}
+
 const std::vector<Value>& ValueSet::Probe(const std::vector<size_t>& positions,
                                           const Value& key) const {
   static const std::vector<Value> kEmptyBucket;
-  PositionIndex* index = nullptr;
-  for (PositionIndex& candidate : indexes_) {
-    if (candidate.positions == positions) {
-      index = &candidate;
-      break;
-    }
-  }
-  if (index == nullptr) {
-    indexes_.push_back(PositionIndex{positions, {}});
-    index = &indexes_.back();
-    for (const Value& fact : items_) IndexInsert(*index, fact);
-  }
-  auto it = index->buckets.find(key);
-  return it == index->buckets.end() ? kEmptyBucket : it->second;
+  const PositionIndex& index = EnsureIndex(positions);
+  auto it = index.buckets.find(key);
+  return it == index.buckets.end() ? kEmptyBucket : it->second;
 }
 
 void ValueSet::IndexInsert(PositionIndex& index, const Value& fact) {

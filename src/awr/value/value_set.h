@@ -139,8 +139,24 @@ class ValueSet {
   /// not tuples or are too short for `positions` are never indexed —
   /// they cannot equal `key` at those positions.  Returns an empty
   /// bucket on a miss.
+  ///
+  /// Concurrency contract: once the index for `positions` exists,
+  /// Probe is a pure read and is safe to call from any number of
+  /// threads concurrently (alongside other const reads).  The lazy
+  /// build is NOT thread-safe; parallel evaluation therefore pre-builds
+  /// every planned index with BuildIndex before fanning out, and a
+  /// debug assert fires if a build is observed on a worker thread.
   const std::vector<Value>& Probe(const std::vector<size_t>& positions,
                                   const Value& key) const;
+
+  /// Force-builds the hash index for `positions` so that subsequent
+  /// Probe calls on that position subset are pure, race-free reads.
+  /// Idempotent; called by the parallel round driver (single-threaded)
+  /// before submitting tasks.  Like the lazy build, the index is then
+  /// maintained incrementally by Insert/Erase.
+  void BuildIndex(const std::vector<size_t>& positions) const {
+    (void)EnsureIndex(positions);
+  }
 
   /// Number of distinct position-subset indexes currently built
   /// (introspection for tests and benchmarks).
@@ -172,13 +188,18 @@ class ValueSet {
   static void IndexInsert(PositionIndex& index, const Value& fact);
   static void IndexErase(PositionIndex& index, const Value& fact);
 
+  /// Returns the index for `positions`, building it if absent (asserts,
+  /// in debug builds, that builds never happen on a pool worker).
+  const PositionIndex& EnsureIndex(const std::vector<size_t>& positions) const;
+
   std::unordered_set<Value> items_;
   size_t bytes_ = 0;
   // Shape histogram for UniformTupleArity.
   size_t non_tuple_count_ = 0;
   std::unordered_map<size_t, size_t> tuple_arity_counts_;
-  // Built lazily in the const Probe; mutation is confined to this
-  // derived cache (extents are evaluated single-threaded).
+  // Built lazily in the const Probe (or eagerly via BuildIndex);
+  // mutation of this derived cache happens only on the evaluating
+  // thread — parallel regions pre-build and then only read.
   mutable std::vector<PositionIndex> indexes_;
 };
 

@@ -535,10 +535,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ScanVsIndexDifferential,
 
 struct GovernedEngine {
   std::string name;
-  std::function<Status(ExecutionContext*, bool use_index)> run;
+  std::function<Status(ExecutionContext*, datalog::EvalOptions)> run_with;
   // Stable-model search explores ground rules in enumeration order, so
   // its total charge count may legitimately differ between the paths.
   bool counts_must_match = true;
+
+  Status run(ExecutionContext* ctx, bool use_index) const {
+    return run_with(ctx, IndexOpts(use_index));
+  }
 };
 
 std::vector<GovernedEngine> GovernedEngines() {
@@ -565,53 +569,42 @@ std::vector<GovernedEngine> GovernedEngines() {
   game_db.AddFact("move", {Value::Int(3), Value::Int(4)});
   game_db.AddFact("move", {Value::Int(4), Value::Int(3)});
 
-  auto opts_for = [](ExecutionContext* ctx, bool use_index) {
-    datalog::EvalOptions o = IndexOpts(use_index);
-    o.context = ctx;
-    return o;
-  };
   std::vector<GovernedEngine> out;
   out.push_back({"least-model(seminaive)",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::EvalMinimalModel(tc, edges,
-                                                    opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::EvalMinimalModel(tc, edges, o).status();
                  }});
   out.push_back({"least-model(naive)",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   datalog::EvalOptions o = opts_for(ctx, ix);
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
                    o.seminaive = false;
                    return datalog::EvalMinimalModel(tc, edges, o).status();
                  }});
   out.push_back({"stratified",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::EvalStratified(reach, reach_db,
-                                                  opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::EvalStratified(reach, reach_db, o).status();
                  }});
   out.push_back({"inflationary",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::EvalInflationary(game, game_db,
-                                                    opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::EvalInflationary(game, game_db, o).status();
                  }});
   out.push_back({"well-founded",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::EvalWellFounded(game, game_db,
-                                                   opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::EvalWellFounded(game, game_db, o).status();
                  }});
   out.push_back({"grounding",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::GroundProgramFor(game, game_db,
-                                                    opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::GroundProgramFor(game, game_db, o).status();
                  }});
   out.push_back({"stable-models",
-                 [=](ExecutionContext* ctx, bool ix) {
-                   return datalog::EvalStableModels(game, game_db,
-                                                    opts_for(ctx, ix))
-                       .status();
+                 [=](ExecutionContext* ctx, datalog::EvalOptions o) {
+                   o.context = ctx;
+                   return datalog::EvalStableModels(game, game_db, o).status();
                  },
                  /*counts_must_match=*/false});
   return out;
@@ -632,6 +625,201 @@ TEST(ScanVsIndexGovernance, PreCancelledAndExpiredDeadlineParity) {
                            std::chrono::milliseconds(1));
       EXPECT_TRUE(engine.run(&expired, use_index).IsDeadlineExceeded())
           << engine.name << " use_index=" << use_index;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Parallel-vs-sequential differential oracle.  EvalOptions::num_threads
+// = 1 is the sequential path (today's evaluator, the oracle); the
+// parallel path must produce the identical model for every thread
+// count, program and semantics — the round-barrier design guarantees
+// bit-identical results, and this suite enforces it over 100 random
+// programs per semantics family.
+
+datalog::EvalOptions ThreadOpts(size_t threads) {
+  datalog::EvalOptions o;
+  o.num_threads = threads;  // pinned: overrides AWR_EVAL_THREADS
+  return o;
+}
+
+template <typename Fn>
+void EvalAcrossThreadCounts(const Fn& eval, const std::string& what) {
+  auto oracle = eval(ThreadOpts(1));
+  for (size_t threads : {2, 4, 8}) {
+    auto parallel = eval(ThreadOpts(threads));
+    EXPECT_EQ(oracle.status().code(), parallel.status().code())
+        << what << "\nsequential: " << oracle.status() << "\nthreads="
+        << threads << ": " << parallel.status();
+    if (oracle.ok() && parallel.ok()) {
+      ExpectSameResult(*parallel, *oracle,
+                       what + "\n(threads=" + std::to_string(threads) + ")");
+    }
+  }
+}
+
+class ParallelVsSequentialDifferential
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelVsSequentialDifferential, PositiveProgramSemantics) {
+  GenOptions opts;
+  opts.allow_negation = false;
+  Generated g = GenerateProgram(GetParam() * 15485863 + 11, opts);
+  const std::string what = g.program.ToString();
+  EvalAcrossThreadCounts(
+      [&](datalog::EvalOptions o) {
+        o.seminaive = false;
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+  EvalAcrossThreadCounts(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalMinimalModel(g.program, g.edb, o);
+      },
+      what);
+}
+
+TEST_P(ParallelVsSequentialDifferential, GeneralProgramSemantics) {
+  Generated g = GenerateProgram(GetParam() * 32452843 + 7, GenOptions{});
+  const std::string what = g.program.ToString();
+  EvalAcrossThreadCounts(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalInflationary(g.program, g.edb, o);
+      },
+      what);
+  EvalAcrossThreadCounts(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalWellFounded(g.program, g.edb, o);
+      },
+      what);
+  // Possibly unstratifiable; the paths must then fail identically.
+  EvalAcrossThreadCounts(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStratified(g.program, g.edb, o);
+      },
+      what);
+  EvalAcrossThreadCounts(
+      [&](const datalog::EvalOptions& o) {
+        return datalog::EvalStableModels(g.program, g.edb, o);
+      },
+      what);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelVsSequentialDifferential,
+                         ::testing::Range<uint64_t>(1, 101));
+
+// A workload big enough to force real partitioning (the delta extents
+// exceed kMinPartitionGrain × 8) where the rendered models must be
+// byte-identical, not merely set-equal.
+TEST(ParallelVsSequentialDifferential, TransitiveClosureByteIdentity) {
+  auto tc = *datalog::ParseProgram(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+  )");
+  Database chain;
+  for (int i = 0; i < 60; ++i) {
+    chain.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  datalog::EvalOptions seq = ThreadOpts(1);
+  seq.limits = EvalLimits::Large();
+  auto oracle = datalog::EvalMinimalModel(tc, chain, seq);
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  for (size_t threads : {2, 4, 8}) {
+    for (bool seminaive : {true, false}) {
+      datalog::EvalOptions o = ThreadOpts(threads);
+      o.limits = EvalLimits::Large();
+      o.seminaive = seminaive;
+      auto parallel = datalog::EvalMinimalModel(tc, chain, o);
+      ASSERT_TRUE(parallel.ok()) << parallel.status();
+      EXPECT_EQ(parallel->ToString(), oracle->ToString())
+          << "threads=" << threads << " seminaive=" << seminaive;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------
+// Parallel governance parity: the round-barrier charge discipline makes
+// the total number of governance charges identical for every thread
+// count, so deadline / cancellation / injected-fault interruptions
+// surface the same status codes as the sequential oracle.
+
+TEST(ParallelGovernance, PreCancelledAndExpiredDeadlineParity) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    CancelSource source;
+    source.RequestCancel();
+    ExecutionContext cancelled;
+    cancelled.set_cancel_token(source.token());
+    EXPECT_TRUE(engine.run_with(&cancelled, ThreadOpts(4)).IsCancelled())
+        << engine.name;
+
+    ExecutionContext expired;
+    expired.set_deadline(ExecutionContext::Clock::now() -
+                         std::chrono::milliseconds(1));
+    EXPECT_TRUE(engine.run_with(&expired, ThreadOpts(4)).IsDeadlineExceeded())
+        << engine.name;
+  }
+}
+
+TEST(ParallelGovernance, ChargeCountsIdenticalAcrossThreadCounts) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    size_t n_by_threads[2];
+    size_t slot = 0;
+    for (size_t threads : {1, 4}) {
+      FaultInjector injector;
+      injector.Disarm();
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      Status st = engine.run_with(&ctx, ThreadOpts(threads));
+      ASSERT_TRUE(st.ok()) << engine.name << " disarmed threads=" << threads
+                           << ": " << st;
+      n_by_threads[slot++] = injector.charges_seen();
+    }
+    if (engine.counts_must_match) {
+      EXPECT_EQ(n_by_threads[0], n_by_threads[1])
+          << engine.name << ": sequential and 4-thread evaluation disagree "
+          << "on the number of governance charge points";
+    }
+  }
+}
+
+TEST(ParallelGovernance, FaultSweepStatusesIdenticalAcrossThreadCounts) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    // Learn the shared charge-point count from disarmed runs.
+    size_t n = static_cast<size_t>(-1);
+    for (size_t threads : {1, 4}) {
+      FaultInjector injector;
+      injector.Disarm();
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      ASSERT_TRUE(engine.run_with(&ctx, ThreadOpts(threads)).ok())
+          << engine.name;
+      n = std::min(n, injector.charges_seen());
+    }
+    ASSERT_GT(n, 0u) << engine.name;
+
+    std::set<size_t> trip_points;
+    for (size_t i = 1; i <= std::min<size_t>(n, 12); ++i) trip_points.insert(i);
+    for (size_t i = 13; i < n; i += std::max<size_t>(1, n / 16)) {
+      trip_points.insert(i);
+    }
+    trip_points.insert(n);
+    for (size_t i : trip_points) {
+      Status statuses[2];
+      size_t slot = 0;
+      for (size_t threads : {1, 4}) {
+        FaultInjector injector;
+        injector.TripAt(i, Status::Internal("injected fault"));
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        statuses[slot++] = engine.run_with(&ctx, ThreadOpts(threads));
+      }
+      EXPECT_EQ(statuses[0].code(), statuses[1].code())
+          << engine.name << " trip point " << i << "/" << n
+          << "\nsequential: " << statuses[0] << "\n4-thread:   " << statuses[1];
+      for (const Status& st : statuses) {
+        EXPECT_EQ(st.code(), StatusCode::kInternal)
+            << engine.name << " trip point " << i << ": " << st;
+      }
     }
   }
 }
