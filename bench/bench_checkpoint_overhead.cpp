@@ -1,0 +1,177 @@
+// Experiment E17: checkpoint overhead.
+//
+// Two claims back the snapshot subsystem (DESIGN.md §9):
+//   1. checkpointing DISABLED (no sink — the default) costs nothing
+//      measurable: the engines take the same path as before the
+//      feature, with only a dead branch per round barrier (< 2%
+//      overhead on the semi-naive TC workload);
+//   2. checkpointing ENABLED costs a bounded, reportable amount per
+//      captured snapshot (one interpretation copy + bookkeeping),
+//      measured here both as wall-clock per capture and as serialized
+//      bytes.
+//
+// Each configuration is timed over several repetitions with the
+// fastest run reported (the usual guard against scheduler noise) and
+// the disabled-path overhead is computed against the no-checkpoint
+// baseline.  Writes BENCH_checkpoint.json (override with argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "awr/datalog/leastmodel.h"
+#include "awr/snapshot/snapshot.h"
+#include "awr/snapshot/state.h"
+#include "workloads.h"
+
+using namespace awr;         // NOLINT
+using namespace awr::bench;  // NOLINT
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct Row {
+  std::string name;
+  double ms = 0;           // fastest of kReps
+  uint64_t captures = 0;   // snapshots taken during the run
+  double ms_per_capture = 0;
+  size_t snapshot_bytes = 0;  // serialized size of the last capture
+  double overhead_pct = 0;    // vs the baseline row
+};
+
+constexpr int kReps = 15;
+
+/// Times all configurations with their repetitions interleaved
+/// round-robin (A,B,C,...,A,B,C,...) and reports each one's fastest
+/// rep, so slow drift in machine load hits every configuration equally
+/// — the honest way to resolve a sub-2% difference on a shared host.
+void FastestMsRoundRobin(const std::vector<std::function<void()>>& runs,
+                         std::vector<double>* ms) {
+  ms->assign(runs.size(), 1e300);
+  for (int rep = 0; rep < kReps; ++rep) {
+    // Rotate the starting configuration each rep: periodic external
+    // slowdowns (cgroup CPU throttling aligns with the cycle period)
+    // would otherwise consistently tax the same loop positions.
+    for (size_t j = 0; j < runs.size(); ++j) {
+      size_t i = (j + static_cast<size_t>(rep)) % runs.size();
+      auto t0 = std::chrono::steady_clock::now();
+      runs[i]();
+      (*ms)[i] = std::min((*ms)[i], MillisSince(t0));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_checkpoint.json";
+  const datalog::Program tc = TcProgram();
+  const datalog::Database edb = RandomEdges(180, 1400, /*seed=*/42);
+
+  std::vector<Row> rows;
+
+  // Configurations, measured round-robin against one shared baseline:
+  //   [0] baseline — checkpoint policy untouched (no sink, the default);
+  //   [1] disabled-but-constructed — explicit policy, null sink (the
+  //       < 2% claim: same machine-code path modulo dead branches);
+  //   [2..] enabled at several periods — the per-capture cost.
+  const uint64_t periods[] = {1, 4, 16};
+  std::vector<snapshot::CheckpointSink> sinks(std::size(periods));
+  std::vector<std::function<void()>> runs;
+  runs.push_back([&] {
+    datalog::EvalOptions o;
+    o.limits = EvalLimits::Large();
+    auto m = datalog::EvalMinimalModel(tc, edb, o);
+    if (!m.ok()) std::abort();
+  });
+  runs.push_back([&] {
+    datalog::EvalOptions o;
+    o.limits = EvalLimits::Large();
+    o.checkpoint.every_n_rounds = 4;  // irrelevant without a sink
+    o.checkpoint.sink = nullptr;
+    auto m = datalog::EvalMinimalModel(tc, edb, o);
+    if (!m.ok()) std::abort();
+  });
+  for (size_t p = 0; p < std::size(periods); ++p) {
+    runs.push_back([&, p] {
+      snapshot::CheckpointSink fresh;
+      datalog::EvalOptions o;
+      o.limits = EvalLimits::Large();
+      o.checkpoint.every_n_rounds = periods[p];
+      o.checkpoint.sink = &fresh;
+      auto m = datalog::EvalMinimalModel(tc, edb, o);
+      if (!m.ok()) std::abort();
+      sinks[p] = std::move(fresh);
+    });
+  }
+  std::vector<double> ms;
+  FastestMsRoundRobin(runs, &ms);
+
+  Row baseline;
+  baseline.name = "tc_seminaive_no_checkpoint";
+  baseline.ms = ms[0];
+  rows.push_back(baseline);
+  {
+    Row r;
+    r.name = "tc_seminaive_checkpoint_disabled";
+    r.ms = ms[1];
+    r.overhead_pct = baseline.ms > 0 ? (r.ms / baseline.ms - 1.0) * 100 : 0;
+    rows.push_back(r);
+  }
+  for (size_t p = 0; p < std::size(periods); ++p) {
+    Row r;
+    r.name = "tc_seminaive_checkpoint_every_" + std::to_string(periods[p]);
+    r.ms = ms[2 + p];
+    r.captures = sinks[p].captures;
+    r.ms_per_capture = sinks[p].captures > 0
+                           ? (r.ms - baseline.ms) / double(sinks[p].captures)
+                           : 0;
+    if (sinks[p].latest.has_value()) {
+      auto bytes = snapshot::Serialize(*sinks[p].latest);
+      if (bytes.ok()) r.snapshot_bytes = bytes->size();
+    }
+    r.overhead_pct = baseline.ms > 0 ? (r.ms / baseline.ms - 1.0) * 100 : 0;
+    rows.push_back(r);
+  }
+
+  std::printf("E17: checkpoint overhead (semi-naive TC, %zu EDB facts)\n",
+              edb.TotalFacts());
+  std::printf("%-36s %10s %9s %14s %10s %10s\n", "configuration", "ms",
+              "captures", "ms/capture", "bytes", "overhead");
+  for (const Row& r : rows) {
+    std::printf("%-36s %10.2f %9llu %14.4f %10zu %9.2f%%\n", r.name.c_str(),
+                r.ms, static_cast<unsigned long long>(r.captures),
+                r.ms_per_capture, r.snapshot_bytes, r.overhead_pct);
+  }
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"checkpoint_overhead\",\n");
+  std::fprintf(out, "  \"reps\": %d,\n  \"runs\": [\n", kReps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"ms\": %.3f, \"captures\": %llu, "
+                 "\"ms_per_capture\": %.4f, \"snapshot_bytes\": %zu, "
+                 "\"overhead_pct\": %.2f}%s\n",
+                 r.name.c_str(), r.ms,
+                 static_cast<unsigned long long>(r.captures), r.ms_per_capture,
+                 r.snapshot_bytes, r.overhead_pct,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

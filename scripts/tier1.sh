@@ -8,6 +8,15 @@
 # ThreadSanitizer at 4 threads (data races across the round barrier,
 # the sharded interner and the pre-built indexes).
 #
+# The snapshot-format suite (corruption fuzz: truncation, bit flips,
+# checksum-patched mutations) and the crash-point recovery sweep also
+# run under ASan/UBSan — memory bugs in the defensive parser or in
+# interrupt-capture unwinding are exactly what those sanitizers catch.
+# AWR_CRASH_SWEEP_STRIDE thins the exhaustive sweep (every k-th crash
+# charge, endpoints always included) to keep the sanitizer pass inside
+# the time budget; the default (unset = 1) sweep runs in the three
+# un-sanitized ctest passes above it.
+#
 # Usage: scripts/tier1.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,8 +28,13 @@ cmake --build build -j"$(nproc)"
 (cd build && AWR_EVAL_THREADS=4 ctest --output-on-failure -j"$(nproc)")
 
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
-cmake --build build-asan -j"$(nproc)" --target awr_interruption_test
+cmake --build build-asan -j"$(nproc)" \
+  --target awr_interruption_test --target awr_snapshot_test \
+  --target awr_property_test
 (cd build-asan && ctest --output-on-failure -R Interruption)
+(cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
+(cd build-asan && AWR_CRASH_SWEEP_STRIDE=7 \
+  ctest --output-on-failure -R CrashPointRecovery)
 
 cmake -B build-tsan -S . -DAWR_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" \

@@ -2,13 +2,28 @@
 
 namespace awr {
 
+Status ExecutionContext::Annotate(Status st, std::string_view what) const {
+  // All interruption statuses carry the charge site plus enough
+  // positional diagnostics (current round, total charges seen) for an
+  // operator to tell *where* an evaluation died — and for the
+  // checkpoint oracle to correlate a trip with its barrier snapshot.
+  return Status(st.code(), std::string(what) + ": " + std::string(st.message()) +
+                               " (round " + std::to_string(budget_.rounds()) +
+                               ", charge " + std::to_string(total_charges_) +
+                               ")");
+}
+
 Status ExecutionContext::Governance(std::string_view what, bool force_clock) {
+  ++total_charges_;
   // Order matters for testability: the injector sees every charge first
   // (so trip points are dense and deterministic), then the cheap atomic
   // cancellation poll, then the amortized clock read.
-  if (fault_ != nullptr) AWR_RETURN_IF_ERROR(fault_->OnCharge());
+  if (fault_ != nullptr) {
+    Status st = fault_->OnCharge();
+    if (!st.ok()) return Annotate(std::move(st), what);
+  }
   if (cancel_.cancelled()) {
-    return Status::Cancelled(std::string(what) + ": cancelled by caller");
+    return Annotate(Status::Cancelled("cancelled by caller"), what);
   }
   if (has_deadline_) {
     // Consult the clock on the very first charge (engines that only
@@ -18,8 +33,8 @@ Status ExecutionContext::Governance(std::string_view what, bool force_clock) {
     bool read_clock = force_clock || clock_phase_ == 0;
     if (++clock_phase_ >= kClockStride) clock_phase_ = 0;
     if (read_clock && Clock::now() >= deadline_) {
-      return Status::DeadlineExceeded(std::string(what) +
-                                      ": wall-clock deadline exceeded");
+      return Annotate(Status::DeadlineExceeded("wall-clock deadline exceeded"),
+                      what);
     }
   }
   return Status::OK();

@@ -181,10 +181,12 @@ class ExecutionContext {
     AWR_RETURN_IF_ERROR(Governance(what, /*force_clock=*/false));
     if (bytes_in_use > high_water_bytes_) high_water_bytes_ = bytes_in_use;
     if (bytes_in_use > budget_.limits().max_bytes) {
-      return Status::ResourceExhausted(
-          std::string(what) + ": live state ~" + std::to_string(bytes_in_use) +
-          " bytes exceeds max_bytes=" +
-          std::to_string(budget_.limits().max_bytes));
+      return Annotate(
+          Status::ResourceExhausted(
+              "live state ~" + std::to_string(bytes_in_use) +
+              " bytes exceeds max_bytes=" +
+              std::to_string(budget_.limits().max_bytes)),
+          what);
     }
     return Status::OK();
   }
@@ -199,6 +201,17 @@ class ExecutionContext {
   /// Introspection ----------------------------------------------------
   size_t rounds() const { return budget_.rounds(); }
   size_t facts() const { return budget_.facts(); }
+  /// Total governance checks performed through this context (every
+  /// ChargeRound / ChargeFacts / ChargeMemory / CheckInterrupt).  This
+  /// is the same sequence a FaultInjector counts, which is what makes
+  /// it the right coordinate for checkpoint/resume charge-parity
+  /// accounting: a snapshot records the barrier's charge index, and an
+  /// uninterrupted run's total equals barrier index + resumed charges.
+  /// Note: ParallelGovernor's lock-free cancellation fast path (taken
+  /// only when no injector and no deadline are set) bypasses this
+  /// counter, so under plain parallel cancellation it undercounts; every
+  /// configuration the parity oracle measures routes through here.
+  size_t total_charges() const { return total_charges_; }
   size_t high_water_bytes() const { return high_water_bytes_; }
   const EvalLimits& limits() const { return budget_.limits(); }
   bool has_deadline() const { return has_deadline_; }
@@ -212,12 +225,17 @@ class ExecutionContext {
 
   Status Governance(std::string_view what, bool force_clock);
 
+  /// Stamps an interruption status with the charge site and the current
+  /// round / charge coordinates.
+  Status Annotate(Status st, std::string_view what) const;
+
   EvalBudget budget_;
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   CancelToken cancel_;
   FaultInjector* fault_ = nullptr;  // borrowed
   size_t high_water_bytes_ = 0;
+  size_t total_charges_ = 0;
   uint32_t clock_phase_ = 0;
 };
 
@@ -259,9 +277,14 @@ class ParallelGovernor {
     if (parent_ == nullptr) return Status::OK();
     if (parent_->fault_injector() == nullptr && !parent_->has_deadline()) {
       // Stateless fast path: only the cancellation token can fire, and
-      // it is an atomic read.  The message matches the context's own.
+      // it is an atomic read.  The message matches the context's own
+      // format; the coordinates are best-effort reads of counters the
+      // driver thread owns (fast-path polls themselves are uncounted).
       if (parent_->cancel_token().cancelled()) {
-        return Status::Cancelled(std::string(what) + ": cancelled by caller");
+        return Status::Cancelled(
+            std::string(what) + ": cancelled by caller (round " +
+            std::to_string(parent_->rounds()) + ", charge " +
+            std::to_string(parent_->total_charges()) + ")");
       }
       return Status::OK();
     }

@@ -42,6 +42,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues `task` and returns the future that completes when it ran.
+  /// A task that throws never terminates the process or wedges the
+  /// pool: the exception is captured into the returned future (and
+  /// rethrown by future::get), the worker thread survives, and
+  /// destruction still drains and joins cleanly even when such futures
+  /// were discarded unobserved.
   std::future<void> Submit(std::function<void()> task);
 
   /// Number of worker threads.

@@ -8,10 +8,11 @@
 
 namespace awr::datalog {
 
-Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
-                                                  const Database& edb,
-                                                  const EvalOptions& opts,
-                                                  size_t* rounds_out) {
+namespace {
+
+Result<Interpretation> EvalInflationaryImpl(
+    const Program& program, const Database& edb, const EvalOptions& opts,
+    size_t* rounds_out, const snapshot::EvalSnapshot* resume) {
   AWR_ASSIGN_OR_RETURN(std::vector<PlannedRule> rules, PlanProgram(program));
   ExecutionContext local_ctx(opts.limits);
   ExecutionContext* ctx = opts.context != nullptr ? opts.context : &local_ctx;
@@ -27,22 +28,60 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
   std::optional<ParallelGovernor> governor;
   if (pool != nullptr) governor.emplace(ctx);
 
+  snapshot::CheckpointDriver driver(opts.checkpoint);
+  uint64_t program_fp = 0;
+  uint64_t edb_fp = 0;
+  if (driver.active()) {
+    program_fp = snapshot::ProgramFingerprint(program);
+    edb_fp = snapshot::DatabaseFingerprint(edb);
+  }
+
   Interpretation interp = edb;
   size_t rounds = 0;
+  if (resume != nullptr) {
+    interp = resume->inner.interp;
+    rounds = resume->inner.rounds_done;
+  }
+  uint64_t barrier_charges = ctx->total_charges();
+  // A snapshot of the inflationary fixpoint is just the accumulated
+  // interpretation plus the completed-round count: the operator is
+  // memoryless round to round (Thm 3.1's stages).
+  auto build = [&](const Interpretation& barrier_interp,
+                   size_t rounds_done) {
+    snapshot::EvalSnapshot s;
+    s.engine = snapshot::EngineKind::kInflationary;
+    s.program_fingerprint = program_fp;
+    s.edb_fingerprint = edb_fp;
+    s.charges_at_barrier = barrier_charges;
+    s.inner.seminaive = false;
+    s.inner.rounds_done = rounds_done;
+    s.inner.interp = barrier_interp;
+    return s;
+  };
+
   for (;;) {
-    AWR_RETURN_IF_ERROR(ctx->ChargeRound("inflationary"));
-    AWR_RETURN_IF_ERROR(
-        ctx->ChargeMemory(interp.ApproxBytes(), "inflationary"));
-    // All rules fire simultaneously against the frozen snapshot: both
-    // positive and negative literals read the facts derived so far.
-    const Interpretation snapshot = interp;
+    Status st = ctx->ChargeRound("inflationary");
+    if (!st.ok()) {
+      driver.OnInterrupt([&] { return build(interp, rounds); });
+      return st;
+    }
+    st = ctx->ChargeMemory(interp.ApproxBytes(), "inflationary");
+    if (!st.ok()) {
+      driver.OnInterrupt([&] { return build(interp, rounds); });
+      return st;
+    }
+    // All rules fire simultaneously against the frozen pre-round state:
+    // both positive and negative literals read the facts derived so
+    // far.  The copy is also the barrier state for interrupt capture —
+    // the sequential loop inserts into `interp` mid-round.
+    const Interpretation frozen = interp;
     BodyContext body_ctx{
         &opts.functions,
-        [&snapshot](const std::string& pred, size_t) -> const ValueSet& {
-          return snapshot.Extent(pred);
+        [&frozen](const std::string& pred, size_t) -> const ValueSet& {
+          return frozen.Extent(pred);
         },
-        [&snapshot](const std::string& pred, const Value& fact) {
-          return !snapshot.Holds(pred, fact);
+        [&frozen](const std::string& pred, const Value& fact) {
+          return !frozen.Holds(pred, fact);
         },
         pool != nullptr ? nullptr : ctx, opts.use_join_index};
     size_t added = 0;
@@ -50,15 +89,20 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
       // Because rules read the frozen snapshot and insertions are
       // deferred to the barrier merge, the parallel round computes the
       // same added set (and count: both count facts new to `interp`,
-      // which equals `snapshot` until the merge) as the loop below.
+      // which equals `frozen` until the merge) as the loop below.
       std::deque<ValueSet> chunks;
       std::vector<FireTask> tasks =
           MakeScanSplitTasks(rules, body_ctx, pool->size(), &chunks);
-      AWR_ASSIGN_OR_RETURN(added, RunFireTasks(tasks, body_ctx, snapshot,
-                                               &interp, pool, &*governor));
+      auto merged = RunFireTasks(tasks, body_ctx, frozen, &interp, pool,
+                                 &*governor);
+      if (!merged.ok()) {
+        driver.OnInterrupt([&] { return build(frozen, rounds); });
+        return merged.status();
+      }
+      added = *merged;
     } else {
       for (const PlannedRule& pr : rules) {
-        AWR_RETURN_IF_ERROR(ForEachBodyMatch(
+        Status fired = ForEachBodyMatch(
             pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
               AWR_ASSIGN_OR_RETURN(Value fact,
                                    EvalHead(pr.rule, env, opts.functions));
@@ -67,21 +111,48 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
                 ++added;
               }
               return Status::OK();
-            }));
+            });
+        if (!fired.ok()) {
+          driver.OnInterrupt([&] { return build(frozen, rounds); });
+          return fired;
+        }
       }
     }
     if (added == 0) break;
+    st = ctx->ChargeFacts(added, "inflationary");
+    if (!st.ok()) {
+      driver.OnInterrupt([&] { return build(frozen, rounds); });
+      return st;
+    }
     ++rounds;
-    AWR_RETURN_IF_ERROR(ctx->ChargeFacts(added, "inflationary"));
+    barrier_charges = ctx->total_charges();
+    driver.AtBarrier([&] { return build(interp, rounds); });
   }
   if (rounds_out != nullptr) *rounds_out = rounds;
   return interp;
 }
 
+}  // namespace
+
+Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
+                                                  const Database& edb,
+                                                  const EvalOptions& opts,
+                                                  size_t* rounds_out) {
+  return EvalInflationaryImpl(program, edb, opts, rounds_out, nullptr);
+}
+
 Result<Interpretation> EvalInflationary(const Program& program,
                                         const Database& edb,
                                         const EvalOptions& opts) {
-  return EvalInflationaryWithRounds(program, edb, opts, nullptr);
+  return EvalInflationaryImpl(program, edb, opts, nullptr, nullptr);
+}
+
+Result<Interpretation> EvalInflationaryFrom(const Program& program,
+                                            const Database& edb,
+                                            const EvalOptions& opts,
+                                            const snapshot::EvalSnapshot& resume,
+                                            size_t* rounds_out) {
+  return EvalInflationaryImpl(program, edb, opts, rounds_out, &resume);
 }
 
 }  // namespace awr::datalog

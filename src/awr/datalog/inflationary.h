@@ -28,6 +28,13 @@ Result<Interpretation> EvalInflationaryWithRounds(const Program& program,
                                                   const EvalOptions& opts,
                                                   size_t* rounds_out);
 
+/// Continues an inflationary evaluation from a round-barrier snapshot
+/// previously captured via EvalOptions::checkpoint (see
+/// snapshot::ResumeInflationary for the validating entry point).
+Result<Interpretation> EvalInflationaryFrom(
+    const Program& program, const Database& edb, const EvalOptions& opts,
+    const snapshot::EvalSnapshot& resume, size_t* rounds_out = nullptr);
+
 }  // namespace awr::datalog
 
 #endif  // AWR_DATALOG_INFLATIONARY_H_

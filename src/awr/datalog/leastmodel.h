@@ -9,6 +9,7 @@
 #include "awr/datalog/database.h"
 #include "awr/datalog/eval_core.h"
 #include "awr/datalog/functions.h"
+#include "awr/snapshot/state.h"
 
 namespace awr {
 class ThreadPool;
@@ -63,6 +64,24 @@ struct EvalOptions {
   /// hoist one pool across all calls.  When null and num_threads > 1,
   /// each evaluation builds its own.
   ThreadPool* pool = nullptr;
+  /// Checkpointing policy (DESIGN.md §9): with a sink attached, the
+  /// top-level engines (EvalMinimalModel / EvalInflationary /
+  /// EvalStratified / EvalWellFounded) capture resumable round-barrier
+  /// snapshots every N rounds and/or when a charge interrupts the
+  /// evaluation; snapshot::Resume* continues from one under fresh
+  /// options and produces a model byte-identical to an uninterrupted
+  /// run.  Without a sink (the default) no state is ever copied.
+  snapshot::CheckpointPolicy checkpoint;
+};
+
+/// Internal plumbing between the top-level engines and the least-model
+/// fixpoint loop: optional checkpoint callbacks planted by the owning
+/// engine, and an optional frame to resume from instead of starting at
+/// round 0.  Both are borrowed and may be null.  Callers outside the
+/// engines use EvalOptions::checkpoint / snapshot::Resume* instead.
+struct LeastModelControl {
+  const snapshot::CheckpointHooks* hooks = nullptr;
+  const snapshot::LeastModelFrame* resume = nullptr;
 };
 
 /// Computes the least model of `rules` + `edb` where every *negative*
@@ -83,7 +102,7 @@ struct EvalOptions {
 Result<Interpretation> LeastModelWithFrozenNegation(
     const std::vector<PlannedRule>& rules, const Interpretation& base,
     const Interpretation& neg_context, const EvalOptions& opts,
-    ExecutionContext* ctx);
+    ExecutionContext* ctx, const LeastModelControl& control = {});
 
 /// Compatibility overload for callers still holding a bare EvalBudget:
 /// runs under a private ExecutionContext carrying the budget's remaining
@@ -101,6 +120,17 @@ Result<Interpretation> LeastModelWithFrozenNegation(
 Result<Interpretation> EvalMinimalModel(const Program& program,
                                         const Database& edb,
                                         const EvalOptions& opts = {});
+
+/// Continues a minimal-model evaluation from a round-barrier snapshot
+/// previously captured via EvalOptions::checkpoint.  The caller is
+/// responsible for validating that `resume` matches this program/edb
+/// (snapshot::ResumeMinimalModel does); the remaining rounds charge
+/// whatever governance `opts` carries, so the resumed run's charges plus
+/// the snapshot's charges_at_barrier equal an uninterrupted run's total.
+Result<Interpretation> EvalMinimalModelFrom(const Program& program,
+                                            const Database& edb,
+                                            const EvalOptions& opts,
+                                            const snapshot::EvalSnapshot& resume);
 
 }  // namespace awr::datalog
 

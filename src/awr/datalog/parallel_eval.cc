@@ -1,6 +1,7 @@
 #include "awr/datalog/parallel_eval.h"
 
 #include <algorithm>
+#include <exception>
 #include <future>
 #include <utility>
 
@@ -170,7 +171,26 @@ Result<size_t> RunFireTasks(const std::vector<FireTask>& tasks,
     }
     // The round barrier: every task runs to completion (aborting
     // siblings mid-round would make poll counts depend on scheduling).
-    for (std::future<void>& f : futures) f.get();
+    // future::get rethrows anything a task threw; exceptions never
+    // cross the library boundary, so convert the first one to a Status
+    // — after draining the remaining futures, or the pool would still
+    // hold references to this frame's state when we unwind.
+    Status thrown = Status::OK();
+    for (std::future<void>& f : futures) {
+      try {
+        f.get();
+      } catch (const std::exception& e) {
+        if (thrown.ok()) {
+          thrown = Status::Internal(std::string("parallel task threw: ") +
+                                    e.what());
+        }
+      } catch (...) {
+        if (thrown.ok()) {
+          thrown = Status::Internal("parallel task threw a non-exception");
+        }
+      }
+    }
+    if (!thrown.ok()) return thrown;
   }
 
   // First non-OK in task order; nothing merged on error — the caller

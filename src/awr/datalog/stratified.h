@@ -18,6 +18,16 @@ Result<Interpretation> EvalStratified(const Program& program,
                                       const Database& edb,
                                       const EvalOptions& opts = {});
 
+/// Continues a stratified evaluation from a round-barrier snapshot
+/// previously captured via EvalOptions::checkpoint: re-enters the
+/// recorded stratum with its frozen negation context and inner
+/// least-model frame, then runs the remaining strata normally (see
+/// snapshot::ResumeStratified for the validating entry point).
+Result<Interpretation> EvalStratifiedFrom(const Program& program,
+                                          const Database& edb,
+                                          const EvalOptions& opts,
+                                          const snapshot::EvalSnapshot& resume);
+
 }  // namespace awr::datalog
 
 #endif  // AWR_DATALOG_STRATIFIED_H_

@@ -41,6 +41,15 @@ Result<ThreeValuedInterp> EvalWellFounded(const Program& program,
                                           const Database& edb,
                                           const EvalOptions& opts = {});
 
+/// Continues a well-founded evaluation from a snapshot previously
+/// captured via EvalOptions::checkpoint: restores the alternation phase
+/// (I_k, I_{k-1}) and, when the snapshot was taken inside an alternation
+/// step, re-enters that step's least-model fixpoint mid-flight (see
+/// snapshot::ResumeWellFounded for the validating entry point).
+Result<ThreeValuedInterp> EvalWellFoundedFrom(
+    const Program& program, const Database& edb, const EvalOptions& opts,
+    const snapshot::EvalSnapshot& resume);
+
 /// The valid model of a deductive program (paper §2.2).  See
 /// EvalWellFounded for the computation and the precise relationship.
 inline Result<ThreeValuedInterp> EvalValid(const Program& program,

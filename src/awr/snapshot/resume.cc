@@ -1,0 +1,67 @@
+#include "awr/snapshot/resume.h"
+
+#include "awr/datalog/inflationary.h"
+#include "awr/datalog/stratified.h"
+#include "awr/datalog/wellfounded.h"
+
+namespace awr::snapshot {
+namespace {
+
+Status Validate(const EvalSnapshot& snap, EngineKind expected,
+                const datalog::Program& program,
+                const datalog::Database& edb) {
+  if (snap.engine != expected) {
+    return Status::InvalidArgument(
+        "resume: snapshot was captured by the " +
+        std::string(EngineKindToString(snap.engine)) +
+        " engine, cannot resume as " +
+        std::string(EngineKindToString(expected)));
+  }
+  if (snap.program_fingerprint != ProgramFingerprint(program)) {
+    return Status::InvalidArgument(
+        "resume: program fingerprint mismatch — snapshot was captured "
+        "against a different program");
+  }
+  if (snap.edb_fingerprint != DatabaseFingerprint(edb)) {
+    return Status::InvalidArgument(
+        "resume: database fingerprint mismatch — snapshot was captured "
+        "against a different EDB");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<datalog::Interpretation> ResumeMinimalModel(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts) {
+  AWR_RETURN_IF_ERROR(Validate(snap, EngineKind::kLeastModel, program, edb));
+  return datalog::EvalMinimalModelFrom(program, edb, opts, snap);
+}
+
+Result<datalog::Interpretation> ResumeInflationary(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts) {
+  AWR_RETURN_IF_ERROR(Validate(snap, EngineKind::kInflationary, program, edb));
+  return datalog::EvalInflationaryFrom(program, edb, opts, snap);
+}
+
+Result<datalog::Interpretation> ResumeStratified(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts) {
+  AWR_RETURN_IF_ERROR(Validate(snap, EngineKind::kStratified, program, edb));
+  if (!snap.inner_active) {
+    return Status::InvalidArgument(
+        "resume: stratified snapshot must carry an in-flight stratum frame");
+  }
+  return datalog::EvalStratifiedFrom(program, edb, opts, snap);
+}
+
+Result<datalog::ThreeValuedInterp> ResumeWellFounded(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts) {
+  AWR_RETURN_IF_ERROR(Validate(snap, EngineKind::kWellFounded, program, edb));
+  return datalog::EvalWellFoundedFrom(program, edb, opts, snap);
+}
+
+}  // namespace awr::snapshot

@@ -1,0 +1,49 @@
+#ifndef AWR_SNAPSHOT_RESUME_H_
+#define AWR_SNAPSHOT_RESUME_H_
+
+#include "awr/common/result.h"
+#include "awr/datalog/ast.h"
+#include "awr/datalog/database.h"
+#include "awr/datalog/leastmodel.h"
+#include "awr/snapshot/state.h"
+
+namespace awr::snapshot {
+
+/// Continues an interrupted evaluation from a round-barrier snapshot,
+/// producing a model byte-identical to an uninterrupted run of the same
+/// engine over the same program and database.
+///
+/// Each entry point validates the snapshot first — the engine tag must
+/// match and the program/edb fingerprints must equal those recorded at
+/// capture time (kInvalidArgument otherwise) — then re-enters the
+/// engine's fixpoint loop at the recorded barrier.  The resumed rounds
+/// run under whatever governance `opts` carries (typically a fresh
+/// ExecutionContext with a new budget); the charges they perform are
+/// exactly the ones the interrupted run had not yet completed, so
+/// snapshot.charges_at_barrier + resumed charges equals an
+/// uninterrupted run's total (the crash-point oracle's parity check).
+///
+/// `opts.seminaive` is overridden by the snapshot's frame where the
+/// frame dictates the iteration mode; all other options (threads, pool,
+/// join indexing, functions, checkpoint policy) apply as given —
+/// resumed evaluations may themselves checkpoint.
+
+Result<datalog::Interpretation> ResumeMinimalModel(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts = {});
+
+Result<datalog::Interpretation> ResumeInflationary(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts = {});
+
+Result<datalog::Interpretation> ResumeStratified(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts = {});
+
+Result<datalog::ThreeValuedInterp> ResumeWellFounded(
+    const datalog::Program& program, const datalog::Database& edb,
+    const EvalSnapshot& snap, const datalog::EvalOptions& opts = {});
+
+}  // namespace awr::snapshot
+
+#endif  // AWR_SNAPSHOT_RESUME_H_

@@ -1,0 +1,65 @@
+#include "awr/value/value_codec.h"
+
+namespace awr {
+
+Result<Value> ValueDecoder::DecodeAt(int depth) {
+  if (depth > kMaxDepth) {
+    return Status::InvalidArgument(
+        "snapshot decode: value nesting exceeds depth limit");
+  }
+  uint8_t tag = 0;
+  AWR_RETURN_IF_ERROR(in_->U8(&tag));
+  switch (static_cast<ValueKind>(tag)) {
+    case ValueKind::kBool: {
+      uint8_t b = 0;
+      AWR_RETURN_IF_ERROR(in_->U8(&b));
+      if (b > 1) {
+        return Status::InvalidArgument(
+            "snapshot decode: boolean payload must be 0 or 1, got " +
+            std::to_string(int(b)));
+      }
+      return Value::Boolean(b != 0);
+    }
+    case ValueKind::kInt: {
+      int64_t i = 0;
+      AWR_RETURN_IF_ERROR(in_->I64(&i));
+      return Value::Int(i);
+    }
+    case ValueKind::kAtom: {
+      uint32_t ref = 0;
+      AWR_RETURN_IF_ERROR(in_->U32(&ref));
+      if (ref >= table_->size()) {
+        return Status::InvalidArgument(
+            "snapshot decode: atom reference " + std::to_string(ref) +
+            " outside string table of " + std::to_string(table_->size()));
+      }
+      return Value::Atom((*table_)[ref]);
+    }
+    case ValueKind::kTuple:
+    case ValueKind::kSet: {
+      uint32_t count = 0;
+      AWR_RETURN_IF_ERROR(in_->U32(&count));
+      // Every element occupies at least one tag byte, so a count larger
+      // than the remaining input is corrupt — reject before reserving.
+      if (count > in_->remaining()) {
+        return Status::InvalidArgument(
+            "snapshot decode: container count " + std::to_string(count) +
+            " exceeds remaining " + std::to_string(in_->remaining()) +
+            " bytes");
+      }
+      std::vector<Value> items;
+      items.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        AWR_ASSIGN_OR_RETURN(Value item, DecodeAt(depth + 1));
+        items.push_back(std::move(item));
+      }
+      return static_cast<ValueKind>(tag) == ValueKind::kTuple
+                 ? Value::Tuple(std::move(items))
+                 : Value::Set(std::move(items));
+    }
+  }
+  return Status::InvalidArgument("snapshot decode: unknown value tag " +
+                                 std::to_string(int(tag)));
+}
+
+}  // namespace awr

@@ -214,10 +214,13 @@ TEST(ContextTest, FaultInjectorTripsExactlyOnNthCharge) {
   EXPECT_TRUE(ctx.ChargeFacts(5, "t").ok());
   Status st = ctx.ChargeRound("t");
   EXPECT_TRUE(st.IsInternal());
-  EXPECT_EQ(st.message(), "boom");
+  // The context annotates the injected fault with the charge site and
+  // the round/charge coordinates where evaluation died.
+  EXPECT_EQ(st.message(), "t: boom (round 0, charge 3)");
   // Past its trip point the injector is inert but keeps counting.
   EXPECT_TRUE(ctx.CheckInterrupt("t").ok());
   EXPECT_EQ(injector.charges_seen(), 4u);
+  EXPECT_EQ(ctx.total_charges(), 4u);
 }
 
 TEST(ContextTest, ChargeMemoryTracksHighWaterAndTrips) {

@@ -5,6 +5,7 @@
 // contract".
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <set>
@@ -22,6 +23,8 @@
 #include "awr/datalog/stable.h"
 #include "awr/datalog/stratified.h"
 #include "awr/datalog/wellfounded.h"
+#include "awr/snapshot/resume.h"
+#include "awr/snapshot/state.h"
 #include "awr/spec/builtin_specs.h"
 #include "awr/spec/rewrite.h"
 #include "awr/spec/valid_interp.h"
@@ -37,6 +40,7 @@ using datalog::EvalStableModels;
 using datalog::EvalStratified;
 using datalog::EvalWellFounded;
 using datalog::GroundProgramFor;
+using datalog::Interpretation;
 using datalog::Program;
 
 // ----------------------------------------------------------------------
@@ -383,6 +387,99 @@ TEST(InterruptionTest, NoContextPathStillEnforcesBudgets) {
   opts.limits = EvalLimits::Tiny();
   Status st = EvalMinimalModel(EvenProgram(), {}, opts).status();
   EXPECT_TRUE(st.IsResourceExhausted()) << st;
+}
+
+// 9. Diagnostics: every interruption status carries the engine's charge
+//    site and the (round, charge) coordinates where evaluation died —
+//    enough to pick a crash-point sweep trip index from a log line.
+
+TEST(InterruptionTest, InterruptionStatusesCarryRoundAndChargeCoordinates) {
+  for (const EngineCase& engine : AllEngines()) {
+    FaultInjector injector;
+    injector.TripAt(1, Status::Internal("injected fault"));
+    ExecutionContext ctx;
+    ctx.set_fault_injector(&injector);
+    Status st = engine.run(&ctx);
+    EXPECT_TRUE(st.IsInternal()) << engine.name << ": " << st;
+    EXPECT_NE(st.message().find("injected fault"), std::string::npos)
+        << engine.name << ": " << st;
+    EXPECT_NE(st.message().find("(round "), std::string::npos)
+        << engine.name << ": " << st;
+    EXPECT_NE(st.message().find(", charge "), std::string::npos)
+        << engine.name << ": " << st;
+
+    ExecutionContext expired;
+    expired.set_deadline(ExecutionContext::Clock::now() -
+                         std::chrono::milliseconds(1));
+    st = engine.run(&expired);
+    EXPECT_TRUE(st.IsDeadlineExceeded()) << engine.name << ": " << st;
+    EXPECT_NE(st.message().find("(round "), std::string::npos)
+        << engine.name << ": " << st;
+  }
+}
+
+// 10. Atomicity: a memory-budget trip mid-round leaves no partial state
+//     behind — the caller's database is untouched, the captured
+//     snapshot is a genuine round barrier (one of the states an
+//     uninterrupted run passes through), and resuming it under a larger
+//     budget completes to the uninterrupted model.
+
+TEST(InterruptionTest, MemoryTripIsAtomicAtRoundBarriers) {
+  const Program tc = TcProgram();
+  const Database edb = ChainEdges(16);
+  const std::string edb_before = edb.ToString();
+
+  // Uninterrupted run, checkpointing every round: the full barrier
+  // history, i.e. every state naive iteration passes through.
+  struct HistorySink : snapshot::CheckpointSink {
+    void Store(snapshot::EvalSnapshot s) override {
+      history.push_back(s.inner.interp.ToString());
+      snapshot::CheckpointSink::Store(std::move(s));
+    }
+    std::vector<std::string> history;
+  };
+  HistorySink history;
+  EvalOptions full_opts;
+  full_opts.seminaive = false;
+  full_opts.checkpoint.sink = &history;
+  full_opts.checkpoint.every_n_rounds = 1;
+  auto full = EvalMinimalModel(tc, edb, full_opts);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_FALSE(history.history.empty());
+
+  // Now trip the memory budget mid-evaluation.
+  EvalLimits limits = EvalLimits::Large();
+  limits.max_bytes = 4096;
+  ExecutionContext ctx(limits);
+  snapshot::CheckpointSink sink;
+  EvalOptions opts;
+  opts.seminaive = false;
+  opts.context = &ctx;
+  opts.checkpoint.sink = &sink;
+  opts.checkpoint.every_n_rounds = 0;
+  Status st = EvalMinimalModel(tc, edb, opts).status();
+  ASSERT_TRUE(st.IsResourceExhausted()) << st;
+
+  // No partial facts leaked into the caller's database.
+  EXPECT_EQ(edb.ToString(), edb_before);
+
+  // The captured state is a barrier an uninterrupted run also reaches —
+  // never a mid-round partial (the initial base state counts: a trip
+  // before the first barrier captures rounds_done == 0).
+  ASSERT_TRUE(sink.latest.has_value());
+  const std::string captured = sink.latest->inner.interp.ToString();
+  bool is_initial = captured == Interpretation(edb).ToString();
+  bool is_history_barrier =
+      std::find(history.history.begin(), history.history.end(), captured) !=
+      history.history.end();
+  EXPECT_TRUE(is_initial || is_history_barrier)
+      << "captured state is not a round barrier:\n"
+      << captured;
+
+  // Resuming under a roomier budget finishes the job exactly.
+  auto resumed = snapshot::ResumeMinimalModel(tc, edb, *sink.latest);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_EQ(resumed->ToString(), full->ToString());
 }
 
 }  // namespace

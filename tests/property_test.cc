@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <set>
 #include <string>
@@ -45,6 +46,9 @@
 #include "awr/datalog/stable.h"
 #include "awr/datalog/stratified.h"
 #include "awr/datalog/wellfounded.h"
+#include "awr/snapshot/resume.h"
+#include "awr/snapshot/snapshot.h"
+#include "awr/snapshot/state.h"
 #include "awr/translate/datalog_to_alg.h"
 #include "awr/translate/step_index.h"
 
@@ -876,6 +880,223 @@ TEST(ScanVsIndexGovernance, FaultSweepStatusesIdenticalAcrossPaths) {
     }
   }
 }
+
+// ----------------------------------------------------------------------
+// Crash-point recovery oracle (DESIGN.md §9).  For each engine: a
+// disarmed fault injector learns the total number of governance charges
+// N an uninterrupted run performs, then the sweep kills the evaluation
+// at charge k for every k in [1, N] (strided via AWR_CRASH_SWEEP_STRIDE
+// to bound sanitizer-build time; endpoints and the first rounds always
+// included), captures the on-interrupt snapshot, round-trips it through
+// the byte format, resumes under a fresh context, and requires
+//  (a) the resumed model to render byte-identical to the oracle, and
+//  (b) charge-count parity: charges_at_barrier + resumed charges == N —
+//      i.e. a resumed run re-executes exactly the charges the killed
+//      run had not completed, no more and no fewer.
+
+struct CpEngine {
+  std::string name;
+  // Runs the engine to completion (or interruption) and renders the
+  // model deterministically; on error the snapshot, if any, is in the
+  // options' sink.
+  std::function<Result<std::string>(ExecutionContext*, datalog::EvalOptions)>
+      run;
+  // Resumes from a snapshot and renders the final model the same way.
+  std::function<Result<std::string>(const snapshot::EvalSnapshot&,
+                                    datalog::EvalOptions)>
+      resume;
+};
+
+std::string RenderInterp(const datalog::Interpretation& interp) {
+  return interp.ToString();
+}
+
+std::string RenderThreeValued(const datalog::ThreeValuedInterp& tv) {
+  return "certain:\n" + tv.certain.ToString() + "possible:\n" +
+         tv.possible.ToString();
+}
+
+std::vector<CpEngine> CrashPointEngines() {
+  auto tc = *datalog::ParseProgram(R"(
+    tc(X, Y) :- edge(X, Y).
+    tc(X, Z) :- edge(X, Y), tc(Y, Z).
+  )");
+  Database edges;
+  for (int i = 0; i < 6; ++i) {
+    edges.AddFact("edge", {Value::Int(i), Value::Int(i + 1)});
+  }
+  auto reach = *datalog::ParseProgram(R"(
+    reach(X) :- source(X).
+    reach(Y) :- reach(X), edge(X, Y).
+    unreached(X) :- node(X), not reach(X).
+  )");
+  Database reach_db = edges;
+  for (int i = 0; i <= 6; ++i) reach_db.AddFact("node", {Value::Int(i)});
+  reach_db.AddFact("source", {Value::Int(0)});
+  auto game = *datalog::ParseProgram("win(X) :- move(X, Y), not win(Y).");
+  Database game_db;
+  game_db.AddFact("move", {Value::Int(1), Value::Int(2)});
+  game_db.AddFact("move", {Value::Int(2), Value::Int(3)});
+  game_db.AddFact("move", {Value::Int(3), Value::Int(4)});
+  game_db.AddFact("move", {Value::Int(4), Value::Int(3)});
+
+  std::vector<CpEngine> out;
+  out.push_back(
+      {"least-model(seminaive)",
+       [=](ExecutionContext* ctx, datalog::EvalOptions o) -> Result<std::string> {
+         o.context = ctx;
+         AWR_ASSIGN_OR_RETURN(auto m, datalog::EvalMinimalModel(tc, edges, o));
+         return RenderInterp(m);
+       },
+       [=](const snapshot::EvalSnapshot& s,
+           datalog::EvalOptions o) -> Result<std::string> {
+         AWR_ASSIGN_OR_RETURN(auto m,
+                              snapshot::ResumeMinimalModel(tc, edges, s, o));
+         return RenderInterp(m);
+       }});
+  out.push_back(
+      {"least-model(naive)",
+       [=](ExecutionContext* ctx, datalog::EvalOptions o) -> Result<std::string> {
+         o.context = ctx;
+         o.seminaive = false;
+         AWR_ASSIGN_OR_RETURN(auto m, datalog::EvalMinimalModel(tc, edges, o));
+         return RenderInterp(m);
+       },
+       [=](const snapshot::EvalSnapshot& s,
+           datalog::EvalOptions o) -> Result<std::string> {
+         // Resume derives the iteration mode from the frame, not the
+         // caller's options.
+         AWR_ASSIGN_OR_RETURN(auto m,
+                              snapshot::ResumeMinimalModel(tc, edges, s, o));
+         return RenderInterp(m);
+       }});
+  out.push_back(
+      {"stratified",
+       [=](ExecutionContext* ctx, datalog::EvalOptions o) -> Result<std::string> {
+         o.context = ctx;
+         AWR_ASSIGN_OR_RETURN(auto m,
+                              datalog::EvalStratified(reach, reach_db, o));
+         return RenderInterp(m);
+       },
+       [=](const snapshot::EvalSnapshot& s,
+           datalog::EvalOptions o) -> Result<std::string> {
+         AWR_ASSIGN_OR_RETURN(
+             auto m, snapshot::ResumeStratified(reach, reach_db, s, o));
+         return RenderInterp(m);
+       }});
+  out.push_back(
+      {"inflationary",
+       [=](ExecutionContext* ctx, datalog::EvalOptions o) -> Result<std::string> {
+         o.context = ctx;
+         AWR_ASSIGN_OR_RETURN(auto m,
+                              datalog::EvalInflationary(game, game_db, o));
+         return RenderInterp(m);
+       },
+       [=](const snapshot::EvalSnapshot& s,
+           datalog::EvalOptions o) -> Result<std::string> {
+         AWR_ASSIGN_OR_RETURN(
+             auto m, snapshot::ResumeInflationary(game, game_db, s, o));
+         return RenderInterp(m);
+       }});
+  out.push_back(
+      {"well-founded",
+       [=](ExecutionContext* ctx, datalog::EvalOptions o) -> Result<std::string> {
+         o.context = ctx;
+         AWR_ASSIGN_OR_RETURN(auto m,
+                              datalog::EvalWellFounded(game, game_db, o));
+         return RenderThreeValued(m);
+       },
+       [=](const snapshot::EvalSnapshot& s,
+           datalog::EvalOptions o) -> Result<std::string> {
+         AWR_ASSIGN_OR_RETURN(
+             auto m, snapshot::ResumeWellFounded(game, game_db, s, o));
+         return RenderThreeValued(m);
+       }});
+  return out;
+}
+
+/// Sweep stride for the crash-point oracle: 1 (exhaustive) by default;
+/// scripts/tier1.sh sets AWR_CRASH_SWEEP_STRIDE to thin the sweep under
+/// sanitizers.  Charges 1, 2, N-1 and N are always included.
+size_t CrashSweepStride() {
+  const char* env = std::getenv("AWR_CRASH_SWEEP_STRIDE");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(env, &end, 10);
+  if (end == env || n == 0) return 1;
+  return static_cast<size_t>(n);
+}
+
+void RunCrashPointSweep(size_t threads) {
+  const size_t stride = CrashSweepStride();
+  for (const CpEngine& engine : CrashPointEngines()) {
+    // Uninterrupted oracle: learn N and the reference rendering.  The
+    // injector stays armed-but-disarmed so both paths count charges the
+    // same way (the lock-free cancel fast path skips the counter).
+    FaultInjector oracle_injector;
+    oracle_injector.Disarm();
+    ExecutionContext oracle_ctx(EvalLimits::Default());
+    oracle_ctx.set_fault_injector(&oracle_injector);
+    auto oracle = engine.run(&oracle_ctx, ThreadOpts(threads));
+    ASSERT_TRUE(oracle.ok()) << engine.name << ": " << oracle.status();
+    const size_t n = oracle_injector.charges_seen();
+    ASSERT_GT(n, 0u) << engine.name;
+
+    std::set<size_t> trip_points;
+    for (size_t k = 1; k <= n; k += stride) trip_points.insert(k);
+    trip_points.insert(1);
+    trip_points.insert(std::min<size_t>(2, n));
+    trip_points.insert(n > 1 ? n - 1 : 1);
+    trip_points.insert(n);
+
+    for (size_t k : trip_points) {
+      SCOPED_TRACE(engine.name + " threads=" + std::to_string(threads) +
+                   " crash at charge " + std::to_string(k) + "/" +
+                   std::to_string(n));
+      // Crash at charge k with on-interrupt capture armed.
+      FaultInjector injector;
+      injector.TripAt(k, Status::Internal("injected fault"));
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      snapshot::CheckpointSink sink;
+      datalog::EvalOptions opts = ThreadOpts(threads);
+      opts.checkpoint.sink = &sink;
+      opts.checkpoint.on_interrupt = true;
+      opts.checkpoint.every_n_rounds = 0;
+      auto crashed = engine.run(&ctx, opts);
+      ASSERT_FALSE(crashed.ok());
+      EXPECT_EQ(crashed.status().code(), StatusCode::kInternal)
+          << crashed.status();
+      ASSERT_TRUE(sink.latest.has_value());
+
+      // The snapshot must survive the byte format round trip.
+      auto bytes = snapshot::Serialize(*sink.latest);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      auto loaded = snapshot::Deserialize(*bytes);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+      // Resume under a fresh context; a disarmed injector counts the
+      // resumed charges.
+      FaultInjector resumed_injector;
+      resumed_injector.Disarm();
+      ExecutionContext resumed_ctx(EvalLimits::Default());
+      resumed_ctx.set_fault_injector(&resumed_injector);
+      datalog::EvalOptions resume_opts = ThreadOpts(threads);
+      resume_opts.context = &resumed_ctx;
+      auto resumed = engine.resume(*loaded, resume_opts);
+      ASSERT_TRUE(resumed.ok()) << resumed.status();
+      EXPECT_EQ(*resumed, *oracle);
+      EXPECT_EQ(loaded->charges_at_barrier + resumed_injector.charges_seen(),
+                n)
+          << "charge parity: barrier=" << loaded->charges_at_barrier
+          << " resumed=" << resumed_injector.charges_seen();
+    }
+  }
+}
+
+TEST(CrashPointRecovery, SweepSequential) { RunCrashPointSweep(1); }
+
+TEST(CrashPointRecovery, SweepFourThreads) { RunCrashPointSweep(4); }
 
 }  // namespace
 }  // namespace awr
