@@ -7,6 +7,7 @@
 //   ?pred                        show pred's extent under the chosen semantics
 //   :semantics valid|stratified|inflationary|stable
 //   :list                        show the current program
+//   :stats                       interner occupancy / hit rate, index counts
 //   :clear                       drop all rules
 //   :quit
 //
@@ -15,10 +16,12 @@
 //   > win(X) :- move(X, Y), not win(Y).
 //   > ?win
 //   win: certain {<b>}  undefined {}
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "awr/common/intern.h"
 #include "awr/datalog/inflationary.h"
 #include "awr/datalog/parser.h"
 #include "awr/datalog/stable.h"
@@ -32,7 +35,7 @@ namespace {
 enum class Semantics { kValid, kStratified, kInflationary, kStable };
 
 void ShowPredicate(const datalog::Program& program, const std::string& pred,
-                   Semantics semantics) {
+                   Semantics semantics, datalog::Interpretation* last_model) {
   datalog::Database empty_edb;  // facts live in the program as rules
   switch (semantics) {
     case Semantics::kValid: {
@@ -48,6 +51,7 @@ void ShowPredicate(const datalog::Program& program, const std::string& pred,
         std::cout << "  undefined " << undef.Extent(pred).ToString();
       }
       std::cout << "\n";
+      *last_model = std::move(wfs->certain);
       return;
     }
     case Semantics::kStratified: {
@@ -57,6 +61,7 @@ void ShowPredicate(const datalog::Program& program, const std::string& pred,
         return;
       }
       std::cout << pred << ": " << r->Extent(pred).ToString() << "\n";
+      *last_model = *std::move(r);
       return;
     }
     case Semantics::kInflationary: {
@@ -66,6 +71,7 @@ void ShowPredicate(const datalog::Program& program, const std::string& pred,
         return;
       }
       std::cout << pred << ": " << r->Extent(pred).ToString() << "\n";
+      *last_model = *std::move(r);
       return;
     }
     case Semantics::kStable: {
@@ -78,9 +84,32 @@ void ShowPredicate(const datalog::Program& program, const std::string& pred,
       for (const auto& m : *models) {
         std::cout << "  " << m.Extent(pred).ToString() << "\n";
       }
+      if (!models->empty()) *last_model = std::move(models->front());
       return;
     }
   }
+}
+
+void ShowStats(const datalog::Interpretation& last_model) {
+  const Value::InternerStats vs = Value::interner_stats();
+  std::cout << "value interner: " << vs.entries << " canonical composites, "
+            << vs.hits << " hits / " << vs.misses << " misses ("
+            << std::fixed << std::setprecision(1) << 100.0 * vs.HitRate()
+            << "% hit rate), ~" << vs.bytes << " bytes pinned\n";
+  std::cout << "atom interner:  " << Interner::Global().size()
+            << " interned symbols\n";
+  std::cout << "interning mode: "
+            << (StructuralInterningEnabled() ? "structural (hash-consing)"
+                                             : "per-instance (legacy)")
+            << "\n";
+  size_t preds = 0, facts = 0, indexes = 0;
+  for (const auto& [pred, extent] : last_model) {
+    ++preds;
+    facts += extent.size();
+    indexes += extent.index_count();
+  }
+  std::cout << "last model:     " << preds << " predicate(s), " << facts
+            << " fact(s), " << indexes << " position-subset index(es)\n";
 }
 
 }  // namespace
@@ -88,15 +117,20 @@ void ShowPredicate(const datalog::Program& program, const std::string& pred,
 int main() {
   datalog::Program program;
   Semantics semantics = Semantics::kValid;
+  datalog::Interpretation last_model;  // most recent ?pred evaluation
 
   std::cout << "awr deductive shell — :semantics valid|stratified|"
-               "inflationary|stable, ?pred queries, :quit exits\n";
+               "inflationary|stable, ?pred queries, :stats, :quit exits\n";
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == ":quit" || line == ":q") break;
     if (line == ":list") {
       std::cout << program.ToString();
+      continue;
+    }
+    if (line == ":stats") {
+      ShowStats(last_model);
       continue;
     }
     if (line == ":clear") {
@@ -126,7 +160,7 @@ int main() {
     if (line[0] == '?') {
       std::string pred = line.substr(1);
       while (!pred.empty() && pred.back() == ' ') pred.pop_back();
-      ShowPredicate(program, pred, semantics);
+      ShowPredicate(program, pred, semantics, &last_model);
       continue;
     }
     auto parsed = datalog::ParseProgram(line);

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite — run three times: on the
+# Tier-1 verification: full build + test suite — run four times: on the
 # default hash-indexed join path, with AWR_FORCE_SCAN_JOINS=1 so the
-# scan oracle stays green, and with AWR_EVAL_THREADS=4 so every engine
-# exercises the work-partitioned parallel rounds.  Then the interruption
-# tests again under AddressSanitizer/UBSan (injected-fault unwinding is
-# checked for leaks and UB) and the parallel + property suites under
-# ThreadSanitizer at 4 threads (data races across the round barrier,
-# the sharded interner and the pre-built indexes).
+# scan oracle stays green, with AWR_EVAL_THREADS=4 so every engine
+# exercises the work-partitioned parallel rounds, and with
+# AWR_NO_VALUE_INTERN=1 so the legacy per-instance value/term
+# representation (the hash-consing differential oracle) stays green.
+# Then the interruption tests again under AddressSanitizer/UBSan
+# (injected-fault unwinding is checked for leaks and UB) and the
+# parallel + property suites under ThreadSanitizer at 4 threads (data
+# races across the round barrier, the sharded interners and the
+# pre-built indexes).
 #
 # The snapshot-format suite (corruption fuzz: truncation, bit flips,
 # checksum-patched mutations) and the crash-point recovery sweep also
@@ -26,6 +29,7 @@ cmake --build build -j"$(nproc)"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_FORCE_SCAN_JOINS=1 ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_EVAL_THREADS=4 ctest --output-on-failure -j"$(nproc)")
+(cd build && AWR_NO_VALUE_INTERN=1 ctest --output-on-failure -j"$(nproc)")
 
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
 cmake --build build-asan -j"$(nproc)" \
@@ -33,6 +37,11 @@ cmake --build build-asan -j"$(nproc)" \
   --target awr_property_test
 (cd build-asan && ctest --output-on-failure -R Interruption)
 (cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
+# The snapshot corruption fuzz again on the legacy representation: the
+# decoder re-interns through the value factories, so both paths must
+# survive the same mutated byte streams.
+(cd build-asan && AWR_NO_VALUE_INTERN=1 \
+  ctest --output-on-failure -R 'Snapshot|ValueCodec')
 (cd build-asan && AWR_CRASH_SWEEP_STRIDE=7 \
   ctest --output-on-failure -R CrashPointRecovery)
 

@@ -177,6 +177,15 @@ class ExecutionContext {
   /// per ValueSet::approx_bytes); fails with kResourceExhausted when it
   /// exceeds EvalLimits::max_bytes.  Engines report the footprint each
   /// round, so the high-water mark tracks peak usage.
+  ///
+  /// The figure is a *logical-state* size, not an allocator reading:
+  /// Value::ApproxBytes counts shared structure once per reference, so
+  /// under structural interning (hash-consing; DESIGN.md §10) the
+  /// reported bytes can exceed the physical footprint by orders of
+  /// magnitude on deeply shared data.  That is deliberate — max_bytes
+  /// budgets bound how much state an evaluation *denotes*, and the
+  /// charge is identical whether interning is on or off, which keeps
+  /// memory-trip statuses bit-identical across the two representations.
   Status ChargeMemory(size_t bytes_in_use, std::string_view what) {
     AWR_RETURN_IF_ERROR(Governance(what, /*force_clock=*/false));
     if (bytes_in_use > high_water_bytes_) high_water_bytes_ = bytes_in_use;

@@ -9,7 +9,7 @@
 namespace awr {
 
 /// Mixes `v` into seed `h` (boost::hash_combine recipe, 64-bit constant).
-inline std::size_t HashCombine(std::size_t h, std::size_t v) {
+constexpr std::size_t HashCombine(std::size_t h, std::size_t v) {
   return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
 }
 

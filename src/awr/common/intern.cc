@@ -1,8 +1,32 @@
 #include "awr/common/intern.h"
 
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace awr {
+
+namespace {
+
+std::atomic<bool>& StructuralInterningFlag() {
+  static std::atomic<bool> flag([] {
+    const char* no_intern = std::getenv("AWR_NO_VALUE_INTERN");
+    return no_intern == nullptr || *no_intern == '\0' ||
+           std::strcmp(no_intern, "0") == 0;
+  }());
+  return flag;
+}
+
+}  // namespace
+
+bool StructuralInterningEnabled() {
+  return StructuralInterningFlag().load(std::memory_order_relaxed);
+}
+
+void SetStructuralInterningForTesting(bool enabled) {
+  StructuralInterningFlag().store(enabled, std::memory_order_relaxed);
+}
 
 Interner& Interner::Global() {
   static Interner* interner = new Interner();

@@ -1,6 +1,6 @@
 #include "awr/spec/congruence.h"
 
-#include <sstream>
+#include "awr/common/intern.h"
 
 namespace awr::spec {
 
@@ -13,7 +13,7 @@ Result<int> CongruenceClosure::Intern(const Term& t) {
   if (it != ids_.end()) return it->second;
   Node node;
   node.term = t;
-  node.op = t.name();
+  node.op = InternString(t.name());
   for (const Term& c : t.children()) {
     AWR_ASSIGN_OR_RETURN(int cid, Intern(c));
     node.children.push_back(cid);
@@ -25,7 +25,7 @@ Result<int> CongruenceClosure::Intern(const Term& t) {
 
   // Congruence: if an existing node has the same op and congruent
   // children, merge with it.
-  std::string key = SignatureKey(id);
+  SigKey key = SignatureKey(id);
   auto [pos, inserted] = sig_table_.emplace(key, id);
   if (!inserted) {
     pending_.emplace_back(id, pos->second);
@@ -47,11 +47,12 @@ int CongruenceClosure::Find(int x) {
   return x;
 }
 
-std::string CongruenceClosure::SignatureKey(int node) {
-  std::ostringstream os;
-  os << nodes_[node].op;
-  for (int c : nodes_[node].children) os << "," << Find(c);
-  return os.str();
+CongruenceClosure::SigKey CongruenceClosure::SignatureKey(int node) {
+  SigKey key;
+  key.op = nodes_[node].op;
+  key.children.reserve(nodes_[node].children.size());
+  for (int c : nodes_[node].children) key.children.push_back(Find(c));
+  return key;
 }
 
 void CongruenceClosure::Merge(int a, int b) {
@@ -67,8 +68,8 @@ void CongruenceClosure::Merge(int a, int b) {
   // so walk all nodes conservatively — fine at this scale).
   for (size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].children.empty()) continue;
-    std::string key = SignatureKey(static_cast<int>(i));
-    auto [pos, inserted] = sig_table_.emplace(key, static_cast<int>(i));
+    SigKey key = SignatureKey(static_cast<int>(i));
+    auto [pos, inserted] = sig_table_.emplace(std::move(key), static_cast<int>(i));
     if (!inserted && Find(pos->second) != Find(static_cast<int>(i))) {
       pending_.emplace_back(static_cast<int>(i), pos->second);
     }

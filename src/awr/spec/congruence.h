@@ -1,10 +1,12 @@
 #ifndef AWR_SPEC_CONGRUENCE_H_
 #define AWR_SPEC_CONGRUENCE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "awr/common/hash.h"
 #include "awr/common/result.h"
 #include "awr/term/term.h"
 
@@ -34,22 +36,42 @@ class CongruenceClosure {
  private:
   struct Node {
     Term term = Term::Op("awr_uninitialized");
-    std::string op;
+    uint32_t op = 0;            // interned operation name
     std::vector<int> children;  // node ids
     int parent = -1;            // union-find
     int rank = 0;
     std::vector<int> uses;      // nodes that have this node as a child
   };
 
+  /// Signature of a node under the current classes: interned op id
+  /// plus the class representative of each child.  A plain hashed
+  /// struct — the former rendering through ostringstream allocated and
+  /// formatted a string per probe, which dominated Merge's re-keying
+  /// sweep.
+  struct SigKey {
+    uint32_t op = 0;
+    std::vector<int> children;
+    bool operator==(const SigKey& other) const {
+      return op == other.op && children == other.children;
+    }
+  };
+  struct SigKeyHash {
+    size_t operator()(const SigKey& key) const {
+      size_t h = HashCombine(0xc2b2ae3d27d4eb4fULL, key.op);
+      for (int c : key.children) h = HashCombine(h, static_cast<size_t>(c));
+      return HashCombine(h, key.children.size());
+    }
+  };
+
   Result<int> Intern(const Term& t);
   int Find(int x);
   void Merge(int a, int b);
   // Signature of a node under current classes, for congruence lookup.
-  std::string SignatureKey(int node);
+  SigKey SignatureKey(int node);
 
   std::vector<Node> nodes_;
   std::unordered_map<Term, int> ids_;
-  std::unordered_map<std::string, int> sig_table_;
+  std::unordered_map<SigKey, int, SigKeyHash> sig_table_;
   std::vector<std::pair<int, int>> pending_;
 };
 

@@ -70,7 +70,8 @@ Result<Term> RewriteSystem::Normalize(const Term& t) const {
                                    t.ToString());
   }
   size_t fuel = opts_.max_steps;
-  return NormalizeInner(t, &fuel);
+  NormalMemo memo;
+  return NormalizeInner(t, &fuel, &memo);
 }
 
 Result<bool> RewriteSystem::Equal(const Term& a, const Term& b) const {
@@ -79,7 +80,9 @@ Result<bool> RewriteSystem::Equal(const Term& a, const Term& b) const {
   return na == nb;
 }
 
-Result<Term> RewriteSystem::NormalizeInner(const Term& t, size_t* fuel) const {
+Result<Term> RewriteSystem::NormalizeInner(const Term& t, size_t* fuel,
+                                           NormalMemo* memo) const {
+  if (auto it = memo->find(t); it != memo->end()) return it->second;
   // Innermost: normalize children first, then rewrite at the root until
   // no rule applies (re-normalizing children of each new redex).
   Term current = t;
@@ -87,26 +90,29 @@ Result<Term> RewriteSystem::NormalizeInner(const Term& t, size_t* fuel) const {
     std::vector<Term> children;
     children.reserve(current.children().size());
     for (const Term& c : current.children()) {
-      AWR_ASSIGN_OR_RETURN(Term nc, NormalizeInner(c, fuel));
+      AWR_ASSIGN_OR_RETURN(Term nc, NormalizeInner(c, fuel, memo));
       children.push_back(std::move(nc));
     }
     current = Term::Op(current.name(), std::move(children));
   }
-  for (;;) {
-    if (current.Size() > opts_.max_term_size) {
-      return Status::ResourceExhausted("term grew beyond max_term_size=" +
-                                       std::to_string(opts_.max_term_size));
-    }
-    Term next = current;
-    AWR_ASSIGN_OR_RETURN(bool rewrote, RewriteAtRoot(current, &next, fuel));
-    if (!rewrote) return current;
-    // The contractum may expose new inner redexes.
-    AWR_ASSIGN_OR_RETURN(current, NormalizeInner(next, fuel));
+  if (current.Size() > opts_.max_term_size) {
+    return Status::ResourceExhausted("term grew beyond max_term_size=" +
+                                     std::to_string(opts_.max_term_size));
   }
+  Term next = current;
+  AWR_ASSIGN_OR_RETURN(bool rewrote, RewriteAtRoot(current, &next, fuel, memo));
+  if (rewrote) {
+    // The contractum may expose new inner redexes; the recursive call
+    // normalizes it fully (children and root) before we return.
+    AWR_ASSIGN_OR_RETURN(current, NormalizeInner(next, fuel, memo));
+  }
+  memo->emplace(t, current);
+  return current;
 }
 
 Result<bool> RewriteSystem::RewriteAtRoot(const Term& t, Term* out,
-                                          size_t* fuel) const {
+                                          size_t* fuel,
+                                          NormalMemo* memo) const {
   for (const RewriteRule& rule : rules_) {
     term::Subst subst;
     if (!term::MatchTerm(rule.lhs, t, &subst)) continue;
@@ -123,10 +129,10 @@ Result<bool> RewriteSystem::RewriteAtRoot(const Term& t, Term* out,
     // Conditions: normalize both instantiated sides and compare.
     bool premises_hold = true;
     for (const EqLiteral& p : rule.premises) {
-      AWR_ASSIGN_OR_RETURN(Term pl,
-                           NormalizeInner(term::ApplySubst(p.lhs, subst), fuel));
-      AWR_ASSIGN_OR_RETURN(Term pr,
-                           NormalizeInner(term::ApplySubst(p.rhs, subst), fuel));
+      AWR_ASSIGN_OR_RETURN(
+          Term pl, NormalizeInner(term::ApplySubst(p.lhs, subst), fuel, memo));
+      AWR_ASSIGN_OR_RETURN(
+          Term pr, NormalizeInner(term::ApplySubst(p.rhs, subst), fuel, memo));
       if ((pl == pr) != p.positive) {
         premises_hold = false;
         break;

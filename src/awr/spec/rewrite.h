@@ -1,6 +1,7 @@
 #ifndef AWR_SPEC_REWRITE_H_
 #define AWR_SPEC_REWRITE_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "awr/common/context.h"
@@ -68,9 +69,25 @@ class RewriteSystem {
   RewriteSystem(std::vector<RewriteRule> rules, RewriteOptions opts)
       : rules_(std::move(rules)), opts_(opts) {}
 
-  Result<Term> NormalizeInner(const Term& t, size_t* fuel) const;
+  // Ground term -> its normal form, per Normalize() call.  Innermost
+  // normalization re-normalizes identical subterms constantly (premise
+  // evaluation re-derives the same normal forms; every contractum
+  // re-normalizes children that are already normal); the memo
+  // collapses each distinct subterm to one computation.  With term
+  // hash-consing enabled the key lookups are pointer-speed.  The map
+  // is call-local, not a member: Normalize stays const and thread-safe
+  // with no locking, and repeated Normalize calls behave identically —
+  // which keeps governed fault-injection sweeps deterministic.  Only
+  // successful normal forms are memoized (errors propagate uncached),
+  // and the memo is active in both interning modes, so the
+  // intern-vs-legacy differential oracle sees identical step counts.
+  using NormalMemo = std::unordered_map<Term, Term>;
+
+  Result<Term> NormalizeInner(const Term& t, size_t* fuel,
+                              NormalMemo* memo) const;
   // Tries all rules at the root; returns the rewritten term or nullopt.
-  Result<bool> RewriteAtRoot(const Term& t, Term* out, size_t* fuel) const;
+  Result<bool> RewriteAtRoot(const Term& t, Term* out, size_t* fuel,
+                             NormalMemo* memo) const;
 
   std::vector<RewriteRule> rules_;
   RewriteOptions opts_;

@@ -1,8 +1,11 @@
 #include "awr/term/term.h"
 
+#include <mutex>
 #include <sstream>
+#include <unordered_map>
 
 #include "awr/common/hash.h"
+#include "awr/common/intern.h"
 #include "awr/common/strings.h"
 
 namespace awr::term {
@@ -15,24 +18,90 @@ size_t ComputeHash(bool is_var, const std::string& name,
   for (const Term& c : children) h = HashCombine(h, c.hash());
   return h;
 }
+
+bool RepStructurallyEqual(const Term::Rep& a, const Term::Rep& b) {
+  if (a.kind != b.kind || a.hash != b.hash || a.name != b.name) return false;
+  if (a.kind == Term::Kind::kVar) return a.sort == b.sort;
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (a.children[i] != b.children[i]) return false;
+  }
+  return true;
+}
+
+// The global term interner: structural hash-consing for Term, the same
+// scheme as the composite Value interner (value.cc) — 16 shards by
+// structural hash, canonical reps immortal for the process lifetime.
+// Children of a canonical term are themselves canonical (factories
+// intern bottom-up), so the structural equality used for bucket probes
+// resolves almost entirely through pointer identity.
+class TermInterner {
+ public:
+  static TermInterner& Global() {
+    static TermInterner* interner = new TermInterner();
+    return *interner;
+  }
+
+  std::shared_ptr<const Term::Rep> Intern(Term::Rep&& probe) {
+    Shard& shard = shards_[probe.hash & (kShardCount - 1)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.reps.find(&probe);
+    if (it != shard.reps.end()) return it->second;
+    auto rep = std::make_shared<Term::Rep>(std::move(probe));
+    rep->canonical = true;
+    shard.reps.emplace(rep.get(), rep);
+    return rep;
+  }
+
+ private:
+  TermInterner() = default;
+
+  struct RepPtrHash {
+    size_t operator()(const Term::Rep* rep) const { return rep->hash; }
+  };
+  struct RepPtrEq {
+    bool operator()(const Term::Rep* a, const Term::Rep* b) const {
+      return RepStructurallyEqual(*a, *b);
+    }
+  };
+
+  static constexpr size_t kShardCount = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<const Term::Rep*, std::shared_ptr<const Term::Rep>,
+                       RepPtrHash, RepPtrEq>
+        reps;
+  };
+
+  Shard shards_[kShardCount];
+};
+
+std::shared_ptr<const Term::Rep> MakeRep(Term::Rep&& rep) {
+  if (StructuralInterningEnabled()) {
+    return TermInterner::Global().Intern(std::move(rep));
+  }
+  return std::make_shared<const Term::Rep>(std::move(rep));
+}
+
 }  // namespace
 
 Term Term::Var(std::string name, std::string sort) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kVar;
-  rep->name = std::move(name);
-  rep->sort = std::move(sort);
-  rep->hash = ComputeHash(true, rep->name, rep->children);
-  return Term(std::move(rep));
+  Rep rep;
+  rep.kind = Kind::kVar;
+  rep.name = std::move(name);
+  rep.sort = std::move(sort);
+  rep.hash = ComputeHash(true, rep.name, rep.children);
+  return Term(MakeRep(std::move(rep)));
 }
 
 Term Term::Op(std::string op, std::vector<Term> children) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = Kind::kOp;
-  rep->name = std::move(op);
-  rep->children = std::move(children);
-  rep->hash = ComputeHash(false, rep->name, rep->children);
-  return Term(std::move(rep));
+  Rep rep;
+  rep.kind = Kind::kOp;
+  rep.name = std::move(op);
+  rep.children = std::move(children);
+  rep.hash = ComputeHash(false, rep.name, rep.children);
+  return Term(MakeRep(std::move(rep)));
 }
 
 bool Term::IsGround() const {
@@ -62,6 +131,9 @@ void Term::CollectVars(std::map<std::string, std::string>* out) const {
 bool Term::operator==(const Term& other) const {
   if (rep_ == other.rep_) return true;
   if (hash() != other.hash()) return false;
+  // Two distinct canonical reps represent different terms by
+  // construction (hash-consing); skip the structural descent.
+  if (rep_->canonical && other.rep_->canonical) return false;
   return Compare(*this, other) == 0;
 }
 

@@ -53,14 +53,25 @@ class Term {
 
   std::string ToString() const;
 
- private:
+  /// Implementation record (public only so the implementation file's
+  /// hash-consing helpers can name it; not part of the API).  With
+  /// structural interning enabled (common/intern.h) structurally equal
+  /// terms share one `canonical` Rep held immortally by a global
+  /// sharded interner, giving operator== an O(1) negative fast path
+  /// (two distinct canonical reps differ by construction) on top of
+  /// the existing positive pointer-identity path.  The rewrite
+  /// engine's normal-form memo feeds on exactly this: memo lookups on
+  /// hash-consed terms are pointer-speed.
   struct Rep {
     Kind kind;
     std::string name;
     std::string sort;  // variables only
     std::vector<Term> children;
     size_t hash = 0;
+    bool canonical = false;  // owned by the global term interner
   };
+
+ private:
   explicit Term(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
   std::shared_ptr<const Rep> rep_;
 };

@@ -1,9 +1,13 @@
 #include "awr/value/value.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <mutex>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
 #include "awr/common/hash.h"
 #include "awr/common/intern.h"
@@ -26,83 +30,234 @@ std::string_view ValueKindToString(ValueKind kind) {
   return "unknown";
 }
 
+/// Heap record backing tuples, sets, and out-of-range integers.  Either
+/// immortal (owned by the global interner; tag kTagInterned) or
+/// refcounted (tag kTagOwned, one record per Value chain of copies —
+/// the legacy representation kept as the differential oracle).
 struct Value::Rep {
-  ValueKind kind;
-  bool b = false;
-  int64_t i = 0;
-  uint32_t atom = 0;
-  std::vector<Value> items;  // tuple components or canonical set elements
+  ValueKind kind = ValueKind::kInt;
+  int64_t i = 0;                   // big-int payload
+  std::vector<Value> items;        // tuple components / canonical set elements
   size_t hash = 0;
+  size_t approx_bytes = 0;         // cached structural ApproxBytes figure
+  mutable std::atomic<uint32_t> refs{1};
 };
+
+static_assert(alignof(Value::Rep) >= 8,
+              "Rep pointers must leave the low 3 tag bits clear");
 
 namespace {
 
-size_t ComputeHash(const Value::Rep& rep);
+// --- Hashing -------------------------------------------------------
+//
+// The recipe is byte-identical to the original shared_ptr
+// representation: everything downstream — unordered_set iteration
+// order, hence model/charge determinism and the golden snapshot files
+// — depends on hashes not moving.  HashCombine is constexpr, so the
+// per-kind seeds fold to compile-time constants.
 
-// Shared immutable singletons for the cheap scalar values.
-const std::shared_ptr<const Value::Rep>& BoolRep(bool b) {
-  static const auto* kFalse = [] {
-    auto rep = std::make_shared<Value::Rep>();
-    rep->kind = ValueKind::kBool;
-    rep->b = false;
-    rep->hash = ComputeHash(*rep);
-    return new std::shared_ptr<const Value::Rep>(rep);
-  }();
-  static const auto* kTrue = [] {
-    auto rep = std::make_shared<Value::Rep>();
-    rep->kind = ValueKind::kBool;
-    rep->b = true;
-    rep->hash = ComputeHash(*rep);
-    return new std::shared_ptr<const Value::Rep>(rep);
-  }();
-  return b ? *kTrue : *kFalse;
+constexpr size_t KindSeed(ValueKind kind) {
+  return HashCombine(0x517cc1b727220a95ULL, static_cast<size_t>(kind));
 }
 
-size_t ComputeHash(const Value::Rep& rep) {
-  size_t h = HashCombine(0x517cc1b727220a95ULL, static_cast<size_t>(rep.kind));
-  switch (rep.kind) {
-    case ValueKind::kBool:
-      return HashCombine(h, rep.b ? 1u : 2u);
-    case ValueKind::kInt:
-      return HashCombine(h, std::hash<int64_t>{}(rep.i));
-    case ValueKind::kAtom:
-      return HashCombine(h, rep.atom);
-    case ValueKind::kTuple:
-    case ValueKind::kSet:
-      for (const Value& item : rep.items) h = HashCombine(h, item.hash());
-      return HashCombine(h, rep.items.size());
+constexpr size_t kBoolSeed = KindSeed(ValueKind::kBool);
+constexpr size_t kIntSeed = KindSeed(ValueKind::kInt);
+constexpr size_t kAtomSeed = KindSeed(ValueKind::kAtom);
+
+size_t HashBool(bool b) { return HashCombine(kBoolSeed, b ? 1u : 2u); }
+size_t HashInt(int64_t i) {
+  return HashCombine(kIntSeed, std::hash<int64_t>{}(i));
+}
+size_t HashAtom(uint32_t atom) { return HashCombine(kAtomSeed, atom); }
+
+size_t HashComposite(ValueKind kind, const std::vector<Value>& items) {
+  size_t h = KindSeed(kind);
+  for (const Value& item : items) h = HashCombine(h, item.hash());
+  return HashCombine(h, items.size());
+}
+
+// --- ApproxBytes model ---------------------------------------------
+//
+// A fixed structural model, deliberately independent of whether a node
+// is inline, owned, or interned: scalars cost a flat constant,
+// composites a per-node constant plus a slot per component plus the
+// components themselves.  Representation-independence is what keeps
+// memory charges (and so memory-trip statuses) bit-identical between
+// AWR_NO_VALUE_INTERN=1 and the default.
+
+constexpr size_t kScalarApproxBytes = 16;
+constexpr size_t kCompositeBaseBytes = sizeof(Value::Rep) + 2 * sizeof(void*);
+
+size_t CompositeApproxBytes(const std::vector<Value>& items) {
+  size_t bytes = kCompositeBaseBytes + sizeof(Value) * items.size();
+  for (const Value& item : items) bytes += item.ApproxBytes();
+  return bytes;
+}
+
+bool RepStructurallyEqual(const Value::Rep& a, const Value::Rep& b) {
+  if (a.kind != b.kind || a.hash != b.hash) return false;
+  if (a.kind == ValueKind::kInt) return a.i == b.i;
+  if (a.items.size() != b.items.size()) return false;
+  for (size_t k = 0; k < a.items.size(); ++k) {
+    if (a.items[k] != b.items[k]) return false;
   }
-  return h;
+  return true;
 }
+
+// --- The global composite interner ---------------------------------
+//
+// 16-way sharded by structural hash, mirroring the atom Interner
+// (common/intern.h): parallel fixpoint workers interning tuples
+// concurrently stripe across shards instead of serializing on one
+// mutex.  Canonical reps are immortal — values flow into snapshots,
+// thread-local scratch, and static test fixtures, so reclaiming a
+// canonical rep would need global coordination for a workload that
+// (per the paper's bottom-up semantics) only ever grows its extents.
+class ValueInterner {
+ public:
+  static ValueInterner& Global() {
+    static ValueInterner* interner = new ValueInterner();
+    return *interner;
+  }
+
+  /// Returns the canonical immortal rep for (kind, items).  `hash` and
+  /// `approx_bytes` are the precomputed structural figures for the
+  /// node.  On a hit the probe's items are simply dropped; no heap
+  /// record is allocated.
+  ///
+  /// A thread-local direct-mapped front cache absorbs the common case
+  /// — fixpoint rounds rebuild the same candidate tuples over and over
+  /// — without touching the shard mutex or the (cache-cold) shard
+  /// table.  Entries are canonical reps, which are immortal, so a
+  /// stale slot can only miss, never dangle.
+  const Value::Rep* Intern(ValueKind kind, std::vector<Value> items,
+                           size_t hash, size_t approx_bytes) {
+    static thread_local const Value::Rep* front[kFrontCacheSize] = {};
+    Shard& shard = shards_[hash & (kShardCount - 1)];
+    const size_t slot = hash & (kFrontCacheSize - 1);
+    const Value::Rep* cached = front[slot];
+    if (cached != nullptr && cached->hash == hash && cached->kind == kind &&
+        ItemsEqual(cached->items, items)) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      return cached;
+    }
+
+    Value::Rep probe;
+    probe.kind = kind;
+    probe.items = std::move(items);
+    probe.hash = hash;
+    const Value::Rep* rep = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.reps.find(&probe);
+      if (it != shard.reps.end()) {
+        shard.hits.fetch_add(1, std::memory_order_relaxed);
+        rep = *it;
+      } else {
+        auto* fresh = new Value::Rep();
+        fresh->kind = kind;
+        fresh->items = std::move(probe.items);
+        fresh->hash = hash;
+        fresh->approx_bytes = approx_bytes;
+        shard.reps.insert(fresh);
+        ++shard.misses;
+        shard.bytes += sizeof(Value::Rep) +
+                       sizeof(Value) * fresh->items.size() +
+                       2 * sizeof(void*);
+        rep = fresh;
+      }
+    }
+    front[slot] = rep;
+    return rep;
+  }
+
+  Value::InternerStats Stats() const {
+    Value::InternerStats stats;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      stats.entries += shard.reps.size();
+      stats.hits += shard.hits.load(std::memory_order_relaxed);
+      stats.misses += shard.misses;
+      stats.bytes += shard.bytes;
+    }
+    return stats;
+  }
+
+ private:
+  ValueInterner() = default;
+
+  static bool ItemsEqual(const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t k = 0; k < a.size(); ++k) {
+      if (a[k] != b[k]) return false;
+    }
+    return true;
+  }
+
+  struct RepPtrHash {
+    size_t operator()(const Value::Rep* rep) const { return rep->hash; }
+  };
+  struct RepPtrEq {
+    bool operator()(const Value::Rep* a, const Value::Rep* b) const {
+      return RepStructurallyEqual(*a, *b);
+    }
+  };
+
+  static constexpr size_t kShardCount = 16;
+  static constexpr size_t kFrontCacheSize = 8192;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<const Value::Rep*, RepPtrHash, RepPtrEq> reps;
+    // Hit counting happens outside the mutex on the front-cache path.
+    mutable std::atomic<size_t> hits{0};
+    size_t misses = 0;
+    size_t bytes = 0;
+  };
+
+  Shard shards_[kShardCount];
+};
 
 }  // namespace
 
-Value::Value() : rep_(BoolRep(false)) {}
+Value Value::FromRep(const Rep* rep, bool interned) {
+  auto bits = reinterpret_cast<uintptr_t>(rep);
+  assert((bits & kTagMask) == 0);
+  return Value(bits | (interned ? kTagInterned : kTagOwned));
+}
 
-Value Value::Boolean(bool b) { return Value(BoolRep(b)); }
+void Value::RetainSlow() {
+  rep()->refs.fetch_add(1, std::memory_order_relaxed);
+}
 
-Value Value::Int(int64_t i) {
-  auto rep = std::make_shared<Rep>();
+void Value::ReleaseSlow() {
+  const Rep* r = rep();
+  if (r->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete r;
+  }
+}
+
+Value Value::BigInt(int64_t i) {
+  // Out-of-range integers always get a private owned rep, in both
+  // representation modes: they are scalars (no sharing semantics), and
+  // keeping them out of the interner makes the two modes byte-identical
+  // for every scalar.
+  auto* rep = new Rep();
   rep->kind = ValueKind::kInt;
   rep->i = i;
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  rep->hash = HashInt(i);
+  rep->approx_bytes = kScalarApproxBytes;
+  return FromRep(rep, /*interned=*/false);
 }
 
 Value Value::Atom(std::string_view name) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = ValueKind::kAtom;
-  rep->atom = InternString(name);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  const uint32_t id = InternString(name);
+  return Value((static_cast<uintptr_t>(id) << kTagBits) | kTagAtom);
 }
 
 Value Value::Tuple(std::vector<Value> items) {
-  auto rep = std::make_shared<Rep>();
-  rep->kind = ValueKind::kTuple;
-  rep->items = std::move(items);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  return MakeComposite(ValueKind::kTuple, std::move(items));
 }
 
 Value Value::Pair(Value a, Value b) {
@@ -115,51 +270,92 @@ Value Value::Set(std::vector<Value> items) {
   items.erase(std::unique(items.begin(), items.end(),
                           [](const Value& a, const Value& b) { return a == b; }),
               items.end());
-  auto rep = std::make_shared<Rep>();
-  rep->kind = ValueKind::kSet;
-  rep->items = std::move(items);
-  rep->hash = ComputeHash(*rep);
-  return Value(std::move(rep));
+  return MakeComposite(ValueKind::kSet, std::move(items));
 }
 
 Value Value::EmptySet() { return Set({}); }
 
-ValueKind Value::kind() const { return rep_->kind; }
+// Adaptive policy: only composites with at least one heap child (a
+// nested composite or a big int) go through the global interner.  For
+// those, equality/hash/Compare are super-constant and sharing collapses
+// repeated subtrees to one Rep, so the canonical-pointer fast paths pay
+// for the table probe many times over.  Flat composites of inline
+// scalars — the shape of every datalog fact tuple — already compare in
+// a couple of word operations, while a dedup probe against a large
+// interner table costs DRAM-latency pointer chases; interning them is a
+// strict construction-path loss (~8x slower on fixpoint workloads,
+// measured in E18), so they keep the malloc-speed per-instance
+// representation in both modes.
+Value Value::MakeComposite(ValueKind kind, std::vector<Value> items) {
+  const size_t hash = HashComposite(kind, items);
+  const size_t approx_bytes = CompositeApproxBytes(items);
+  bool nested = false;
+  for (const Value& item : items) {
+    if (item.is_heap()) {
+      nested = true;
+      break;
+    }
+  }
+  if (nested && StructuralInterningEnabled()) {
+    const Rep* rep = ValueInterner::Global().Intern(kind, std::move(items),
+                                                    hash, approx_bytes);
+    return FromRep(rep, /*interned=*/true);
+  }
+  auto* rep = new Rep();
+  rep->kind = kind;
+  rep->items = std::move(items);
+  rep->hash = hash;
+  rep->approx_bytes = approx_bytes;
+  return FromRep(rep, /*interned=*/false);
+}
+
+ValueKind Value::kind() const {
+  switch (bits_ & kTagMask) {
+    case kTagBool:
+      return ValueKind::kBool;
+    case kTagInt:
+      return ValueKind::kInt;
+    case kTagAtom:
+      return ValueKind::kAtom;
+    default:
+      return rep()->kind;
+  }
+}
 
 bool Value::bool_value() const {
   assert(is_bool());
-  return rep_->b;
+  return (bits_ & kPayloadOne) != 0;
 }
 
 int64_t Value::int_value() const {
   assert(is_int());
-  return rep_->i;
+  if ((bits_ & kTagMask) == kTagInt) {
+    // C++20 guarantees arithmetic right shift on signed types, so the
+    // 61-bit payload sign-extends in one instruction.
+    return static_cast<int64_t>(bits_) >> kTagBits;
+  }
+  return rep()->i;
 }
 
 uint32_t Value::atom_id() const {
   assert(is_atom());
-  return rep_->atom;
+  return static_cast<uint32_t>(bits_ >> kTagBits);
 }
 
 const std::string& Value::AtomName() const { return InternedString(atom_id()); }
 
 const std::vector<Value>& Value::items() const {
   assert(is_tuple() || is_set());
-  return rep_->items;
+  return rep()->items;
 }
 
 size_t Value::ApproxBytes() const {
-  // Rep + control block + the shared_ptr slot holding it.
-  size_t bytes = sizeof(Rep) + 2 * sizeof(void*) + sizeof(rep_);
-  if (is_tuple() || is_set()) {
-    for (const Value& item : rep_->items) bytes += item.ApproxBytes();
-  }
-  return bytes;
+  return is_heap() ? rep()->approx_bytes : kScalarApproxBytes;
 }
 
 bool Value::SetContains(const Value& element) const {
   assert(is_set());
-  const auto& elems = rep_->items;
+  const auto& elems = rep()->items;
   auto it = std::lower_bound(
       elems.begin(), elems.end(), element,
       [](const Value& a, const Value& b) { return Compare(a, b) < 0; });
@@ -167,24 +363,29 @@ bool Value::SetContains(const Value& element) const {
 }
 
 int Value::Compare(const Value& a, const Value& b) {
-  if (a.rep_ == b.rep_) return 0;
-  if (a.kind() != b.kind()) {
-    return static_cast<int>(a.kind()) < static_cast<int>(b.kind()) ? -1 : 1;
+  if (a.bits_ == b.bits_) return 0;  // identity: same word => equal
+  const ValueKind ak = a.kind();
+  const ValueKind bk = b.kind();
+  if (ak != bk) {
+    return static_cast<int>(ak) < static_cast<int>(bk) ? -1 : 1;
   }
-  switch (a.kind()) {
+  switch (ak) {
     case ValueKind::kBool:
-      return static_cast<int>(a.rep_->b) - static_cast<int>(b.rep_->b);
-    case ValueKind::kInt:
-      return a.rep_->i < b.rep_->i ? -1 : (a.rep_->i > b.rep_->i ? 1 : 0);
+      return static_cast<int>(a.bool_value()) - static_cast<int>(b.bool_value());
+    case ValueKind::kInt: {
+      const int64_t x = a.int_value();
+      const int64_t y = b.int_value();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
     case ValueKind::kAtom: {
-      if (a.rep_->atom == b.rep_->atom) return 0;
+      if (a.atom_id() == b.atom_id()) return 0;
       // Order atoms by spelling for deterministic, human-sensible output.
       return a.AtomName() < b.AtomName() ? -1 : 1;
     }
     case ValueKind::kTuple:
     case ValueKind::kSet: {
-      const auto& xs = a.rep_->items;
-      const auto& ys = b.rep_->items;
+      const auto& xs = a.rep()->items;
+      const auto& ys = b.rep()->items;
       size_t n = std::min(xs.size(), ys.size());
       for (size_t k = 0; k < n; ++k) {
         int c = Compare(xs[k], ys[k]);
@@ -198,12 +399,40 @@ int Value::Compare(const Value& a, const Value& b) {
 }
 
 bool Value::operator==(const Value& other) const {
-  if (rep_ == other.rep_) return true;
-  if (rep_->hash != other.rep_->hash) return false;
+  if (bits_ == other.bits_) return true;  // identity fast path
+  // Inline scalars are canonical: equal scalars have equal words (big
+  // ints live on the heap in a disjoint range), and an inline value
+  // never equals a heap value (heap scalars are exactly the big ints;
+  // composites differ in kind).  So differing words with either side
+  // inline means "not equal" with no dereference at all.
+  if (is_inline() || other.is_inline()) return false;
+  const Rep* ra = rep();
+  const Rep* rb = other.rep();
+  if (ra->hash != rb->hash) return false;
+  // Negative identity fast path: two *canonical* reps that are not the
+  // same pointer represent different structures by construction.  Big
+  // ints never carry the interned tag, so this only ever fires for
+  // composites.
+  if (((bits_ | other.bits_) & kTagMask) == kTagInterned) return false;
   return Compare(*this, other) == 0;
 }
 
-size_t Value::hash() const { return rep_->hash; }
+size_t Value::hash() const {
+  switch (bits_ & kTagMask) {
+    case kTagBool:
+      return HashBool((bits_ & kPayloadOne) != 0);
+    case kTagInt:
+      return HashInt(static_cast<int64_t>(bits_) >> kTagBits);
+    case kTagAtom:
+      return HashAtom(static_cast<uint32_t>(bits_ >> kTagBits));
+    default:
+      return rep()->hash;
+  }
+}
+
+Value::InternerStats Value::interner_stats() {
+  return ValueInterner::Global().Stats();
+}
 
 std::string Value::ToString() const {
   std::ostringstream os;

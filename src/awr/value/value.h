@@ -1,9 +1,9 @@
 #ifndef AWR_VALUE_VALUE_H_
 #define AWR_VALUE_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,18 +30,67 @@ std::string_view ValueKindToString(ValueKind kind);
 /// mirrors the paper's ADT universe: "nested relations / complex object
 /// models ... are special cases" (§4).
 ///
-/// Values are hash-consed per instance: the hash is computed once at
-/// construction, sets are stored canonically (sorted by the total order,
-/// duplicates removed), so equality is structural and cheap to reject
-/// via hashes.  Copying a Value copies a shared_ptr.
+/// Representation (DESIGN.md §10).  A Value is one tagged word:
+///
+///  * booleans, atoms, and integers fitting 61 signed bits live
+///    *inline* in the word — construction, copy, equality and hashing
+///    of scalars never touch the heap;
+///  * tuples, sets, and out-of-range integers point at an immutable
+///    heap record (`Rep`).  With structural interning enabled (the
+///    default; see StructuralInterningEnabled in common/intern.h),
+///    tuples and sets are *hash-consed* through a global 16-way sharded
+///    interner, so structurally equal composites share one canonical
+///    Rep for the process lifetime and `operator==` / `Compare` get
+///    O(1) identity fast paths — positive (same word => equal) and
+///    negative (two distinct canonical Reps => unequal).  With
+///    AWR_NO_VALUE_INTERN=1 each composite owns a private refcounted
+///    Rep (the legacy per-instance representation, kept as the
+///    differential-test oracle); equality then falls back to
+///    hash-rejected structural descent, exactly as before.
+///
+/// Either way the *semantics* are identical: hashes use the same
+/// recipe, sets are stored canonically (sorted by the total order,
+/// duplicates removed), and ApproxBytes follows the same structural
+/// model — so models, charge counts, and snapshot bytes are
+/// bit-identical across the two representations (the intern-vs-legacy
+/// differential oracle in property_test.cc enforces this).
 class Value {
  public:
   /// Default-constructs the boolean FALSE (a valid, usable value).
-  Value();
+  Value() : bits_(kTagBool) {}
+
+  Value(const Value& other) : bits_(other.bits_) { Retain(); }
+  Value(Value&& other) noexcept : bits_(other.bits_) {
+    other.bits_ = kTagBool;
+  }
+  Value& operator=(const Value& other) {
+    if (bits_ != other.bits_) {
+      Release();
+      bits_ = other.bits_;
+      Retain();
+    }
+    return *this;
+  }
+  Value& operator=(Value&& other) noexcept {
+    if (this != &other) {
+      Release();
+      bits_ = other.bits_;
+      other.bits_ = kTagBool;
+    }
+    return *this;
+  }
+  ~Value() { Release(); }
 
   /// Factories -------------------------------------------------------
-  static Value Boolean(bool b);
-  static Value Int(int64_t i);
+  static Value Boolean(bool b) {
+    return Value(kTagBool | (b ? kPayloadOne : 0));
+  }
+  static Value Int(int64_t i) {
+    if (FitsInline(i)) {
+      return Value((static_cast<uintptr_t>(i) << kTagBits) | kTagInt);
+    }
+    return BigInt(i);
+  }
   /// Interns `name` and returns the atom value.
   static Value Atom(std::string_view name);
   /// Tuple of the given components (arity >= 0).
@@ -56,9 +105,9 @@ class Value {
 
   /// Inspectors ------------------------------------------------------
   ValueKind kind() const;
-  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_bool() const { return (bits_ & kTagMask) == kTagBool; }
   bool is_int() const { return kind() == ValueKind::kInt; }
-  bool is_atom() const { return kind() == ValueKind::kAtom; }
+  bool is_atom() const { return (bits_ & kTagMask) == kTagAtom; }
   bool is_tuple() const { return kind() == ValueKind::kTuple; }
   bool is_set() const { return kind() == ValueKind::kSet; }
 
@@ -84,28 +133,113 @@ class Value {
   bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const { return Compare(*this, other) < 0; }
 
-  /// Precomputed structural hash.
+  /// Structural hash (precomputed for composites, recomputed in O(1)
+  /// for inline scalars).  The recipe is representation-independent:
+  /// equal values hash equal whether inline, owned, or interned.
   size_t hash() const;
 
-  /// Approximate heap footprint of this value in bytes (the Rep record
-  /// plus, recursively, tuple/set components).  Shared structure is
-  /// counted once per reference — intentionally: the memory accountant
-  /// (ExecutionContext::ChargeMemory) wants an upper bound on what the
-  /// extent keeps alive, not an exact allocator figure.
+  /// Approximate heap footprint of this value in bytes, per the fixed
+  /// structural model of DESIGN.md §10: a per-node constant plus,
+  /// recursively, tuple/set components.  Deliberately *per-reference*:
+  /// shared structure — whether from plain copies or from hash-consing
+  /// — is counted once per reference, so the figure is an upper bound
+  /// on what an extent keeps alive, which is what the memory accountant
+  /// (ExecutionContext::ChargeMemory) wants.  Under deep interner
+  /// sharing this can exceed the real allocator footprint by orders of
+  /// magnitude (N references to one canonical set each pay the full
+  /// structural cost); that over-charge is the documented contract —
+  /// budgets bound the *logical* state size, not physical bytes — and
+  /// it is identical with interning on or off, which is what keeps
+  /// memory-trip statuses bit-identical across the two representations
+  /// (pinned by ValueTest.ApproxBytesIsPerReferenceUpperBound).
+  /// O(1): composites cache the figure at construction.
   size_t ApproxBytes() const;
 
   /// Renders the value: `true`, `42`, `atom`, `<a, b>`, `{x, y}`.
   std::string ToString() const;
+
+  /// Introspection ---------------------------------------------------
+
+  /// Opaque representation identity.  Two equal values built while
+  /// interning is enabled report the same identity (inline scalars by
+  /// payload, composites by canonical Rep address); the concurrent
+  /// hash-consing tests assert on it.  Not meaningful across
+  /// representations — use operator== for equality.
+  const void* identity() const {
+    return reinterpret_cast<const void*>(bits_);
+  }
+
+  /// True iff this value is an inline scalar (no heap record at all).
+  bool is_inline() const { return (bits_ & kTagMask) > kTagOwned; }
+
+  /// True iff this value shares the canonical interned Rep for its
+  /// structure (inline scalars are trivially canonical).
+  bool is_canonical() const { return (bits_ & kTagMask) != kTagOwned; }
+
+  /// Occupancy and traffic counters of the global composite interner.
+  struct InternerStats {
+    size_t entries = 0;  ///< canonical tuple/set records resident
+    size_t hits = 0;     ///< Intern() calls answered by an existing Rep
+    size_t misses = 0;   ///< Intern() calls that inserted a new Rep
+    size_t bytes = 0;    ///< approximate heap pinned by the interner
+    double HitRate() const {
+      return hits + misses == 0
+                 ? 0.0
+                 : static_cast<double>(hits) / static_cast<double>(hits + misses);
+    }
+  };
+  static InternerStats interner_stats();
 
   /// Opaque implementation record (public only so the implementation
   /// file's helpers can name it; not part of the API).
   struct Rep;
 
  private:
-  explicit Value(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+  // Tag layout (DESIGN.md §10): low 3 bits of the word.  Heap Reps are
+  // new-allocated (alignment >= 8), so pointer payloads have zero tag
+  // bits of their own.
+  static constexpr uintptr_t kTagBits = 3;
+  static constexpr uintptr_t kTagMask = (uintptr_t{1} << kTagBits) - 1;
+  static constexpr uintptr_t kTagInterned = 0;  // canonical, immortal Rep*
+  static constexpr uintptr_t kTagOwned = 1;     // private refcounted Rep*
+  static constexpr uintptr_t kTagBool = 2;      // payload: 0 / 1
+  static constexpr uintptr_t kTagInt = 3;       // payload: signed 61-bit
+  static constexpr uintptr_t kTagAtom = 4;      // payload: interner id
+  static constexpr uintptr_t kPayloadOne = uintptr_t{1} << kTagBits;
 
-  std::shared_ptr<const Rep> rep_;
+  static bool FitsInline(int64_t i) {
+    return (static_cast<int64_t>(static_cast<uint64_t>(i) << kTagBits) >>
+            kTagBits) == i;
+  }
+
+  static Value BigInt(int64_t i);
+  static Value MakeComposite(ValueKind kind, std::vector<Value> items);
+
+  explicit Value(uintptr_t bits) : bits_(bits) {}
+  static Value FromRep(const Rep* rep, bool interned);
+
+  const Rep* rep() const {
+    return reinterpret_cast<const Rep*>(bits_ & ~kTagMask);
+  }
+  bool is_heap() const { return (bits_ & kTagMask) <= kTagOwned; }
+
+  // Only OWNED reps are refcounted; interned reps are immortal and
+  // inline scalars have no heap record, so copy/destroy of canonical
+  // values is a tag test and nothing else.
+  void Retain() {
+    if ((bits_ & kTagMask) == kTagOwned) RetainSlow();
+  }
+  void Release() {
+    if ((bits_ & kTagMask) == kTagOwned) ReleaseSlow();
+  }
+  void RetainSlow();
+  void ReleaseSlow();
+
+  uintptr_t bits_;
 };
+
+static_assert(sizeof(Value) == sizeof(uintptr_t),
+              "Value must stay one tagged word");
 
 std::ostream& operator<<(std::ostream& os, const Value& v);
 

@@ -227,6 +227,86 @@ TEST(ParallelInternerTest, SizeCountsDistinctStrings) {
 }
 
 // ----------------------------------------------------------------------
+// Concurrent structural hash-consing (Value composites)
+//
+// Runs under TSan in tier1.sh.  Four threads race to intern identical
+// tuples and sets; every thread must come back with the same canonical
+// Rep (identity equality), and no insert may be lost: the interner's
+// entry count grows by exactly the number of distinct structures.
+
+TEST(ParallelValueInternTest, RacingIdenticalCompositesYieldOneCanonicalRep) {
+  SetStructuralInterningForTesting(true);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kShapes = 64;
+  constexpr size_t kRounds = 8;
+  std::vector<std::vector<const void*>> ids(
+      kThreads, std::vector<const void*>(kShapes));
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      for (size_t round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < kShapes; ++i) {
+          const auto n = static_cast<int64_t>(i);
+          Value tuple = Value::Tuple(
+              {Value::Atom("race"), Value::Int(n),
+               Value::Set({Value::Int(n), Value::Int(n + 1)})});
+          if (round == 0) {
+            ids[t][i] = tuple.identity();
+          } else if (ids[t][i] != tuple.identity()) {
+            ids[t][i] = nullptr;  // canonical identity drifted
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (size_t i = 0; i < kShapes; ++i) {
+      ASSERT_NE(ids[t][i], nullptr) << "thread " << t << " shape " << i;
+      EXPECT_EQ(ids[t][i], ids[0][i]) << "thread " << t << " shape " << i;
+    }
+  }
+}
+
+TEST(ParallelValueInternTest, NoLostInsertsUnderContention) {
+  SetStructuralInterningForTesting(true);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 128;
+  // All threads build the same kPerThread distinct structures (unique
+  // to this test via the atom spelling), racing on every one.
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        (void)Value::Tuple({Value::Atom("no-lost-inserts"),
+                            Value::Set({Value::Int(static_cast<int64_t>(i))})});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Sequential re-construction must be all hits: every structure is
+  // resident exactly once.
+  const Value::InternerStats before = Value::interner_stats();
+  std::vector<const void*> first;
+  for (size_t i = 0; i < kPerThread; ++i) {
+    first.push_back(
+        Value::Tuple({Value::Atom("no-lost-inserts"),
+                      Value::Set({Value::Int(static_cast<int64_t>(i))})})
+            .identity());
+  }
+  const Value::InternerStats after = Value::interner_stats();
+  EXPECT_EQ(after.entries, before.entries) << "re-probe inserted new reps";
+  EXPECT_GE(after.hits, before.hits + kPerThread);
+  for (size_t i = 0; i < kPerThread; ++i) {
+    EXPECT_EQ(
+        first[i],
+        Value::Tuple({Value::Atom("no-lost-inserts"),
+                      Value::Set({Value::Int(static_cast<int64_t>(i))})})
+            .identity());
+  }
+}
+
+// ----------------------------------------------------------------------
 // Extent partitioning
 
 ValueSet IntExtent(int n) {

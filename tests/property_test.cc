@@ -36,6 +36,7 @@
 
 #include "awr/algebra/valid_eval.h"
 #include "awr/common/context.h"
+#include "awr/common/intern.h"
 #include "awr/datalog/builders.h"
 #include "awr/datalog/depgraph.h"
 #include "awr/datalog/ground.h"
@@ -1097,6 +1098,256 @@ void RunCrashPointSweep(size_t threads) {
 TEST(CrashPointRecovery, SweepSequential) { RunCrashPointSweep(1); }
 
 TEST(CrashPointRecovery, SweepFourThreads) { RunCrashPointSweep(4); }
+
+// ----------------------------------------------------------------------
+// Interned-vs-legacy value representation differential oracle
+// (DESIGN.md §10).  Structural interning (hash-consing) of composite
+// Values and Terms is a pure representation change: the legacy
+// per-instance representation (AWR_NO_VALUE_INTERN=1) is the oracle,
+// and every observable — models, status codes, governance charge
+// counts, and on-interrupt snapshot bytes — must be bit-identical with
+// interning on and off, across all semantics and thread counts.
+
+// Restores the process-wide interning mode on scope exit so these
+// tests compose with the rest of the binary (and with the
+// AWR_NO_VALUE_INTERN tier-1 pass, where the ambient default is off).
+class ScopedRepr {
+ public:
+  ScopedRepr() : saved_(StructuralInterningEnabled()) {}
+  ~ScopedRepr() { SetStructuralInterningForTesting(saved_); }
+
+ private:
+  bool saved_;
+};
+
+// Runs one engine with the legacy representation (oracle) and then the
+// hash-consed representation, requiring identical status codes and —
+// on success — identical results.  Returns the interned-run result.
+template <typename Fn>
+auto EvalBothReprs(const Fn& eval, datalog::EvalOptions opts,
+                   const std::string& what) {
+  SetStructuralInterningForTesting(false);
+  auto legacy = eval(opts);
+  SetStructuralInterningForTesting(true);
+  auto interned = eval(opts);
+  EXPECT_EQ(legacy.status().code(), interned.status().code())
+      << what << "\nlegacy:   " << legacy.status()
+      << "\ninterned: " << interned.status();
+  if (legacy.ok() && interned.ok()) {
+    ExpectSameResult(*interned, *legacy, what);
+  }
+  return interned;
+}
+
+class InternVsLegacyDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InternVsLegacyDifferential, PositiveSemanticsAgreeAcrossReprs) {
+  ScopedRepr guard;
+  GenOptions gen;
+  gen.allow_negation = false;
+  Generated g = GenerateProgram(GetParam() * 48271 + 13, gen);
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string where = what + "\n(threads=" + std::to_string(threads) +
+                              ")";
+    EvalBothReprs(
+        [&](datalog::EvalOptions o) {
+          o.seminaive = false;
+          return datalog::EvalMinimalModel(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalMinimalModel(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+  }
+}
+
+TEST_P(InternVsLegacyDifferential, GeneralSemanticsAgreeAcrossReprs) {
+  ScopedRepr guard;
+  // Random general programs may be unstratifiable or have no stable
+  // model; EvalBothReprs still checks that both representations fail
+  // (or succeed) identically.
+  Generated g = GenerateProgram(GetParam() * 69621 + 29, GenOptions{});
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string where = what + "\n(threads=" + std::to_string(threads) +
+                              ")";
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalInflationary(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalWellFounded(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalStratified(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalStableModels(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+    EvalBothReprs(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::GroundProgramFor(g.program, g.edb, o);
+        },
+        ThreadOpts(threads), where);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternVsLegacyDifferential,
+                         ::testing::Range<uint64_t>(1, 201));
+
+// The rendered model text (the REPL / snapshot-surface byte form) must
+// also be identical: canonical set ordering and ToString go through
+// Value::Compare, which gains pointer fast paths under interning.
+TEST(InternVsLegacyDifferential, RenderedModelsAreByteIdentical) {
+  ScopedRepr guard;
+  for (const CpEngine& engine : CrashPointEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      SetStructuralInterningForTesting(false);
+      ExecutionContext legacy_ctx(EvalLimits::Default());
+      auto legacy = engine.run(&legacy_ctx, ThreadOpts(threads));
+      SetStructuralInterningForTesting(true);
+      ExecutionContext interned_ctx(EvalLimits::Default());
+      auto interned = engine.run(&interned_ctx, ThreadOpts(threads));
+      ASSERT_TRUE(legacy.ok() && interned.ok())
+          << engine.name << "\nlegacy:   " << legacy.status()
+          << "\ninterned: " << interned.status();
+      EXPECT_EQ(*legacy, *interned) << engine.name
+                                    << " threads=" << threads;
+    }
+  }
+}
+
+// Governance charge sequences are representation-independent: both
+// modes enumerate the same matches in the same order (the hash recipe
+// is identical, so unordered-container iteration order is too), hence
+// disarmed charge counts match exactly — for every engine, including
+// stable-model search.
+TEST(InternVsLegacyGovernance, ChargeCountsIdenticalBothReprs) {
+  ScopedRepr guard;
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      size_t counts[2] = {0, 0};
+      int slot = 0;
+      for (bool interning : {false, true}) {
+        SetStructuralInterningForTesting(interning);
+        FaultInjector injector;
+        injector.Disarm();
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        ASSERT_TRUE(engine.run_with(&ctx, ThreadOpts(threads)).ok())
+            << engine.name;
+        counts[slot++] = injector.charges_seen();
+      }
+      EXPECT_EQ(counts[0], counts[1])
+          << engine.name << " threads=" << threads
+          << ": legacy charges=" << counts[0]
+          << " interned charges=" << counts[1];
+    }
+  }
+}
+
+// A fault tripped at charge i surfaces the identical status (code and
+// message, which embeds the trip coordinates) in both representations.
+TEST(InternVsLegacyGovernance, FaultTripStatusesIdenticalBothReprs) {
+  ScopedRepr guard;
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    // Learn the charge count with interning on; the previous test
+    // proves it is the same number in legacy mode.
+    SetStructuralInterningForTesting(true);
+    FaultInjector probe;
+    probe.Disarm();
+    ExecutionContext probe_ctx(EvalLimits::Default());
+    probe_ctx.set_fault_injector(&probe);
+    ASSERT_TRUE(engine.run_with(&probe_ctx, ThreadOpts(1)).ok())
+        << engine.name;
+    const size_t n = probe.charges_seen();
+    ASSERT_GT(n, 0u) << engine.name;
+
+    for (size_t k : {size_t{1}, (n + 1) / 2, n}) {
+      Status statuses[2];
+      int slot = 0;
+      for (bool interning : {false, true}) {
+        SetStructuralInterningForTesting(interning);
+        FaultInjector injector;
+        injector.TripAt(k, Status::Internal("injected fault"));
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        statuses[slot++] = engine.run_with(&ctx, ThreadOpts(1));
+      }
+      EXPECT_EQ(statuses[0].code(), statuses[1].code())
+          << engine.name << " trip at " << k << "/" << n;
+      EXPECT_EQ(statuses[0].ToString(), statuses[1].ToString())
+          << engine.name << " trip at " << k << "/" << n;
+    }
+  }
+}
+
+// On-interrupt snapshots serialize to the exact same bytes in both
+// representations (format v1 stores structure, never pointers), and a
+// snapshot captured under one representation resumes under the other —
+// crash under legacy, resume interned, and vice versa.
+TEST(InternVsLegacySnapshot, SnapshotBytesIdenticalAndCrossResumable) {
+  ScopedRepr guard;
+  for (const CpEngine& engine : CrashPointEngines()) {
+    // Oracle rendering + charge count, interned mode.
+    SetStructuralInterningForTesting(true);
+    FaultInjector probe;
+    probe.Disarm();
+    ExecutionContext probe_ctx(EvalLimits::Default());
+    probe_ctx.set_fault_injector(&probe);
+    auto oracle = engine.run(&probe_ctx, ThreadOpts(1));
+    ASSERT_TRUE(oracle.ok()) << engine.name << ": " << oracle.status();
+    const size_t n = probe.charges_seen();
+    ASSERT_GT(n, 1u) << engine.name;
+    const size_t k = (n + 1) / 2;
+
+    std::vector<uint8_t> captured_bytes[2];
+    int slot = 0;
+    for (bool interning : {false, true}) {
+      SCOPED_TRACE(engine.name + (interning ? " interned" : " legacy") +
+                   " crash at charge " + std::to_string(k) + "/" +
+                   std::to_string(n));
+      SetStructuralInterningForTesting(interning);
+      FaultInjector injector;
+      injector.TripAt(k, Status::Internal("injected fault"));
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      snapshot::CheckpointSink sink;
+      datalog::EvalOptions opts = ThreadOpts(1);
+      opts.checkpoint.sink = &sink;
+      opts.checkpoint.on_interrupt = true;
+      opts.checkpoint.every_n_rounds = 0;
+      auto crashed = engine.run(&ctx, opts);
+      ASSERT_FALSE(crashed.ok());
+      ASSERT_TRUE(sink.latest.has_value());
+      auto bytes = snapshot::Serialize(*sink.latest);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      captured_bytes[slot++] = *bytes;
+
+      // Cross-representation resume: decode and finish the run under
+      // the OPPOSITE representation; the final model must match the
+      // oracle rendering byte for byte.
+      SetStructuralInterningForTesting(!interning);
+      auto loaded = snapshot::Deserialize(*bytes);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      auto resumed = engine.resume(*loaded, ThreadOpts(1));
+      ASSERT_TRUE(resumed.ok()) << resumed.status();
+      EXPECT_EQ(*resumed, *oracle);
+    }
+    EXPECT_EQ(captured_bytes[0], captured_bytes[1])
+        << engine.name << ": snapshot bytes differ between representations";
+  }
+}
 
 }  // namespace
 }  // namespace awr

@@ -2,10 +2,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "awr/common/intern.h"
 #include "awr/value/value_set.h"
 
 namespace awr {
 namespace {
+
+/// Restores the structural-interning default when a test that toggles
+/// the representation exits (including via assertion failure).
+class ScopedInterning {
+ public:
+  explicit ScopedInterning(bool enabled)
+      : previous_(StructuralInterningEnabled()) {
+    SetStructuralInterningForTesting(enabled);
+  }
+  ~ScopedInterning() { SetStructuralInterningForTesting(previous_); }
+
+ private:
+  bool previous_;
+};
 
 TEST(ValueTest, ScalarConstructionAndEquality) {
   EXPECT_EQ(Value::Boolean(true), Value::Boolean(true));
@@ -80,6 +100,189 @@ TEST(ValueTest, ToStringRendering) {
   EXPECT_EQ(Value::Pair(Value::Int(1), Value::Int(2)).ToString(), "<1, 2>");
   EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
   EXPECT_EQ(Value::EmptySet().ToString(), "{}");
+}
+
+TEST(ValueTest, ScalarsAreInlineAndCanonical) {
+  EXPECT_TRUE(Value::Boolean(true).is_inline());
+  EXPECT_TRUE(Value::Int(0).is_inline());
+  EXPECT_TRUE(Value::Int(-1).is_inline());
+  EXPECT_TRUE(Value::Atom("x").is_inline());
+  // Equal inline scalars are the same tagged word.
+  EXPECT_EQ(Value::Int(42).identity(), Value::Int(42).identity());
+  EXPECT_EQ(Value::Atom("hello").identity(), Value::Atom("hello").identity());
+  EXPECT_NE(Value::Int(42).identity(), Value::Int(43).identity());
+}
+
+TEST(ValueTest, IntBoundariesRoundTrip) {
+  // 61-bit inline payload boundary and the big-int heap fallback.
+  const int64_t kMaxInline = (int64_t{1} << 60) - 1;
+  const int64_t kMinInline = -(int64_t{1} << 60);
+  for (int64_t i : {int64_t{0}, int64_t{1}, int64_t{-1}, kMaxInline,
+                    kMinInline, kMaxInline + 1, kMinInline - 1,
+                    std::numeric_limits<int64_t>::max(),
+                    std::numeric_limits<int64_t>::min()}) {
+    Value v = Value::Int(i);
+    ASSERT_TRUE(v.is_int()) << i;
+    EXPECT_EQ(v.int_value(), i);
+    EXPECT_EQ(v, Value::Int(i));
+    EXPECT_EQ(v.hash(), Value::Int(i).hash());
+  }
+  EXPECT_TRUE(Value::Int(kMaxInline).is_inline());
+  EXPECT_TRUE(Value::Int(kMinInline).is_inline());
+  EXPECT_FALSE(Value::Int(kMaxInline + 1).is_inline());
+  EXPECT_FALSE(Value::Int(kMinInline - 1).is_inline());
+  // Inline/heap ints occupy disjoint ranges and never compare equal.
+  EXPECT_NE(Value::Int(kMaxInline), Value::Int(kMaxInline + 1));
+  EXPECT_LT(Value::Int(kMaxInline), Value::Int(kMaxInline + 1));
+}
+
+TEST(ValueTest, InternedNestedCompositesShareOneRep) {
+  ScopedInterning on(true);
+  // Nested composites (any heap child) are hash-consed: structurally
+  // equal trees collapse to one canonical rep.
+  Value a = Value::Tuple({Value::Set({Value::Int(1)}), Value::Atom("x")});
+  Value b = Value::Tuple({Value::Set({Value::Int(1)}), Value::Atom("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.identity(), b.identity());
+  EXPECT_TRUE(a.is_canonical());
+  Value s1 = Value::Set({a, Value::Int(2)});
+  Value s2 = Value::Set({Value::Int(2), b});
+  EXPECT_EQ(s1.identity(), s2.identity());
+}
+
+TEST(ValueTest, FlatScalarCompositesStayPerInstance) {
+  ScopedInterning on(true);
+  // Adaptive policy (DESIGN.md §10): composites whose children are all
+  // inline scalars — fact-tuple shape — skip the interner even when it
+  // is enabled; their structural ops are already a couple of word
+  // compares, so the dedup probe would be a pure construction tax.
+  Value a = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  Value b = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a.identity(), b.identity());
+  EXPECT_FALSE(a.is_canonical());
+  // Wrapping them in a composite crosses the nesting threshold: the
+  // wrapper is interned even though its children are not.
+  Value wa = Value::Tuple({a, Value::Int(9)});
+  Value wb = Value::Tuple({b, Value::Int(9)});
+  EXPECT_EQ(wa.identity(), wb.identity());
+  EXPECT_TRUE(wa.is_canonical());
+}
+
+TEST(ValueTest, LegacyModeKeepsPerInstanceRepsButEqualSemantics) {
+  ScopedInterning off(false);
+  Value a = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  Value b = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.identity(), b.identity());
+  EXPECT_FALSE(a.is_canonical());
+  // Copies still share (refcounted), and mixing representations built
+  // under different modes keeps structural equality working.
+  Value c = a;
+  EXPECT_EQ(c.identity(), a.identity());
+  ScopedInterning on(true);
+  Value d = Value::Tuple({Value::Int(1), Value::Atom("x")});
+  EXPECT_EQ(d, a);
+  EXPECT_EQ(a, d);
+  EXPECT_EQ(Value::Compare(d, a), 0);
+}
+
+TEST(ValueTest, ApproxBytesIsPerReferenceUpperBound) {
+  // The documented contract (DESIGN.md §10): shared structure is
+  // counted once per reference, so a tuple holding the same set twice
+  // pays for it twice — an upper bound on the denoted state, NOT an
+  // allocator reading.
+  Value inner = Value::Set({Value::Int(1), Value::Int(2), Value::Int(3)});
+  Value once = Value::Tuple({inner});
+  Value twice = Value::Tuple({inner, inner});
+  EXPECT_GT(twice.ApproxBytes(), once.ApproxBytes());
+  EXPECT_GE(twice.ApproxBytes(), once.ApproxBytes() + inner.ApproxBytes());
+  // And the figure is representation-independent: identical with
+  // interning on and off (what keeps memory-trip statuses identical
+  // across the differential oracle's two runs).
+  size_t interned_bytes, legacy_bytes;
+  {
+    ScopedInterning on(true);
+    interned_bytes =
+        Value::Tuple({inner, inner, Value::Int(7)}).ApproxBytes();
+  }
+  {
+    ScopedInterning off(false);
+    legacy_bytes = Value::Tuple({inner, inner, Value::Int(7)}).ApproxBytes();
+  }
+  EXPECT_EQ(interned_bytes, legacy_bytes);
+  // Scalars are flat.
+  EXPECT_EQ(Value::Int(1).ApproxBytes(), Value::Atom("zzz").ApproxBytes());
+  EXPECT_GT(Value::Int(1).ApproxBytes(), 0u);
+}
+
+TEST(ValueTest, CompareOrderAndCanonicalizationAgreeAcrossModes) {
+  // Byte-for-byte parity of the total order and set canonicalization
+  // between the hash-consed and legacy representations.
+  auto build = [] {
+    std::vector<Value> vals = {
+        Value::Boolean(false),
+        Value::Boolean(true),
+        Value::Int(-5),
+        Value::Int(3),
+        Value::Int((int64_t{1} << 60) + 17),
+        Value::Atom("a"),
+        Value::Atom("b"),
+        Value::Tuple({}),
+        Value::Tuple({Value::Int(1), Value::Atom("a")}),
+        Value::Tuple({Value::Int(1), Value::Atom("b")}),
+        Value::EmptySet(),
+        Value::Set({Value::Int(2), Value::Int(1)}),
+        Value::Set({Value::Tuple({Value::Atom("b")}),
+                    Value::Tuple({Value::Atom("a")})}),
+    };
+    return vals;
+  };
+  std::vector<Value> interned, legacy;
+  {
+    ScopedInterning on(true);
+    interned = build();
+  }
+  {
+    ScopedInterning off(false);
+    legacy = build();
+  }
+  ASSERT_EQ(interned.size(), legacy.size());
+  for (size_t i = 0; i < interned.size(); ++i) {
+    EXPECT_EQ(interned[i], legacy[i]) << i;
+    EXPECT_EQ(interned[i].hash(), legacy[i].hash()) << i;
+    EXPECT_EQ(interned[i].ToString(), legacy[i].ToString()) << i;
+    EXPECT_EQ(interned[i].ApproxBytes(), legacy[i].ApproxBytes()) << i;
+    for (size_t j = 0; j < interned.size(); ++j) {
+      EXPECT_EQ(Value::Compare(interned[i], interned[j]),
+                Value::Compare(legacy[i], legacy[j]))
+          << i << " vs " << j;
+      // Mixed-representation comparisons agree too.
+      EXPECT_EQ(Value::Compare(interned[i], legacy[j]),
+                Value::Compare(interned[i], interned[j]))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ValueTest, InternerStatsCountTraffic) {
+  ScopedInterning on(true);
+  const Value::InternerStats before = Value::interner_stats();
+  // A fresh structure (unique spelling per run of the binary is not
+  // needed — re-running just turns the first miss into a hit, and the
+  // hit counter still moves).
+  Value t = Value::Tuple(
+      {Value::Set({Value::Atom("stats_probe")}), Value::Int(123456)});
+  Value again = Value::Tuple(
+      {Value::Set({Value::Atom("stats_probe")}), Value::Int(123456)});
+  EXPECT_EQ(t.identity(), again.identity());
+  const Value::InternerStats after = Value::interner_stats();
+  EXPECT_GE(after.entries, before.entries);
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_GT(after.bytes, 0u);
+  EXPECT_GE(after.HitRate(), 0.0);
+  EXPECT_LE(after.HitRate(), 1.0);
 }
 
 TEST(ValueSetTest, InsertContainsErase) {
