@@ -1,0 +1,280 @@
+// Experiment E19: query-service characteristics under a mixed workload.
+//
+// Drives a live QueryService + SocketServer (Unix socket, the real awrd
+// stack) with concurrent client sessions over a mixed workload — small
+// and large transitive closures, stratified negation, well-founded
+// win-move — and reports the numbers DESIGN.md §11 claims matter:
+//
+//   * throughput (requests/s) and p50/p99 submit latency at several
+//     session counts;
+//   * shed rate under an admission budget sized to roughly HALF the
+//     concurrent workload's reservations (the overload experiment: the
+//     server must shed with kResourceExhausted + retry hints, never
+//     crash or exceed the budget, and everything completes once clients
+//     back off and retry);
+//   * restart-to-first-result: how quickly a warm-restarted server
+//     (same state dir, journaled requests pending) serves the first
+//     recovered result.
+//
+// Writes BENCH_service.json (override with argv[1]).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "awr/service/client.h"
+#include "awr/service/executor.h"
+#include "awr/service/protocol.h"
+#include "awr/service/server.h"
+#include "workloads.h"
+
+using namespace awr;           // NOLINT
+using namespace awr::service;  // NOLINT
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+SubmitRequest MixedWorkload(uint64_t kind, const std::string& id) {
+  SubmitRequest req;
+  req.id = id;
+  switch (kind % 4) {
+    case 0:
+    case 1: {  // transitive closure, two sizes
+      req.semantics = Semantics::kMinimalModel;
+      req.program =
+          "path(X,Y) :- edge(X,Y).\n"
+          "path(X,Z) :- edge(X,Y), path(Y,Z).\n";
+      const int n = kind % 4 == 0 ? 12 : 24;
+      for (int i = 0; i < n; ++i) {
+        req.edb += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+                   ").\n";
+      }
+      break;
+    }
+    case 2: {  // stratified negation
+      req.semantics = Semantics::kStratified;
+      req.program =
+          "reach(X) :- source(X).\n"
+          "reach(Y) :- reach(X), edge(X,Y).\n"
+          "island(X) :- node(X), not reach(X).\n";
+      req.edb = "source(0).\n";
+      for (int i = 0; i <= 14; ++i) {
+        req.edb += "node(" + std::to_string(i) + ").\n";
+      }
+      for (int i = 0; i < 10; ++i) {
+        req.edb += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+                   ").\n";
+      }
+      break;
+    }
+    default: {  // three-valued win-move
+      req.semantics = Semantics::kWellFounded;
+      req.program = "win(X) :- move(X,Y), not win(Y).\n";
+      for (int i = 0; i < 8; ++i) {
+        req.edb += "move(n" + std::to_string(i) + ",n" +
+                   std::to_string(i + 1) + ").\n";
+      }
+      req.edb += "move(n1,n0).\n";
+      break;
+    }
+  }
+  return req;
+}
+
+struct LoadResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;       // admission rejections observed at the server
+  double shed_rate = 0;    // shed / executions attempted
+  uint64_t high_water = 0;
+  uint64_t budget = 0;
+};
+
+/// Runs `total` requests over `sessions` concurrent client sessions
+/// against a fresh server and collects latency/shed statistics.
+/// `slow_round_us` stretches request execution so that reservations
+/// from different sessions actually overlap — the overload experiment
+/// needs requests in flight simultaneously or nothing ever sheds.
+LoadResult RunLoad(int sessions, int total, uint64_t budget_bytes,
+                   uint64_t per_request_bytes, const std::string& tag,
+                   uint64_t slow_round_us = 0) {
+  const std::string socket_path =
+      "/tmp/awr_bench_" + tag + "_" + std::to_string(::getpid()) + ".sock";
+
+  ServiceConfig config;
+  config.budget_bytes = budget_bytes;
+  config.exec.default_max_bytes = per_request_bytes;
+  config.exec.slow_round_us = slow_round_us;
+  QueryService service(config);
+  SocketServer server(&service, socket_path,
+                      /*max_sessions=*/static_cast<size_t>(sessions) + 4);
+  if (!server.Start().ok()) std::abort();
+
+  std::vector<std::vector<double>> latencies(sessions);
+  std::atomic<int> next{0};
+  auto t0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> workers;
+  for (int s = 0; s < sessions; ++s) {
+    workers.emplace_back([&, s] {
+      Client client(socket_path);
+      RetryPolicy policy;
+      policy.max_attempts = 100;
+      policy.base_backoff_ms = 1;
+      policy.max_backoff_ms = 50;
+      for (int i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+        SubmitRequest req = MixedWorkload(
+            static_cast<uint64_t>(i), tag + "_q" + std::to_string(i));
+        auto q0 = std::chrono::steady_clock::now();
+        auto res = client.SubmitWithRetry(req, policy);
+        if (res.ok() && res->code == StatusCode::kOk) {
+          latencies[s].push_back(MillisSince(q0));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double wall_ms = MillisSince(t0);
+
+  LoadResult out;
+  std::vector<double> all;
+  for (const auto& per_session : latencies) {
+    all.insert(all.end(), per_session.begin(), per_session.end());
+  }
+  out.completed = all.size();
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    out.p50_ms = all[all.size() / 2];
+    out.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+    out.qps = 1000.0 * static_cast<double>(all.size()) / wall_ms;
+  }
+  StatsReply stats = service.Stats();
+  out.shed = stats.Get("shed");
+  const uint64_t attempts = stats.Get("admitted") + stats.Get("shed");
+  out.shed_rate =
+      attempts > 0 ? static_cast<double>(out.shed) / attempts : 0;
+  out.high_water = stats.Get("high_water_bytes");
+  out.budget = budget_bytes;
+
+  service.BeginDrain();
+  service.WaitDrained();
+  server.Stop();
+  return out;
+}
+
+/// Warm-restart experiment: journal `pending` requests (no results),
+/// then measure server construction -> first recovered result.
+double RestartToFirstResultMs(int pending) {
+  const std::string state_dir =
+      "/tmp/awr_bench_restart_" + std::to_string(::getpid());
+  std::string cleanup = "rm -rf '" + state_dir + "'";
+  if (std::system(cleanup.c_str()) != 0) std::abort();
+  {
+    RequestStore store(state_dir);
+    for (int i = 0; i < pending; ++i) {
+      if (!store
+               .WriteRequest(MixedWorkload(static_cast<uint64_t>(i),
+                                           "warm_q" + std::to_string(i)))
+               .ok()) {
+        std::abort();
+      }
+    }
+  }
+  ServiceConfig config;
+  config.state_dir = state_dir;
+  config.recover_on_start = true;
+  auto t0 = std::chrono::steady_clock::now();
+  QueryService service(config);
+  ResultRecord first = service.Fetch(FetchRequest{"warm_q0", true});
+  const double ms = MillisSince(t0);
+  if (first.code != StatusCode::kOk) std::abort();
+  service.BeginDrain();
+  service.WaitDrained();
+  if (std::system(cleanup.c_str()) != 0) std::abort();
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_service.json";
+  constexpr uint64_t kReqBytes = 8ull << 20;
+
+  // Throughput/latency at 1, 2 and 4 sessions, unconstrained budget.
+  struct Named {
+    std::string name;
+    LoadResult r;
+  };
+  std::vector<Named> loads;
+  for (int sessions : {1, 2, 4}) {
+    loads.push_back({"sessions_" + std::to_string(sessions),
+                     RunLoad(sessions, 48, /*budget=*/1ull << 30, kReqBytes,
+                             "s" + std::to_string(sessions))});
+  }
+
+  // Overload: budget covers ~half of the 4 concurrent reservations, so
+  // the server MUST shed some admissions and still finish everything
+  // through client retries.
+  loads.push_back({"overload_half_budget",
+                   RunLoad(4, 48, /*budget=*/2 * kReqBytes, kReqBytes, "ov",
+                           /*slow_round_us=*/2000)});
+
+  const double restart_ms = RestartToFirstResultMs(/*pending=*/6);
+
+  std::printf("E19: query service under mixed workload\n");
+  std::printf("%-24s %9s %9s %9s %10s %9s\n", "configuration", "qps",
+              "p50_ms", "p99_ms", "completed", "shed_rate");
+  for (const Named& n : loads) {
+    std::printf("%-24s %9.1f %9.2f %9.2f %10llu %8.1f%%\n", n.name.c_str(),
+                n.r.qps, n.r.p50_ms, n.r.p99_ms,
+                static_cast<unsigned long long>(n.r.completed),
+                100 * n.r.shed_rate);
+    if (n.r.high_water > n.r.budget) {
+      std::fprintf(stderr, "FATAL: %s exceeded its admission budget\n",
+                   n.name.c_str());
+      return 1;
+    }
+  }
+  std::printf("restart_to_first_result_ms: %.2f\n", restart_ms);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"service_mixed_workload\",\n");
+  std::fprintf(out, "  \"runs\": [\n");
+  for (size_t i = 0; i < loads.size(); ++i) {
+    const LoadResult& r = loads[i].r;
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"qps\": %.1f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"completed\": %llu, \"shed\": %llu, "
+                 "\"shed_rate\": %.4f, \"high_water_bytes\": %llu, "
+                 "\"budget_bytes\": %llu}%s\n",
+                 loads[i].name.c_str(), r.qps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.completed),
+                 static_cast<unsigned long long>(r.shed), r.shed_rate,
+                 static_cast<unsigned long long>(r.high_water),
+                 static_cast<unsigned long long>(r.budget),
+                 i + 1 < loads.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"restart_to_first_result_ms\": %.2f\n}\n",
+               restart_ms);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -9,7 +9,15 @@
 //   :list                        show the current program
 //   :stats                       interner occupancy / hit rate, index counts
 //   :clear                       drop all rules
+//   :connect [socket]            evaluate on an awrd server (default
+//                                /tmp/awrd.sock) instead of in-process
+//   :disconnect                  back to in-process evaluation
 //   :quit
+//
+// Connected mode ships the current program to the server per query with
+// the client library's retry loop, so a server restart mid-session
+// costs a backoff, not an error.  Stable-model queries always run
+// locally (the service serves the four fixpoint semantics).
 //
 // Example session:
 //   > move(a, b). move(b, a). move(b, c).
@@ -18,8 +26,11 @@
 //   win: certain {<b>}  undefined {}
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+
+#include <unistd.h>
 
 #include "awr/common/intern.h"
 #include "awr/datalog/inflationary.h"
@@ -27,12 +38,65 @@
 #include "awr/datalog/stable.h"
 #include "awr/datalog/stratified.h"
 #include "awr/datalog/wellfounded.h"
+#include "awr/service/client.h"
 
 using namespace awr;  // NOLINT
 
 namespace {
 
 enum class Semantics { kValid, kStratified, kInflationary, kStable };
+
+service::Semantics WireSemantics(Semantics s) {
+  switch (s) {
+    case Semantics::kStratified:
+      return service::Semantics::kStratified;
+    case Semantics::kInflationary:
+      return service::Semantics::kInflationary;
+    default:
+      return service::Semantics::kWellFounded;
+  }
+}
+
+/// ?pred in connected mode: submit the whole program under a fresh id,
+/// retry through transient failures, print the predicate's lines from
+/// the returned deterministic model rendering.
+void ShowPredicateRemote(service::Client* client,
+                         const datalog::Program& program,
+                         const std::string& pred, Semantics semantics,
+                         uint64_t* next_query) {
+  service::SubmitRequest req;
+  req.id = "repl-" + std::to_string(::getpid()) + "-" +
+           std::to_string((*next_query)++);
+  req.semantics = WireSemantics(semantics);
+  req.program = program.ToString();
+  auto res = client->SubmitWithRetry(req);
+  if (!res.ok()) {
+    std::cout << "server error: " << res.status() << "\n";
+    return;
+  }
+  if (res->code != StatusCode::kOk) {
+    std::cout << "error: " << res->ToStatus() << "\n";
+    return;
+  }
+  // The model arrives as "pred = {...}" lines (three-valued renderings
+  // add certain:/undefined: section headers); show the ones matching
+  // the queried predicate, or everything for "?".
+  std::istringstream lines(res->model);
+  std::string line;
+  bool any = false;
+  while (std::getline(lines, line)) {
+    const bool header = !line.empty() && line.back() == ':';
+    if (pred.empty() || header ||
+        line.rfind(pred + " = ", 0) == 0 ||
+        line.rfind("  " + pred + " = ", 0) == 0) {
+      std::cout << line << "\n";
+      any = true;
+    }
+  }
+  if (!any) std::cout << pred << ": {}\n";
+  std::cout << "(" << res->charges << " charges, " << res->rounds
+            << " rounds" << (res->resumed ? ", resumed" : "") << ")\n";
+}
 
 void ShowPredicate(const datalog::Program& program, const std::string& pred,
                    Semantics semantics, datalog::Interpretation* last_model) {
@@ -118,9 +182,12 @@ int main() {
   datalog::Program program;
   Semantics semantics = Semantics::kValid;
   datalog::Interpretation last_model;  // most recent ?pred evaluation
+  std::unique_ptr<service::Client> remote;  // non-null in connected mode
+  uint64_t next_query = 0;
 
   std::cout << "awr deductive shell — :semantics valid|stratified|"
-               "inflationary|stable, ?pred queries, :stats, :quit exits\n";
+               "inflationary|stable, ?pred queries, :stats, :connect "
+               "[socket], :quit exits\n";
   std::string line;
   while (std::cout << "> " << std::flush, std::getline(std::cin, line)) {
     if (line.empty()) continue;
@@ -136,6 +203,33 @@ int main() {
     if (line == ":clear") {
       program.rules.clear();
       std::cout << "cleared\n";
+      continue;
+    }
+    if (line.rfind(":connect", 0) == 0) {
+      std::istringstream ss(line.substr(8));
+      std::string socket_path;
+      ss >> socket_path;
+      if (socket_path.empty()) socket_path = "/tmp/awrd.sock";
+      auto client = std::make_unique<service::Client>(socket_path);
+      auto pong = client->Ping();
+      if (!pong.ok()) {
+        std::cout << "cannot reach awrd at " << socket_path << ": "
+                  << pong.status() << "\n";
+        continue;
+      }
+      std::cout << "connected to " << socket_path << " (protocol v"
+                << pong->protocol_version
+                << (pong->draining ? ", draining" : "") << ")\n";
+      remote = std::move(client);
+      continue;
+    }
+    if (line == ":disconnect") {
+      if (remote == nullptr) {
+        std::cout << "not connected\n";
+      } else {
+        remote.reset();
+        std::cout << "back to in-process evaluation\n";
+      }
       continue;
     }
     if (line.rfind(":semantics", 0) == 0) {
@@ -160,7 +254,15 @@ int main() {
     if (line[0] == '?') {
       std::string pred = line.substr(1);
       while (!pred.empty() && pred.back() == ' ') pred.pop_back();
-      ShowPredicate(program, pred, semantics, &last_model);
+      if (remote != nullptr && semantics != Semantics::kStable) {
+        ShowPredicateRemote(remote.get(), program, pred, semantics,
+                            &next_query);
+      } else {
+        if (remote != nullptr) {
+          std::cout << "(stable models run locally)\n";
+        }
+        ShowPredicate(program, pred, semantics, &last_model);
+      }
       continue;
     }
     auto parsed = datalog::ParseProgram(line);

@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Service smoke test: exercises the real awrd binary end to end, the
+# way an operator would meet it (DESIGN.md §11).
+#
+#   1. start awrd over a fresh state dir, run a scripted client session
+#      (ping, queries under every semantics, duplicate submit, fetch,
+#      stats);
+#   2. SIGTERM-drain: the server must exit 0 after finishing in-flight
+#      work, and its durable results must survive;
+#   3. warm restart after the drain: a new server over the same state
+#      dir replays stored results byte-identically;
+#   4. SIGKILL mid-fixpoint (slow-round knob stretches the run), then
+#      warm restart: the recovered result must be byte-identical to the
+#      local oracle (`awrd eval`) with the exact same charge total.
+#
+# Usage: scripts/service_smoke.sh <path-to-awrd> [tag]
+set -euo pipefail
+
+AWRD="$1"
+TAG="${2:-smoke}"
+WORK="$(mktemp -d "/tmp/awr_${TAG}_XXXXXX")"
+SOCK="$WORK/awrd.sock"
+STATE="$WORK/state"
+SERVER_PID=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_for_socket() {
+  for _ in $(seq 1 100); do
+    if "$AWRD" ping --socket "$SOCK" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "FAIL($TAG): awrd did not come up on $SOCK" >&2
+  return 1
+}
+
+# Filter a query/eval output down to the fields that must be stable
+# across restarts: status, charges, resumed flag never compared (a
+# recovered run legitimately differs), model always byte-compared.
+model_of() { sed -n '/^model:$/,$p' "$1"; }
+charges_of() { awk '/^charges:/ {print $2}' "$1"; }
+status_of() { awk '/^status:/ {print $2}' "$1"; }
+
+PROG="$WORK/tc.dl"
+cat > "$PROG" <<'EOF'
+path(X,Y) :- edge(X,Y).
+path(X,Z) :- edge(X,Y), path(Y,Z).
+EOF
+EDB="$WORK/tc.edb"
+for i in $(seq 0 11); do echo "edge($i,$((i + 1)))."; done > "$EDB"
+
+WIN="$WORK/win.dl"
+cat > "$WIN" <<'EOF'
+win(X) :- move(X,Y), not win(Y).
+EOF
+WINEDB="$WORK/win.edb"
+printf 'move(a,b).\nmove(b,a).\nmove(b,c).\nmove(c,d).\n' > "$WINEDB"
+
+# ---- 1. serve + scripted session ------------------------------------
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" &
+SERVER_PID=$!
+wait_for_socket
+
+"$AWRD" ping --socket "$SOCK" | grep -q "pong" || {
+  echo "FAIL($TAG): ping" >&2; exit 1; }
+
+for sem in minimal inflationary stratified; do
+  "$AWRD" query --socket "$SOCK" --id "q_$sem" --semantics "$sem" \
+    --program-file "$PROG" --edb-file "$EDB" > "$WORK/out_$sem.txt"
+  [[ "$(status_of "$WORK/out_$sem.txt")" == "OK" ]] || {
+    echo "FAIL($TAG): $sem query" >&2; exit 1; }
+done
+"$AWRD" query --socket "$SOCK" --id q_wf --semantics wellfounded \
+  --program-file "$WIN" --edb-file "$WINEDB" > "$WORK/out_wf.txt"
+grep -q "certain:" "$WORK/out_wf.txt" || {
+  echo "FAIL($TAG): wellfounded query" >&2; exit 1; }
+
+# Duplicate submit must replay, not recompute: byte-identical output.
+"$AWRD" query --socket "$SOCK" --id q_minimal --semantics minimal \
+  --program-file "$PROG" --edb-file "$EDB" > "$WORK/out_dup.txt"
+diff "$WORK/out_minimal.txt" "$WORK/out_dup.txt" > /dev/null || {
+  echo "FAIL($TAG): duplicate submit diverged" >&2; exit 1; }
+
+"$AWRD" fetch --socket "$SOCK" --id q_minimal > "$WORK/out_fetch.txt"
+diff <(model_of "$WORK/out_minimal.txt") <(model_of "$WORK/out_fetch.txt") \
+  > /dev/null || { echo "FAIL($TAG): fetch model diverged" >&2; exit 1; }
+
+"$AWRD" stats --socket "$SOCK" | grep -q "^completed_ok" || {
+  echo "FAIL($TAG): stats" >&2; exit 1; }
+
+# ---- 2. SIGTERM drain ------------------------------------------------
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL($TAG): drain exit code" >&2; exit 1; }
+SERVER_PID=""
+
+# ---- 3. warm restart replays stored results -------------------------
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" &
+SERVER_PID=$!
+wait_for_socket
+"$AWRD" fetch --socket "$SOCK" --id q_minimal > "$WORK/out_replay.txt"
+diff <(model_of "$WORK/out_minimal.txt") <(model_of "$WORK/out_replay.txt") \
+  > /dev/null || { echo "FAIL($TAG): replay after restart" >&2; exit 1; }
+[[ "$(charges_of "$WORK/out_replay.txt")" == \
+   "$(charges_of "$WORK/out_minimal.txt")" ]] || {
+  echo "FAIL($TAG): replayed charges changed" >&2; exit 1; }
+kill -TERM "$SERVER_PID"; wait "$SERVER_PID" || true
+SERVER_PID=""
+
+# ---- 4. SIGKILL mid-fixpoint, then warm restart ---------------------
+# The oracle: an uninterrupted local evaluation of the same request.
+"$AWRD" eval --id q_kill --semantics minimal \
+  --program-file "$PROG" --edb-file "$EDB" > "$WORK/oracle.txt"
+
+# Slow the rounds down so SIGKILL reliably lands mid-fixpoint, with a
+# checkpoint flushed at every round barrier.
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" \
+  --checkpoint-every 1 --slow-round-us 200000 &
+SERVER_PID=$!
+wait_for_socket
+"$AWRD" query --socket "$SOCK" --id q_kill --semantics minimal \
+  --program-file "$PROG" --edb-file "$EDB" --retries 1 \
+  > "$WORK/killed.txt" 2>&1 &
+CLIENT_PID=$!
+sleep 0.8   # a few slowed rounds: checkpoints exist, fixpoint does not
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true
+
+[[ -f "$STATE/q_kill.req" && ! -f "$STATE/q_kill.res" ]] || {
+  echo "FAIL($TAG): SIGKILL did not leave unfinished journaled work" >&2
+  exit 1; }
+
+# Warm restart (fast rounds again): recovery must finish q_kill from
+# its checkpoint with the oracle's exact model and charge total.
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" &
+SERVER_PID=$!
+wait_for_socket
+"$AWRD" fetch --socket "$SOCK" --id q_kill > "$WORK/recovered.txt"
+diff <(model_of "$WORK/oracle.txt") <(model_of "$WORK/recovered.txt") \
+  > /dev/null || {
+  echo "FAIL($TAG): recovered model diverged from oracle" >&2; exit 1; }
+[[ "$(charges_of "$WORK/recovered.txt")" == \
+   "$(charges_of "$WORK/oracle.txt")" ]] || {
+  echo "FAIL($TAG): warm restart broke charge parity" >&2; exit 1; }
+grep -q "^resumed: 1" "$WORK/recovered.txt" || {
+  echo "FAIL($TAG): recovery did not resume from the checkpoint" >&2
+  exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL($TAG): final drain" >&2; exit 1; }
+SERVER_PID=""
+
+echo "service smoke ($TAG): OK"

@@ -20,6 +20,19 @@
 # the time budget; the default (unset = 1) sweep runs in the three
 # un-sanitized ctest passes above it.
 #
+# The query service (DESIGN.md §11) gets three layers here:
+#   * its unit/integration suite and the seeded chaos harness run in
+#     the plain ctest passes (100 traces, the acceptance floor);
+#   * both run again under ASan/UBSan and TSan with AWR_CHAOS_TRACES
+#     thinned to keep the sanitizer passes inside the time budget;
+#   * scripts/service_smoke.sh drives the real awrd binary through
+#     serve / SIGTERM-drain / warm-restart / SIGKILL-mid-fixpoint
+#     against the plain, ASan and TSan builds, diffing models and
+#     charge totals against a local oracle.
+# Finally bench_service emits BENCH_service.json (QPS, p50/p99 latency,
+# shed rate under an undersized admission budget, restart-to-first-
+# result time).
+#
 # Usage: scripts/tier1.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,10 +44,15 @@ cmake --build build -j"$(nproc)"
 (cd build && AWR_EVAL_THREADS=4 ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_NO_VALUE_INTERN=1 ctest --output-on-failure -j"$(nproc)")
 
+# Service smoke against the plain build: real awrd process lifecycle
+# (SIGTERM drain, warm restart, SIGKILL mid-fixpoint + recovery).
+scripts/service_smoke.sh build/src/awr/service/awrd plain
+
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
 cmake --build build-asan -j"$(nproc)" \
   --target awr_interruption_test --target awr_snapshot_test \
-  --target awr_property_test
+  --target awr_property_test --target awr_service_test \
+  --target awr_service_chaos_test --target awrd
 (cd build-asan && ctest --output-on-failure -R Interruption)
 (cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
 # The snapshot corruption fuzz again on the legacy representation: the
@@ -44,8 +62,24 @@ cmake --build build-asan -j"$(nproc)" \
   ctest --output-on-failure -R 'Snapshot|ValueCodec')
 (cd build-asan && AWR_CRASH_SWEEP_STRIDE=7 \
   ctest --output-on-failure -R CrashPointRecovery)
+# Service + thinned chaos under ASan/UBSan: socket lifecycle, executor
+# unwinding and the durable store under injected faults.
+(cd build-asan && AWR_CHAOS_TRACES=12 \
+  ctest --output-on-failure -R 'Service|SocketServer')
+scripts/service_smoke.sh build-asan/src/awr/service/awrd asan
 
 cmake -B build-tsan -S . -DAWR_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" \
-  --target awr_parallel_test --target awr_property_test
+  --target awr_parallel_test --target awr_property_test \
+  --target awr_service_test --target awr_service_chaos_test --target awrd
 (cd build-tsan && AWR_EVAL_THREADS=4 ctest --output-on-failure -R 'Parallel')
+# Service + thinned chaos under TSan: concurrent sessions, the
+# in-flight dedup table, drain-vs-execute and deadline-vs-cancel races.
+(cd build-tsan && AWR_CHAOS_TRACES=12 \
+  ctest --output-on-failure -R 'Service|SocketServer')
+scripts/service_smoke.sh build-tsan/src/awr/service/awrd tsan
+
+# The service benchmark emits BENCH_service.json (QPS, p50/p99, shed
+# rate under an undersized budget, restart-to-first-result).
+cmake --build build -j"$(nproc)" --target bench_service
+./build/bench/bench_service BENCH_service.json

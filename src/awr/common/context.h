@@ -67,36 +67,85 @@ class CancelSource {
 /// disarmed injector to learn the total number of charge points N, then
 /// re-run with TripAt(i) for i = 1..N and verify the engine surfaces the
 /// injected status cleanly and leaves caller-visible state intact.
+///
+/// A second, probabilistic mode (TripWithProbability) draws a seeded
+/// pseudo-random number at every charge and trips when it lands under
+/// `p` — the chaos harness (tests/service_chaos_test.cc) uses it to
+/// scatter transient faults over whole workloads without enumerating
+/// charge indices.  The stream is deterministic in the seed, so a
+/// failing chaos trace replays exactly.  Both modes trip at most once
+/// per arming: after the injected fault is returned the injector
+/// disarms itself (charges keep counting), matching how a real
+/// transient fault interrupts an evaluation exactly once.
 class FaultInjector {
  public:
   FaultInjector() = default;
 
   /// Arms the injector: the `nth` subsequent charge (1-based) fails with
-  /// `fault`.  Resets the charge counter.
+  /// `fault`.  Resets the charge counter and leaves probabilistic mode.
   void TripAt(size_t nth, Status fault = Status::Internal("injected fault")) {
     trip_at_ = nth;
+    probability_millionths_ = 0;
     fault_ = std::move(fault);
     count_ = 0;
+  }
+
+  /// Arms the injector probabilistically: every subsequent charge trips
+  /// with independent probability `p` (clamped to [0, 1]), drawn from a
+  /// PRNG seeded with `seed`.  Deterministic: the same (p, seed) trips
+  /// on the same charge index against the same charge sequence.
+  void TripWithProbability(double p, uint64_t seed,
+                           Status fault = Status::Internal("injected fault")) {
+    if (p < 0) p = 0;
+    if (p > 1) p = 1;
+    probability_millionths_ = static_cast<uint64_t>(p * 1'000'000.0 + 0.5);
+    trip_at_ = 0;
+    fault_ = std::move(fault);
+    count_ = 0;
+    // Golden-ratio offset so nearby seeds give unrelated streams;
+    // xorshift has a fixed point at 0, so never start there.
+    rng_state_ = seed + 0x9e3779b97f4a7c15ull;
+    if (rng_state_ == 0) rng_state_ = 1;
   }
 
   /// Disarms the injector but keeps counting charges.
   void Disarm() {
     trip_at_ = 0;
+    probability_millionths_ = 0;
     count_ = 0;
   }
 
-  /// Charges observed since the last TripAt/Disarm.
+  /// Charges observed since the last TripAt/TripWithProbability/Disarm.
   size_t charges_seen() const { return count_; }
 
   /// Called by ExecutionContext at every charge point.
   Status OnCharge() {
     ++count_;
-    if (trip_at_ != 0 && count_ == trip_at_) return fault_;
+    if (trip_at_ != 0 && count_ == trip_at_) {
+      trip_at_ = 0;
+      return fault_;
+    }
+    if (probability_millionths_ != 0 && NextDraw() < probability_millionths_) {
+      probability_millionths_ = 0;
+      return fault_;
+    }
     return Status::OK();
   }
 
  private:
+  /// xorshift64* step, mapped into [0, 1'000'000).
+  uint64_t NextDraw() {
+    uint64_t x = rng_state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rng_state_ = x;
+    return ((x * 0x2545f4914f6cdd1dull) >> 11) % 1'000'000;
+  }
+
   size_t trip_at_ = 0;
+  uint64_t probability_millionths_ = 0;
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
   size_t count_ = 0;
   Status fault_;
 };

@@ -24,8 +24,20 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+bool StatusCodeIsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
 }
 
 bool StatusCodeFromString(std::string_view name, StatusCode* out) {
@@ -35,6 +47,7 @@ bool StatusCodeFromString(std::string_view name, StatusCode* out) {
       StatusCode::kNotFound,      StatusCode::kUndefined,
       StatusCode::kInternal,      StatusCode::kNotImplemented,
       StatusCode::kCancelled,     StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : kAllCodes) {
     if (StatusCodeToString(code) == name) {

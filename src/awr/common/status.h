@@ -45,7 +45,25 @@ enum class StatusCode {
   /// deadline bounds *time*, which is the only budget that also catches
   /// slow progress inside a single fixpoint round.
   kDeadlineExceeded,
+  /// The service handling the request is temporarily unable to: it is
+  /// draining for shutdown, restarting, or the request was evicted to
+  /// relieve pressure.  Always retryable — the request itself is fine,
+  /// only the moment is wrong.  The query service (service/) uses this
+  /// for drain rejections, evicted in-flight work, and injected
+  /// transient faults; clients back off and resend.
+  kUnavailable,
 };
+
+/// Retry classification (DESIGN.md §11): true for codes that signal a
+/// *transient* condition a client should retry with backoff
+/// (kUnavailable — draining/evicted/transient fault — and
+/// kResourceExhausted, which the service uses for admission shedding
+/// with a retry-after hint).  Every other failure code is terminal for
+/// the request as issued: retrying the identical request cannot
+/// succeed (kInvalidArgument, kFailedPrecondition, ...), needs a
+/// caller decision (kDeadlineExceeded: a longer deadline), or was the
+/// caller's own doing (kCancelled).
+bool StatusCodeIsRetryable(StatusCode code);
 
 /// Returns the canonical name of a code, e.g. "InvalidArgument".
 std::string_view StatusCodeToString(StatusCode code);
@@ -111,6 +129,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
   bool IsFailedPrecondition() const {
@@ -127,6 +148,10 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  /// True when this failure is worth retrying (see StatusCodeIsRetryable).
+  bool IsRetryable() const { return StatusCodeIsRetryable(code()); }
 
  private:
   struct Rep {

@@ -1,0 +1,62 @@
+#include "awr/service/admission.h"
+
+#include <string>
+
+namespace awr::service {
+
+Status AdmissionController::TryReserve(uint64_t bytes,
+                                       uint64_t* retry_after_ms_hint) {
+  if (retry_after_ms_hint != nullptr) *retry_after_ms_hint = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (budget_bytes_ != 0 && bytes > budget_bytes_) {
+    ++shed_;
+    return Status::ResourceExhausted(
+        "admission: request cap " + std::to_string(bytes) +
+        " bytes exceeds the server budget " + std::to_string(budget_bytes_) +
+        " bytes outright");
+  }
+  if (budget_bytes_ != 0 && reserved_ + bytes > budget_bytes_) {
+    ++shed_;
+    if (retry_after_ms_hint != nullptr) {
+      // Scale the hint with how over-committed we are: a nearly-free
+      // server suggests a quick retry, a saturated one a longer pause.
+      const uint64_t pressure_pct = (reserved_ + bytes) * 100 / budget_bytes_;
+      *retry_after_ms_hint = 25 + (pressure_pct > 100 ? pressure_pct - 100 : 0);
+    }
+    return Status::ResourceExhausted(
+        "admission: " + std::to_string(bytes) + " bytes over budget (" +
+        std::to_string(reserved_) + "/" + std::to_string(budget_bytes_) +
+        " reserved); retry later");
+  }
+  reserved_ += bytes;
+  if (reserved_ > high_water_) high_water_ = reserved_;
+  ++admitted_;
+  return Status::OK();
+}
+
+void AdmissionController::Release(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ = bytes > reserved_ ? 0 : reserved_ - bytes;
+}
+
+uint64_t AdmissionController::reserved_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+uint64_t AdmissionController::high_water_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+uint64_t AdmissionController::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+uint64_t AdmissionController::admitted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+}  // namespace awr::service

@@ -1,0 +1,58 @@
+#ifndef AWR_SERVICE_ADMISSION_H_
+#define AWR_SERVICE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "awr/common/status.h"
+
+namespace awr::service {
+
+/// Byte-budget admission control for the query service (DESIGN.md §11).
+///
+/// Every admitted request reserves its memory cap (SubmitRequest::
+/// max_bytes, defaulted by the server config) up front; its
+/// ExecutionContext is then configured with exactly that cap, so the
+/// sum of reservations bounds the sum of per-request logical state the
+/// accountant will ever allow — the server sheds load *before* an
+/// over-committed workload can OOM the process, instead of after.
+///
+/// A request that does not fit is rejected with kResourceExhausted and
+/// a retry-after hint scaled by the oversubscription ratio; the client
+/// library backs off by the hint and resends.  Thread-safe.
+class AdmissionController {
+ public:
+  /// `budget_bytes` is the total the controller may hand out; 0 means
+  /// unlimited (every reservation succeeds).
+  explicit AdmissionController(uint64_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Tries to reserve `bytes`.  On success the caller owns the
+  /// reservation and must Release the same amount exactly once.  A
+  /// request larger than the whole budget can never be admitted and is
+  /// told so (no retry hint) — retrying it unchanged is hopeless.
+  Status TryReserve(uint64_t bytes, uint64_t* retry_after_ms_hint);
+
+  void Release(uint64_t bytes);
+
+  uint64_t budget_bytes() const { return budget_bytes_; }
+  uint64_t reserved_bytes() const;
+  /// Highest reserved_bytes ever observed; the admission acceptance
+  /// check asserts high_water <= budget.
+  uint64_t high_water_bytes() const;
+  uint64_t shed_count() const;
+  uint64_t admitted_count() const;
+
+ private:
+  const uint64_t budget_bytes_;
+  mutable std::mutex mu_;
+  uint64_t reserved_ = 0;
+  uint64_t high_water_ = 0;
+  uint64_t shed_ = 0;
+  uint64_t admitted_ = 0;
+};
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_ADMISSION_H_

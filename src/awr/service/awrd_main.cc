@@ -1,0 +1,347 @@
+// awrd — the awr query service daemon, plus its command-line client.
+//
+//   awrd serve  --socket /tmp/awrd.sock --state-dir /var/lib/awrd ...
+//   awrd query  --socket /tmp/awrd.sock --id q1 --semantics stratified
+//               --program-file prog.dl [--deadline-ms 5000] [--retries 10]
+//   awrd fetch  --socket /tmp/awrd.sock --id q1 [--no-wait]
+//   awrd stats  --socket /tmp/awrd.sock
+//   awrd ping   --socket /tmp/awrd.sock
+//   awrd drain  --socket /tmp/awrd.sock
+//   awrd eval   --semantics wellfounded --program-file prog.dl
+//
+// Every serve flag falls back to an AWR_SERVICE_* environment variable
+// (see README).  SIGTERM/SIGINT drain gracefully: admission stops,
+// in-flight requests are cancelled through the PR 1 contract (each
+// flushes a last-barrier checkpoint), and the process exits once the
+// last one unwinds.  A killed server (SIGKILL) warm-restarts: on the
+// next `awrd serve` over the same --state-dir, journaled unfinished
+// requests resume from their checkpoints and finish in the background.
+//
+// `query` output is line-oriented and stable for scripting:
+//   status: OK
+//   charges: 1234
+//   rounds: 17
+//   resumed: 0
+//   model:
+//   <deterministic model rendering>
+// `eval` runs the same executor locally (no server) — the smoke test's
+// oracle.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "awr/service/client.h"
+#include "awr/service/executor.h"
+#include "awr/service/server.h"
+
+using namespace awr;           // NOLINT
+using namespace awr::service;  // NOLINT
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  uint8_t b = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+/// --key=value / --key value / bare --flag parsing; order-free.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      arg = arg.substr(2);
+      auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "1";
+      }
+    }
+  }
+
+  std::string Str(const std::string& key, const char* env,
+                  std::string fallback) const {
+    auto it = values_.find(key);
+    if (it != values_.end()) return it->second;
+    if (env != nullptr) {
+      const char* v = std::getenv(env);
+      if (v != nullptr && *v != '\0') return v;
+    }
+    return fallback;
+  }
+
+  uint64_t U64(const std::string& key, const char* env,
+               uint64_t fallback) const {
+    std::string s = Str(key, env, "");
+    if (s.empty()) return fallback;
+    return std::strtoull(s.c_str(), nullptr, 10);
+  }
+
+  double F64(const std::string& key, const char* env, double fallback) const {
+    std::string s = Str(key, env, "");
+    if (s.empty()) return fallback;
+    return std::strtod(s.c_str(), nullptr);
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+ExecOptions ExecOptionsFromFlags(const Flags& flags) {
+  ExecOptions exec;
+  exec.default_max_rounds =
+      flags.U64("max-rounds", "AWR_SERVICE_MAX_ROUNDS", exec.default_max_rounds);
+  exec.default_max_facts =
+      flags.U64("max-facts", "AWR_SERVICE_MAX_FACTS", exec.default_max_facts);
+  exec.default_max_bytes =
+      flags.U64("req-bytes", "AWR_SERVICE_REQ_BYTES", exec.default_max_bytes);
+  exec.checkpoint_every = flags.U64("checkpoint-every",
+                                    "AWR_SERVICE_CHECKPOINT_EVERY", 8);
+  exec.slow_round_us =
+      flags.U64("slow-round-us", "AWR_SERVICE_SLOW_ROUND_US", 0);
+  exec.chaos_fault_p = flags.F64("chaos-p", "AWR_SERVICE_CHAOS_P", 0);
+  exec.chaos_seed = flags.U64("chaos-seed", "AWR_SERVICE_CHAOS_SEED", 0);
+  return exec;
+}
+
+int Serve(const Flags& flags) {
+  ServiceConfig config;
+  config.state_dir = flags.Str("state-dir", "AWR_SERVICE_STATE_DIR", "");
+  config.budget_bytes =
+      flags.U64("budget-bytes", "AWR_SERVICE_BUDGET_BYTES", 1ull << 30);
+  config.exec = ExecOptionsFromFlags(flags);
+  config.recover_on_start = !flags.Has("no-recover");
+  const std::string socket =
+      flags.Str("socket", "AWR_SERVICE_SOCKET", "/tmp/awrd.sock");
+  const size_t max_sessions =
+      flags.U64("max-sessions", "AWR_SERVICE_MAX_SESSIONS", 64);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "awrd: cannot create signal pipe\n";
+    return 1;
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = OnSignal;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  QueryService service(config);
+  SocketServer server(&service, socket, max_sessions);
+  server.set_on_drain([] { OnSignal(0); });
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "awrd: " << started << "\n";
+    return 1;
+  }
+  std::cout << "awrd: serving on " << socket
+            << (config.state_dir.empty()
+                    ? std::string(" (no state dir: durability off)")
+                    : " with state in " + config.state_dir)
+            << std::endl;
+
+  // Wait for SIGTERM/SIGINT or a protocol Drain.
+  uint8_t b = 0;
+  while (::read(g_signal_pipe[0], &b, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "awrd: draining..." << std::endl;
+  service.BeginDrain();
+  service.WaitDrained();
+  server.Stop();
+  std::cout << "awrd: drained, exiting" << std::endl;
+  return 0;
+}
+
+Status ReadTextArg(const Flags& flags, const std::string& inline_key,
+                   const std::string& file_key, std::string* out) {
+  if (flags.Has(inline_key)) {
+    *out = flags.Str(inline_key, nullptr, "");
+    return Status::OK();
+  }
+  if (!flags.Has(file_key)) return Status::OK();
+  const std::string path = flags.Str(file_key, nullptr, "");
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return Status::OK();
+}
+
+Result<SubmitRequest> RequestFromFlags(const Flags& flags) {
+  SubmitRequest req;
+  req.id = flags.Str("id", nullptr, "");
+  if (req.id.empty()) return Status::InvalidArgument("--id is required");
+  std::string sem = flags.Str("semantics", nullptr, "wellfounded");
+  if (!SemanticsFromString(sem, &req.semantics)) {
+    return Status::InvalidArgument("unknown --semantics '" + sem + "'");
+  }
+  AWR_RETURN_IF_ERROR(ReadTextArg(flags, "program", "program-file",
+                                  &req.program));
+  AWR_RETURN_IF_ERROR(ReadTextArg(flags, "edb", "edb-file", &req.edb));
+  if (req.program.empty()) {
+    return Status::InvalidArgument("--program or --program-file is required");
+  }
+  req.deadline_ms = flags.U64("deadline-ms", nullptr, 0);
+  req.max_rounds = flags.U64("max-rounds", nullptr, 0);
+  req.max_facts = flags.U64("max-facts", nullptr, 0);
+  req.max_bytes = flags.U64("max-bytes", nullptr, 0);
+  return req;
+}
+
+void PrintRecord(const ResultRecord& res) {
+  std::cout << "status: " << StatusCodeToString(res.code) << "\n";
+  if (!res.message.empty()) std::cout << "message: " << res.message << "\n";
+  if (res.retry_after_ms != 0) {
+    std::cout << "retry_after_ms: " << res.retry_after_ms << "\n";
+  }
+  std::cout << "charges: " << res.charges << "\n";
+  std::cout << "rounds: " << res.rounds << "\n";
+  std::cout << "resumed: " << (res.resumed ? 1 : 0) << "\n";
+  std::cout << "model:\n" << res.model;
+  std::cout.flush();
+}
+
+Client MakeClient(const Flags& flags) {
+  return Client(flags.Str("socket", "AWR_SERVICE_SOCKET", "/tmp/awrd.sock"));
+}
+
+RetryPolicy PolicyFromFlags(const Flags& flags) {
+  RetryPolicy policy;
+  policy.max_attempts =
+      static_cast<int>(flags.U64("retries", nullptr, policy.max_attempts));
+  policy.base_backoff_ms =
+      flags.U64("backoff-ms", nullptr, policy.base_backoff_ms);
+  return policy;
+}
+
+int Query(const Flags& flags) {
+  auto req = RequestFromFlags(flags);
+  if (!req.ok()) {
+    std::cerr << "awrd query: " << req.status() << "\n";
+    return 2;
+  }
+  Client client = MakeClient(flags);
+  auto res = client.SubmitWithRetry(*req, PolicyFromFlags(flags));
+  if (!res.ok()) {
+    std::cerr << "awrd query: " << res.status() << "\n";
+    return 1;
+  }
+  PrintRecord(*res);
+  return res->code == StatusCode::kOk ? 0 : 1;
+}
+
+int Fetch(const Flags& flags) {
+  FetchRequest freq;
+  freq.id = flags.Str("id", nullptr, "");
+  if (freq.id.empty()) {
+    std::cerr << "awrd fetch: --id is required\n";
+    return 2;
+  }
+  freq.wait = !flags.Has("no-wait");
+  Client client = MakeClient(flags);
+  auto res = client.FetchWithRetry(freq, PolicyFromFlags(flags));
+  if (!res.ok()) {
+    std::cerr << "awrd fetch: " << res.status() << "\n";
+    return 1;
+  }
+  PrintRecord(*res);
+  return res->code == StatusCode::kOk ? 0 : 1;
+}
+
+int StatsCmd(const Flags& flags) {
+  Client client = MakeClient(flags);
+  auto stats = client.Stats();
+  if (!stats.ok()) {
+    std::cerr << "awrd stats: " << stats.status() << "\n";
+    return 1;
+  }
+  for (const auto& [name, value] : stats->counters) {
+    std::cout << name << " " << value << "\n";
+  }
+  return 0;
+}
+
+int PingCmd(const Flags& flags) {
+  Client client = MakeClient(flags);
+  auto pong = client.Ping();
+  if (!pong.ok()) {
+    std::cerr << "awrd ping: " << pong.status() << "\n";
+    return 1;
+  }
+  std::cout << "pong: protocol v" << pong->protocol_version
+            << (pong->draining ? " (draining)" : "") << "\n";
+  return 0;
+}
+
+int DrainCmd(const Flags& flags) {
+  Client client = MakeClient(flags);
+  Status st = client.Drain();
+  if (!st.ok()) {
+    std::cerr << "awrd drain: " << st << "\n";
+    return 1;
+  }
+  std::cout << "drain acknowledged\n";
+  return 0;
+}
+
+int Eval(const Flags& flags) {
+  auto req = RequestFromFlags(flags);
+  if (!req.ok()) {
+    std::cerr << "awrd eval: " << req.status() << "\n";
+    return 2;
+  }
+  ExecOptions exec = ExecOptionsFromFlags(flags);
+  ResultRecord res = ExecuteRequest(*req, /*store=*/nullptr, exec);
+  PrintRecord(res);
+  return res.code == StatusCode::kOk ? 0 : 1;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: awrd <serve|query|fetch|stats|ping|drain|eval> [--flags]\n"
+         "  serve: --socket --state-dir --budget-bytes --max-sessions\n"
+         "         --checkpoint-every --req-bytes --max-rounds --max-facts\n"
+         "         --slow-round-us --chaos-p --chaos-seed --no-recover\n"
+         "  query/eval: --id --semantics minimal|inflationary|stratified|\n"
+         "         wellfounded --program|--program-file [--edb|--edb-file]\n"
+         "         [--deadline-ms] [--max-rounds --max-facts --max-bytes]\n"
+         "         [--retries --backoff-ms]\n"
+         "  fetch: --id [--no-wait] [--retries]\n"
+         "  every serve flag falls back to AWR_SERVICE_<NAME>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  Flags flags(argc, argv, 2);
+  if (cmd == "serve") return Serve(flags);
+  if (cmd == "query") return Query(flags);
+  if (cmd == "fetch") return Fetch(flags);
+  if (cmd == "stats") return StatsCmd(flags);
+  if (cmd == "ping") return PingCmd(flags);
+  if (cmd == "drain") return DrainCmd(flags);
+  if (cmd == "eval") return Eval(flags);
+  return Usage();
+}

@@ -1,0 +1,153 @@
+#include "awr/service/client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "awr/service/wire.h"
+
+namespace awr::service {
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  if (socket_path_.empty()) {
+    return Status::InvalidArgument("client: no socket path configured");
+  }
+  auto fd = ConnectUnix(socket_path_);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::vector<uint8_t>> Client::Call(const std::vector<uint8_t>& payload) {
+  AWR_RETURN_IF_ERROR(Connect());
+  Status sent = SendFrame(fd_, payload);
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  auto reply = RecvFrame(fd_);
+  if (!reply.ok()) {
+    Close();
+    // EOF between frames (kNotFound at the wire layer) still means the
+    // server went away mid-request from the client's point of view.
+    if (reply.status().IsNotFound()) {
+      return Status::Unavailable("client: server closed the connection");
+    }
+    return reply.status();
+  }
+  return reply;
+}
+
+Result<ResultRecord> Client::AsResult(const std::vector<uint8_t>& payload) {
+  auto type = PeekType(payload);
+  if (!type.ok()) return type.status();
+  if (*type == MessageType::kError) {
+    Status err = DecodeError(payload);
+    if (err.ok()) err = Status::InvalidArgument("client: Error frame carried kOk");
+    return err;  // the server's protocol-level failure, as our status
+  }
+  return DecodeResult(payload);
+}
+
+Result<ResultRecord> Client::Submit(const SubmitRequest& req) {
+  auto reply = Call(EncodeSubmit(req));
+  if (!reply.ok()) return reply.status();
+  return AsResult(*reply);
+}
+
+Result<ResultRecord> Client::Fetch(const FetchRequest& req) {
+  auto reply = Call(EncodeFetch(req));
+  if (!reply.ok()) return reply.status();
+  return AsResult(*reply);
+}
+
+Result<PongReply> Client::Ping() {
+  auto reply = Call(EncodePing());
+  if (!reply.ok()) return reply.status();
+  auto type = PeekType(*reply);
+  if (type.ok() && *type == MessageType::kError) {
+    Status err = DecodeError(*reply);
+    if (err.ok()) err = Status::InvalidArgument("client: Error frame carried kOk");
+    return err;
+  }
+  return DecodePong(*reply);
+}
+
+Result<StatsReply> Client::Stats() {
+  auto reply = Call(EncodeStatsRequest());
+  if (!reply.ok()) return reply.status();
+  auto type = PeekType(*reply);
+  if (type.ok() && *type == MessageType::kError) {
+    Status err = DecodeError(*reply);
+    if (err.ok()) err = Status::InvalidArgument("client: Error frame carried kOk");
+    return err;
+  }
+  return DecodeStatsReply(*reply);
+}
+
+Status Client::Drain() {
+  auto reply = Call(EncodeDrain());
+  if (!reply.ok()) return reply.status();
+  auto type = PeekType(*reply);
+  if (!type.ok()) return type.status();
+  if (*type == MessageType::kError) {
+    Status err = DecodeError(*reply);
+    if (err.ok()) err = Status::InvalidArgument("client: Error frame carried kOk");
+    return err;
+  }
+  if (*type != MessageType::kAck) {
+    return Status::InvalidArgument("client: unexpected reply to Drain");
+  }
+  return Status::OK();
+}
+
+template <typename Op>
+Result<ResultRecord> Client::RetryLoop(Op op, const RetryPolicy& policy) {
+  uint64_t backoff_ms = policy.base_backoff_ms;
+  Status last = Status::Unavailable("client: no attempts made");
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+    }
+    Result<ResultRecord> r = op();
+    if (!r.ok()) {
+      // Transport/protocol failure: reconnect next attempt if
+      // retryable, otherwise give up (e.g. kInvalidArgument from a
+      // protocol mismatch will not fix itself).
+      last = r.status();
+      if (!last.IsRetryable()) return last;
+      continue;
+    }
+    if (!StatusCodeIsRetryable(r->code)) {
+      return r;  // success or terminal failure: done either way
+    }
+    last = r->ToStatus();
+    // The server knows its own pressure: a retry-after hint overrides
+    // a smaller local backoff.
+    if (r->retry_after_ms > backoff_ms) backoff_ms = r->retry_after_ms;
+  }
+  return last;
+}
+
+Result<ResultRecord> Client::SubmitWithRetry(const SubmitRequest& req,
+                                             const RetryPolicy& policy) {
+  return RetryLoop([&] { return Submit(req); }, policy);
+}
+
+Result<ResultRecord> Client::FetchWithRetry(const FetchRequest& req,
+                                            const RetryPolicy& policy) {
+  return RetryLoop([&] { return Fetch(req); }, policy);
+}
+
+}  // namespace awr::service

@@ -1,0 +1,94 @@
+#ifndef AWR_SERVICE_CLIENT_H_
+#define AWR_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+#include "awr/service/protocol.h"
+
+namespace awr::service {
+
+/// How a client retries transient failures (DESIGN.md §11): exponential
+/// backoff from `base_backoff_ms`, doubled per attempt up to
+/// `max_backoff_ms`, always deferring to a server retry-after hint when
+/// one is larger.  Only retryable outcomes re-attempt
+/// (StatusCodeIsRetryable: kUnavailable, kResourceExhausted);
+/// everything else — including kDeadlineExceeded, which needs a caller
+/// decision about a longer deadline — returns immediately.
+struct RetryPolicy {
+  int max_attempts = 10;
+  uint64_t base_backoff_ms = 10;
+  uint64_t max_backoff_ms = 2000;
+};
+
+/// A connection to one awrd server.  Requests on a Client are serial
+/// (one frame in flight); concurrent callers each open their own.
+/// Movable, not copyable; closes its socket on destruction.
+///
+/// Transport failures surface as kUnavailable and close the
+/// connection; the *WithRetry entry points then reconnect on the next
+/// attempt, so a server restart in the middle of a workload costs a
+/// backoff, not an error — combined with the server's idempotent
+/// request ids, blind resubmission is safe.
+class Client {
+ public:
+  Client() = default;
+  explicit Client(std::string socket_path) : socket_path_(std::move(socket_path)) {}
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      socket_path_ = std::move(other.socket_path_);
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  const std::string& socket_path() const { return socket_path_; }
+  bool connected() const { return fd_ >= 0; }
+
+  /// (Re)connects to socket_path().  Idempotent when connected.
+  Status Connect();
+  void Close();
+
+  /// Single-attempt calls: submit/fetch return the server's
+  /// ResultRecord (whose code may itself be a failure); a non-OK
+  /// Result status means the *transport or protocol* failed.
+  Result<ResultRecord> Submit(const SubmitRequest& req);
+  Result<ResultRecord> Fetch(const FetchRequest& req);
+  Result<PongReply> Ping();
+  Result<StatsReply> Stats();
+  /// Asks the server to drain (acknowledged before the drain finishes).
+  Status Drain();
+
+  /// Retrying variants: reconnect on transport failure, back off on
+  /// retryable outcomes, return the first terminal record.  When
+  /// attempts run out, the last failure is returned as the status.
+  Result<ResultRecord> SubmitWithRetry(const SubmitRequest& req,
+                                       const RetryPolicy& policy = {});
+  Result<ResultRecord> FetchWithRetry(const FetchRequest& req,
+                                      const RetryPolicy& policy = {});
+
+ private:
+  /// Sends `payload`, receives one frame; closes on any failure.
+  Result<std::vector<uint8_t>> Call(const std::vector<uint8_t>& payload);
+  /// Decodes a Result frame, unwrapping Error frames into statuses.
+  static Result<ResultRecord> AsResult(const std::vector<uint8_t>& payload);
+
+  template <typename Op>
+  Result<ResultRecord> RetryLoop(Op op, const RetryPolicy& policy);
+
+  std::string socket_path_;
+  int fd_ = -1;
+};
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_CLIENT_H_

@@ -1,0 +1,64 @@
+#ifndef AWR_SERVICE_EXECUTOR_H_
+#define AWR_SERVICE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "awr/common/context.h"
+#include "awr/service/protocol.h"
+#include "awr/service/store.h"
+
+namespace awr::service {
+
+/// Per-request evaluation knobs the server hands the executor; all
+/// fields have serve-anywhere defaults so `awrd eval` (no server) can
+/// run the same code path.
+struct ExecOptions {
+  /// Defaults applied when the request leaves a limit at 0.
+  uint64_t default_max_rounds = 10000;
+  uint64_t default_max_facts = 10'000'000;
+  /// Per-request memory cap; also the admission reservation.
+  uint64_t default_max_bytes = 256ull << 20;
+  /// Persist a checkpoint every N completed rounds (0 = only on
+  /// interrupt).  Checkpoint-on-interrupt is always on when a store is
+  /// attached: an interrupted request leaves its last barrier behind.
+  uint64_t checkpoint_every = 8;
+  /// Test-only: sleep this long inside every checkpoint capture, to
+  /// stretch fixpoints so external kill tests land mid-run
+  /// (AWR_SERVICE_SLOW_ROUND_US).
+  uint64_t slow_round_us = 0;
+  /// Chaos mode: probability of one injected transient (kUnavailable)
+  /// fault per request, drawn at every governance charge with
+  /// `chaos_seed` (FaultInjector::TripWithProbability).  0 disables.
+  double chaos_fault_p = 0;
+  uint64_t chaos_seed = 0;
+  /// Which attempt at this request this is (the server counts per id).
+  /// Mixed into the injector seed so a RETRY draws a fresh fault
+  /// position: with a stable seed, a fault landing before the first
+  /// checkpoint barrier would recur at the same charge on every
+  /// identical re-execution and the request could never finish.
+  uint64_t chaos_attempt = 0;
+  /// Cancellation (drain/evict) for this request.
+  CancelToken cancel;
+};
+
+/// Runs `req` to an outcome: parses, admits nothing (the server did),
+/// resumes from the store's snapshot when one matches, evaluates under
+/// a fresh ExecutionContext (deadline, limits, cancellation, chaos
+/// injector), and persists round-barrier checkpoints back to the store.
+///
+/// `store` may be null (no durability: plain one-shot evaluation).
+/// The returned record's code classifies the outcome:
+///   * kOk or a terminal failure — final; the caller stores it;
+///   * kUnavailable / kDeadlineExceeded — transient; the caller must
+///     NOT store it (a later retry resumes from the checkpoint this
+///     run left behind).
+/// `ShouldStoreResult` encodes that decision.
+ResultRecord ExecuteRequest(const SubmitRequest& req, const RequestStore* store,
+                            const ExecOptions& opts);
+
+bool ShouldStoreResult(const ResultRecord& res);
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_EXECUTOR_H_

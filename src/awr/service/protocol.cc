@@ -1,0 +1,318 @@
+#include "awr/service/protocol.h"
+
+namespace awr::service {
+
+namespace {
+
+/// Writes the common preamble: type byte.
+ByteWriter WithType(MessageType type) {
+  ByteWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  return w;
+}
+
+Status CheckType(ByteReader* r, MessageType want) {
+  uint8_t t = 0;
+  AWR_RETURN_IF_ERROR(r->U8(&t));
+  if (t != static_cast<uint8_t>(want)) {
+    return Status::InvalidArgument(
+        "protocol: unexpected message type " + std::to_string(t) +
+        ", want " + std::to_string(static_cast<uint8_t>(want)));
+  }
+  return Status::OK();
+}
+
+Status CheckDrained(const ByteReader& r, std::string_view what) {
+  if (r.remaining() != 0) {
+    return Status::InvalidArgument(
+        std::string("protocol: trailing bytes after ") + std::string(what));
+  }
+  return Status::OK();
+}
+
+void EncodeStatusInto(ByteWriter* w, StatusCode code,
+                      const std::string& message) {
+  w->Str(StatusCodeToString(code));
+  w->Str(message);
+}
+
+Status DecodeStatusFrom(ByteReader* r, StatusCode* code, std::string* message) {
+  std::string name;
+  AWR_RETURN_IF_ERROR(r->Str(&name));
+  if (!StatusCodeFromString(name, code)) {
+    return Status::InvalidArgument("protocol: unknown status code '" + name +
+                                   "'");
+  }
+  return r->Str(message);
+}
+
+}  // namespace
+
+std::string_view SemanticsToString(Semantics s) {
+  switch (s) {
+    case Semantics::kMinimalModel:
+      return "minimal";
+    case Semantics::kInflationary:
+      return "inflationary";
+    case Semantics::kStratified:
+      return "stratified";
+    case Semantics::kWellFounded:
+      return "wellfounded";
+  }
+  return "unknown";
+}
+
+bool SemanticsFromString(std::string_view name, Semantics* out) {
+  for (Semantics s :
+       {Semantics::kMinimalModel, Semantics::kInflationary,
+        Semantics::kStratified, Semantics::kWellFounded}) {
+    if (SemanticsToString(s) == name) {
+      *out = s;
+      return true;
+    }
+  }
+  // Accepted aliases, matching the REPL's :semantics vocabulary.
+  if (name == "valid" || name == "wfs") {
+    *out = Semantics::kWellFounded;
+    return true;
+  }
+  if (name == "least" || name == "leastmodel") {
+    *out = Semantics::kMinimalModel;
+    return true;
+  }
+  return false;
+}
+
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.Raw(payload.data(), payload.size());
+  return w.TakeBytes();
+}
+
+Result<uint32_t> DecodeFrameLength(const uint8_t header[4]) {
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t(header[i]) << (8 * i);
+  if (len == 0) return Status::InvalidArgument("protocol: empty frame");
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("protocol: frame of " + std::to_string(len) +
+                                   " bytes exceeds limit");
+  }
+  return len;
+}
+
+std::vector<uint8_t> EncodeSubmit(const SubmitRequest& req) {
+  ByteWriter w = WithType(MessageType::kSubmit);
+  w.Str(req.id);
+  w.U8(static_cast<uint8_t>(req.semantics));
+  w.Str(req.program);
+  w.Str(req.edb);
+  w.U64(req.deadline_ms);
+  w.U64(req.max_rounds);
+  w.U64(req.max_facts);
+  w.U64(req.max_bytes);
+  return w.TakeBytes();
+}
+
+Result<SubmitRequest> DecodeSubmit(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kSubmit));
+  SubmitRequest req;
+  AWR_RETURN_IF_ERROR(r.Str(&req.id));
+  uint8_t sem = 0;
+  AWR_RETURN_IF_ERROR(r.U8(&sem));
+  if (sem > static_cast<uint8_t>(Semantics::kWellFounded)) {
+    return Status::InvalidArgument("protocol: unknown semantics tag " +
+                                   std::to_string(sem));
+  }
+  req.semantics = static_cast<Semantics>(sem);
+  AWR_RETURN_IF_ERROR(r.Str(&req.program));
+  AWR_RETURN_IF_ERROR(r.Str(&req.edb));
+  AWR_RETURN_IF_ERROR(r.U64(&req.deadline_ms));
+  AWR_RETURN_IF_ERROR(r.U64(&req.max_rounds));
+  AWR_RETURN_IF_ERROR(r.U64(&req.max_facts));
+  AWR_RETURN_IF_ERROR(r.U64(&req.max_bytes));
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "Submit"));
+  return req;
+}
+
+std::vector<uint8_t> EncodeFetch(const FetchRequest& req) {
+  ByteWriter w = WithType(MessageType::kFetch);
+  w.Str(req.id);
+  w.U8(req.wait ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<FetchRequest> DecodeFetch(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kFetch));
+  FetchRequest req;
+  AWR_RETURN_IF_ERROR(r.Str(&req.id));
+  uint8_t wait = 0;
+  AWR_RETURN_IF_ERROR(r.U8(&wait));
+  req.wait = wait != 0;
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "Fetch"));
+  return req;
+}
+
+std::vector<uint8_t> EncodePing() {
+  return WithType(MessageType::kPing).TakeBytes();
+}
+std::vector<uint8_t> EncodeStatsRequest() {
+  return WithType(MessageType::kStats).TakeBytes();
+}
+std::vector<uint8_t> EncodeDrain() {
+  return WithType(MessageType::kDrain).TakeBytes();
+}
+std::vector<uint8_t> EncodeAck() {
+  return WithType(MessageType::kAck).TakeBytes();
+}
+
+std::vector<uint8_t> EncodeResult(const ResultRecord& res) {
+  ByteWriter w = WithType(MessageType::kResult);
+  EncodeStatusInto(&w, res.code, res.message);
+  w.U64(res.retry_after_ms);
+  w.U8(static_cast<uint8_t>(res.semantics));
+  w.Str(res.model);
+  w.U64(res.charges);
+  w.U64(res.rounds);
+  w.U8(res.resumed ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<ResultRecord> DecodeResult(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kResult));
+  ResultRecord res;
+  AWR_RETURN_IF_ERROR(DecodeStatusFrom(&r, &res.code, &res.message));
+  AWR_RETURN_IF_ERROR(r.U64(&res.retry_after_ms));
+  uint8_t sem = 0;
+  AWR_RETURN_IF_ERROR(r.U8(&sem));
+  if (sem > static_cast<uint8_t>(Semantics::kWellFounded)) {
+    return Status::InvalidArgument("protocol: unknown semantics tag " +
+                                   std::to_string(sem));
+  }
+  res.semantics = static_cast<Semantics>(sem);
+  AWR_RETURN_IF_ERROR(r.Str(&res.model));
+  AWR_RETURN_IF_ERROR(r.U64(&res.charges));
+  AWR_RETURN_IF_ERROR(r.U64(&res.rounds));
+  uint8_t resumed = 0;
+  AWR_RETURN_IF_ERROR(r.U8(&resumed));
+  res.resumed = resumed != 0;
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "Result"));
+  return res;
+}
+
+std::vector<uint8_t> EncodeError(const Status& status) {
+  ByteWriter w = WithType(MessageType::kError);
+  EncodeStatusInto(&w, status.code(), status.message());
+  return w.TakeBytes();
+}
+
+Status DecodeError(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kError));
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+  AWR_RETURN_IF_ERROR(DecodeStatusFrom(&r, &code, &message));
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "Error"));
+  return Status(code, std::move(message));
+}
+
+std::vector<uint8_t> EncodePong(const PongReply& pong) {
+  ByteWriter w = WithType(MessageType::kPong);
+  w.U32(pong.protocol_version);
+  w.U8(pong.draining ? 1 : 0);
+  return w.TakeBytes();
+}
+
+Result<PongReply> DecodePong(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kPong));
+  PongReply pong;
+  AWR_RETURN_IF_ERROR(r.U32(&pong.protocol_version));
+  uint8_t draining = 0;
+  AWR_RETURN_IF_ERROR(r.U8(&draining));
+  pong.draining = draining != 0;
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "Pong"));
+  return pong;
+}
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& stats) {
+  ByteWriter w = WithType(MessageType::kStatsResult);
+  w.U32(static_cast<uint32_t>(stats.counters.size()));
+  for (const auto& [name, value] : stats.counters) {
+    w.Str(name);
+    w.U64(value);
+  }
+  return w.TakeBytes();
+}
+
+Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload.data(), payload.size());
+  AWR_RETURN_IF_ERROR(CheckType(&r, MessageType::kStatsResult));
+  uint32_t count = 0;
+  AWR_RETURN_IF_ERROR(r.U32(&count));
+  // Each counter needs at least 12 bytes (empty name + u64), so a
+  // garbage count cannot drive an unbounded reserve.
+  if (count > r.remaining() / 12 + 1) {
+    return Status::InvalidArgument("protocol: stats counter count " +
+                                   std::to_string(count) +
+                                   " exceeds payload");
+  }
+  StatsReply stats;
+  stats.counters.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint64_t value = 0;
+    AWR_RETURN_IF_ERROR(r.Str(&name));
+    AWR_RETURN_IF_ERROR(r.U64(&value));
+    stats.counters.emplace_back(std::move(name), value);
+  }
+  AWR_RETURN_IF_ERROR(CheckDrained(r, "StatsResult"));
+  return stats;
+}
+
+Result<MessageType> PeekType(const std::vector<uint8_t>& payload) {
+  if (payload.empty()) {
+    return Status::InvalidArgument("protocol: empty payload");
+  }
+  switch (payload[0]) {
+    case 0x01:
+    case 0x02:
+    case 0x03:
+    case 0x04:
+    case 0x05:
+    case 0x80:
+    case 0x81:
+    case 0x82:
+    case 0x83:
+    case 0x84:
+      return static_cast<MessageType>(payload[0]);
+    default:
+      return Status::InvalidArgument("protocol: unknown message type " +
+                                     std::to_string(payload[0]));
+  }
+}
+
+Status ValidateRequestId(std::string_view id) {
+  if (id.empty() || id.size() > 100) {
+    return Status::InvalidArgument(
+        "request id must be 1..100 characters, got " +
+        std::to_string(id.size()));
+  }
+  if (id.front() == '.') {
+    return Status::InvalidArgument("request id must not start with '.'");
+  }
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) {
+      return Status::InvalidArgument(
+          "request id may only contain [A-Za-z0-9._-]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace awr::service

@@ -1,0 +1,181 @@
+#ifndef AWR_SERVICE_PROTOCOL_H_
+#define AWR_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+#include "awr/value/value_codec.h"
+
+namespace awr::service {
+
+/// Wire protocol of the awr query service (DESIGN.md §11).
+///
+/// Sessions exchange length-prefixed frames over a byte stream (Unix
+/// domain socket in awrd; any connected fd works):
+///
+///   u32  payload length (little-endian, <= kMaxFrameBytes)
+///   u8   message type (MessageType)
+///   ...  message body, encoded with the value_codec ByteWriter/Reader
+///        primitives (little-endian scalars, u32-length-prefixed
+///        strings)
+///
+/// Decoding is defensive end to end: the length prefix is bounded, the
+/// body readers are bounds-checked, status codes travel as canonical
+/// *names* (StatusCodeToString) so the enum can grow without breaking
+/// old peers, and any malformed frame yields a clean non-OK Status —
+/// the server answers it with an Error frame or drops the session, it
+/// never crashes.  One request frame gets exactly one response frame;
+/// requests on one session are serial (the client library enforces
+/// this; a concurrent client opens more sessions).
+
+/// Frames larger than this are rejected before allocation: no honest
+/// message approaches it, so a garbage length prefix cannot OOM the
+/// peer.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Protocol revision, reported by Pong; bump on incompatible change.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+enum class MessageType : uint8_t {
+  // Client -> server.
+  kSubmit = 0x01,
+  kFetch = 0x02,
+  kPing = 0x03,
+  kStats = 0x04,
+  kDrain = 0x05,
+  // Server -> client.
+  kError = 0x80,
+  kResult = 0x81,
+  kPong = 0x82,
+  kStatsResult = 0x83,
+  kAck = 0x84,
+};
+
+/// Which fixpoint semantics a request asks for.  Values are wire-stable
+/// and deliberately mirror snapshot::EngineKind, so a request's
+/// semantics maps 1:1 onto the engine tag its checkpoints carry.
+enum class Semantics : uint8_t {
+  kMinimalModel = 0,
+  kInflationary = 1,
+  kStratified = 2,
+  kWellFounded = 3,
+};
+
+std::string_view SemanticsToString(Semantics s);
+bool SemanticsFromString(std::string_view name, Semantics* out);
+
+/// A query submission.  `id` names the request durably: submits are
+/// idempotent per id (a retry of a completed id returns the stored
+/// result; a retry of an interrupted id resumes from its last
+/// checkpoint), which is what makes the client's retry loop safe.
+struct SubmitRequest {
+  std::string id;
+  Semantics semantics = Semantics::kMinimalModel;
+  /// Program text (ParseProgram syntax); facts may live here as rules.
+  std::string program;
+  /// Optional extra EDB facts (ParseFacts syntax).
+  std::string edb;
+  /// Per-request wall-clock deadline in milliseconds; 0 = none.
+  uint64_t deadline_ms = 0;
+  /// EvalLimits overrides; 0 = the server's configured default.  The
+  /// max_bytes cap doubles as the request's admission reservation.
+  uint64_t max_rounds = 0;
+  uint64_t max_facts = 0;
+  uint64_t max_bytes = 0;
+};
+
+struct FetchRequest {
+  std::string id;
+  /// Block until the request (re)executes to completion instead of
+  /// failing fast with kUnavailable while it is in flight.
+  bool wait = true;
+};
+
+/// The outcome of a request, also the durable .res record shape.
+struct ResultRecord {
+  /// Outcome of the evaluation; retryable codes mean "not done yet".
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  /// Backoff hint for retryable failures, milliseconds; 0 = none.
+  uint64_t retry_after_ms = 0;
+  Semantics semantics = Semantics::kMinimalModel;
+  /// Deterministic rendering of the final model
+  /// (Interpretation::ToString / ThreeValuedInterp::ToString) — the
+  /// chaos oracle compares these byte-for-byte.
+  std::string model;
+  /// Total governance charges: charges_at_barrier of the resumed-from
+  /// snapshot (0 for a fresh run) plus the run's own charges.  Equal to
+  /// an uninterrupted run's total (PR 4 parity).
+  uint64_t charges = 0;
+  uint64_t rounds = 0;
+  /// True when any part of this result was computed by resuming a
+  /// persisted checkpoint (warm restart / retry-after-interrupt).
+  bool resumed = false;
+
+  Status ToStatus() const {
+    return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+  }
+};
+
+struct PongReply {
+  uint32_t protocol_version = kProtocolVersion;
+  bool draining = false;
+};
+
+/// Flat name->value counters; kept schemaless on the wire so the server
+/// can add counters without a protocol bump.
+struct StatsReply {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  uint64_t Get(std::string_view name) const {
+    for (const auto& [k, v] : counters) {
+      if (k == name) return v;
+    }
+    return 0;
+  }
+};
+
+/// Frame assembly/parsing.  EncodeFrame prepends the length prefix;
+/// DecodeFrameHeader validates a received prefix.  Body encoders write
+/// the type byte themselves.
+std::vector<uint8_t> EncodeFrame(const std::vector<uint8_t>& payload);
+Result<uint32_t> DecodeFrameLength(const uint8_t header[4]);
+
+/// Message body codecs (payload = type byte + body).
+std::vector<uint8_t> EncodeSubmit(const SubmitRequest& req);
+std::vector<uint8_t> EncodeFetch(const FetchRequest& req);
+std::vector<uint8_t> EncodePing();
+std::vector<uint8_t> EncodeStatsRequest();
+std::vector<uint8_t> EncodeDrain();
+std::vector<uint8_t> EncodeResult(const ResultRecord& res);
+std::vector<uint8_t> EncodeError(const Status& status);
+std::vector<uint8_t> EncodePong(const PongReply& pong);
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& stats);
+std::vector<uint8_t> EncodeAck();
+
+/// Peeks the type byte of a payload (kInvalidArgument when empty or
+/// unknown).
+Result<MessageType> PeekType(const std::vector<uint8_t>& payload);
+
+/// Body decoders; each expects the full payload including type byte and
+/// rejects trailing garbage.
+Result<SubmitRequest> DecodeSubmit(const std::vector<uint8_t>& payload);
+Result<FetchRequest> DecodeFetch(const std::vector<uint8_t>& payload);
+Result<ResultRecord> DecodeResult(const std::vector<uint8_t>& payload);
+/// Returns the status carried by an Error frame; a malformed frame
+/// decodes to kInvalidArgument (both are failures to surface, so no
+/// Result wrapper).
+Status DecodeError(const std::vector<uint8_t>& payload);
+Result<PongReply> DecodePong(const std::vector<uint8_t>& payload);
+Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& payload);
+
+/// Request ids become file names in the durable store, so they are
+/// restricted to [A-Za-z0-9._-], 1..100 chars, not starting with '.'.
+Status ValidateRequestId(std::string_view id);
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_PROTOCOL_H_

@@ -1,0 +1,192 @@
+#ifndef AWR_SERVICE_SERVER_H_
+#define AWR_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "awr/service/admission.h"
+#include "awr/service/executor.h"
+#include "awr/service/protocol.h"
+#include "awr/service/store.h"
+
+namespace awr::service {
+
+/// Server configuration; every field has an AWR_SERVICE_* environment
+/// override in awrd (see README).
+struct ServiceConfig {
+  /// Durable request state; empty disables durability (no journal, no
+  /// checkpoints, no warm restart — pure in-memory serving).
+  std::string state_dir;
+  /// Total admission budget (sum of per-request memory caps); 0 =
+  /// unlimited.
+  uint64_t budget_bytes = 1ull << 30;
+  /// Per-request evaluation defaults (limits, checkpoint period, chaos).
+  ExecOptions exec;
+  /// Retry-after hint handed out with drain rejections.
+  uint64_t drain_retry_after_ms = 100;
+  /// Finish journaled-but-unfinished requests in the background after a
+  /// (re)start — the warm-restart worker.
+  bool recover_on_start = true;
+};
+
+/// The transport-independent heart of awrd: admission, execution,
+/// idempotent request identity, drain and warm restart (DESIGN.md §11).
+/// Thread-safe; session loops call Submit/Fetch/Stats concurrently.
+///
+/// Failure-first contracts:
+///  * Submit is idempotent per request id — a completed id returns the
+///    stored result, an in-flight id joins the running evaluation
+///    (never a second execution), an interrupted id resumes from its
+///    last checkpoint.  This is what makes blind client retries safe.
+///  * Drain: BeginDrain stops admission (kUnavailable + retry hint) and
+///    cancels in-flight work through the PR 1 cancellation contract;
+///    each evicted request flushes a last-barrier checkpoint on its way
+///    out (checkpoint-on-interrupt), so nothing is lost.  WaitDrained
+///    blocks until the last in-flight request unwinds.
+///  * Warm restart: a new QueryService over the same state_dir finds
+///    every .req without a .res and finishes it — resuming from the
+///    .snap when one matches — on a background recovery thread.
+class QueryService {
+ public:
+  explicit QueryService(ServiceConfig config);
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Executes (or joins/returns) the request; blocks until the outcome
+  /// is known.  Never throws; all failures are in the record's code.
+  ResultRecord Submit(const SubmitRequest& req);
+
+  /// Returns the result of a previously submitted id: stored result,
+  /// join of the in-flight execution (wait=true), or — when the id is
+  /// journaled but idle, e.g. after a restart — a fresh
+  /// execution/resume.  kNotFound for an unknown id.
+  ResultRecord Fetch(const FetchRequest& req);
+
+  StatsReply Stats() const;
+
+  /// Stops admission and cancels all in-flight requests; returns
+  /// immediately.  Idempotent.
+  void BeginDrain();
+  /// Blocks until no request is in flight and recovery has stopped.
+  void WaitDrained();
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  const ServiceConfig& config() const { return config_; }
+  const RequestStore* store() const { return store_.get(); }
+
+ private:
+  struct Inflight {
+    CancelSource cancel;
+    bool done = false;
+    ResultRecord result;
+  };
+
+  /// The one execution funnel: dedup/join via the in-flight table,
+  /// admission, journal, execute, persist, publish.  `journaled` is
+  /// true when the .req is already on disk (fetch/recovery path).
+  ResultRecord ExecuteAdmitted(const SubmitRequest& req, bool journaled);
+
+  void RecoveryLoop();
+
+  ServiceConfig config_;
+  std::unique_ptr<RequestStore> store_;  // null without state_dir
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+  /// Completed results when running without a durable store (empty
+  /// state_dir): idempotent replay must work in pure in-memory mode
+  /// too, it just doesn't survive a restart.  Unused when store_ is
+  /// set — the .res file is the single source of truth there.
+  std::map<std::string, ResultRecord> memory_results_;
+  /// Executions started per id, fed to ExecOptions::chaos_attempt so a
+  /// retried request draws a fresh chaos-fault position (liveness);
+  /// cleared once the id reaches a terminal outcome.
+  std::map<std::string, uint64_t> attempts_;
+  std::atomic<bool> draining_{false};
+
+  // Counters (under mu_).
+  uint64_t submits_ = 0;
+  uint64_t fetches_ = 0;
+  uint64_t completed_ok_ = 0;
+  uint64_t failed_terminal_ = 0;
+  uint64_t transient_ = 0;
+  uint64_t drain_rejected_ = 0;
+  uint64_t dedup_joined_ = 0;
+  uint64_t resumed_runs_ = 0;
+  uint64_t recovered_ = 0;
+
+  std::thread recovery_;
+};
+
+/// Unix-socket front end: accepts sessions and speaks the framed
+/// protocol, one thread per session, bounded by `max_sessions` (excess
+/// connections are answered with a kUnavailable Error frame and
+/// closed).  All reads are interruptible via an internal wake pipe so
+/// Stop never blocks on a stuck peer.
+class SocketServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  SocketServer(QueryService* service, std::string socket_path,
+               size_t max_sessions = 64);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and starts the accept loop.
+  Status Start();
+
+  /// Stops accepting, wakes and joins every session thread, removes the
+  /// socket file.  Idempotent.  Does NOT drain the service — callers
+  /// that want a graceful shutdown call service->BeginDrain()/
+  /// WaitDrained() first (awrd does, on SIGTERM).
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Invoked (once) when a client sends a Drain frame, after the Ack is
+  /// sent; awrd uses it to trigger the same path as SIGTERM.
+  void set_on_drain(std::function<void()> cb) { on_drain_ = std::move(cb); }
+
+  size_t active_sessions() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void SessionLoop(Session* session);
+  void ReapFinishedSessions();  // caller holds mu_
+
+  QueryService* service_;  // borrowed
+  std::string socket_path_;
+  size_t max_sessions_;
+  std::function<void()> on_drain_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> drain_signalled_{false};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_SERVER_H_

@@ -1,0 +1,162 @@
+#include "awr/service/store.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "awr/snapshot/snapshot.h"
+
+namespace awr::service {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    names.emplace_back(e->d_name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  // The temp file lives in the target directory so the rename cannot
+  // cross filesystems; the pid+address suffix keeps concurrent writers
+  // of *different* paths from colliding.
+  std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal(ErrnoMessage("store: cannot create " + tmp));
+  }
+  const size_t written =
+      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != bytes.size() || !close_ok) {
+    std::remove(tmp.c_str());
+    return Status::Internal("store: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal(ErrnoMessage("store: cannot rename into " + path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("store: no such file: " + path);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool err = std::ferror(f) != 0;
+  std::fclose(f);
+  if (err) return Status::Internal("store: read error on " + path);
+  return bytes;
+}
+
+RequestStore::RequestStore(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; other errors surface
+                                // on the first write.
+}
+
+std::string RequestStore::Path(const std::string& id, const char* ext) const {
+  return dir_ + "/" + id + ext;
+}
+
+Status RequestStore::WriteRequest(const SubmitRequest& req) const {
+  AWR_RETURN_IF_ERROR(ValidateRequestId(req.id));
+  return AtomicWriteFile(Path(req.id, ".req"), EncodeSubmit(req));
+}
+
+Result<SubmitRequest> RequestStore::ReadRequest(const std::string& id) const {
+  auto bytes = ReadWholeFile(Path(id, ".req"));
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSubmit(*bytes);
+}
+
+bool RequestStore::HasRequest(const std::string& id) const {
+  return FileExists(Path(id, ".req"));
+}
+
+Status RequestStore::WriteSnapshot(const std::string& id,
+                                   const snapshot::EvalSnapshot& snap) const {
+  auto bytes = snapshot::Serialize(snap);
+  if (!bytes.ok()) return bytes.status();
+  return AtomicWriteFile(Path(id, ".snap"), *bytes);
+}
+
+Result<snapshot::EvalSnapshot> RequestStore::ReadSnapshot(
+    const std::string& id) const {
+  auto bytes = ReadWholeFile(Path(id, ".snap"));
+  if (!bytes.ok()) return bytes.status();
+  return snapshot::Deserialize(*bytes);
+}
+
+void RequestStore::DeleteSnapshot(const std::string& id) const {
+  std::remove(Path(id, ".snap").c_str());
+}
+
+Status RequestStore::WriteResult(const std::string& id,
+                                 const ResultRecord& res) const {
+  AWR_RETURN_IF_ERROR(AtomicWriteFile(Path(id, ".res"), EncodeResult(res)));
+  DeleteSnapshot(id);
+  return Status::OK();
+}
+
+Result<ResultRecord> RequestStore::ReadResult(const std::string& id) const {
+  auto bytes = ReadWholeFile(Path(id, ".res"));
+  if (!bytes.ok()) return bytes.status();
+  return DecodeResult(*bytes);
+}
+
+bool RequestStore::HasResult(const std::string& id) const {
+  return FileExists(Path(id, ".res"));
+}
+
+std::vector<std::string> RequestStore::UnfinishedRequests() const {
+  std::vector<std::string> ids;
+  for (const std::string& name : ListDir(dir_)) {
+    const std::string suffix = ".req";
+    if (name.size() <= suffix.size() ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    std::string id = name.substr(0, name.size() - suffix.size());
+    if (!HasResult(id)) ids.push_back(std::move(id));
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void RequestStore::Purge(const std::string& id) const {
+  std::remove(Path(id, ".req").c_str());
+  std::remove(Path(id, ".snap").c_str());
+  std::remove(Path(id, ".res").c_str());
+}
+
+}  // namespace awr::service

@@ -1,0 +1,81 @@
+#ifndef AWR_SERVICE_STORE_H_
+#define AWR_SERVICE_STORE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+#include "awr/service/protocol.h"
+#include "awr/snapshot/state.h"
+
+namespace awr::service {
+
+/// Durable per-request state under one directory (DESIGN.md §11).
+///
+/// Three files per request id, each written atomically (temp file in
+/// the same directory + rename, so a reader — including a warm-started
+/// server after SIGKILL — sees either the previous complete version or
+/// the new complete version, never a torn write):
+///
+///   <id>.req   the SubmitRequest, in its wire encoding — the journal
+///              entry that lets a restarted server finish the request
+///   <id>.snap  the latest round-barrier checkpoint
+///              (snapshot::Serialize bytes); replaced at every capture
+///   <id>.res   the final ResultRecord, in its wire encoding; written
+///              exactly once, after which the .snap is deleted
+///
+/// The lifecycle invariant a warm restart relies on: a .req without a
+/// .res is unfinished work — resume it from the .snap if one decodes
+/// cleanly, from scratch otherwise.  Corrupt or truncated files never
+/// escalate: every reader returns a clean non-OK status and the caller
+/// falls back (a bad .snap degrades to a fresh run; a bad .res or .req
+/// reports the request lost).
+///
+/// Thread-compatibility: the store itself is stateless (all state is
+/// the filesystem); callers serialize per-id access (QueryService's
+/// in-flight table guarantees one writer per id).
+class RequestStore {
+ public:
+  /// Creates `dir` (one level) if missing.
+  explicit RequestStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+
+  Status WriteRequest(const SubmitRequest& req) const;
+  Result<SubmitRequest> ReadRequest(const std::string& id) const;
+  bool HasRequest(const std::string& id) const;
+
+  Status WriteSnapshot(const std::string& id,
+                       const snapshot::EvalSnapshot& snap) const;
+  /// kNotFound when no snapshot exists; kInvalidArgument when the file
+  /// is corrupt (callers treat both as "start fresh").
+  Result<snapshot::EvalSnapshot> ReadSnapshot(const std::string& id) const;
+  void DeleteSnapshot(const std::string& id) const;
+
+  Status WriteResult(const std::string& id, const ResultRecord& res) const;
+  Result<ResultRecord> ReadResult(const std::string& id) const;
+  bool HasResult(const std::string& id) const;
+
+  /// Ids with a journal entry (.req) but no result — the warm-restart
+  /// work list, in name order for determinism.
+  std::vector<std::string> UnfinishedRequests() const;
+
+  /// Removes all three files of `id` (missing files are fine).
+  void Purge(const std::string& id) const;
+
+ private:
+  std::string Path(const std::string& id, const char* ext) const;
+
+  std::string dir_;
+};
+
+/// Atomic whole-file helpers (temp + rename), shared with tests.
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<uint8_t>& bytes);
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path);
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_STORE_H_

@@ -1,0 +1,141 @@
+#include "awr/service/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "awr/service/protocol.h"
+
+namespace awr::service {
+
+namespace {
+
+Status Unavailable(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+/// Waits until `fd` is readable, or `wake_fd` fires.  OK = readable.
+Status WaitReadable(int fd, int wake_fd) {
+  struct pollfd fds[2];
+  fds[0] = {fd, POLLIN, 0};
+  fds[1] = {wake_fd, POLLIN, 0};
+  const nfds_t n = wake_fd >= 0 ? 2 : 1;
+  for (;;) {
+    int rc = ::poll(fds, n, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("wire: poll");
+    }
+    if (n == 2 && (fds[1].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return Status::Unavailable("wire: connection interrupted by shutdown");
+    }
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+      return Status::OK();
+    }
+  }
+}
+
+/// Reads exactly `size` bytes.  `*eof_at_start` reports a clean EOF
+/// before the first byte.
+Status RecvExact(int fd, int wake_fd, uint8_t* buf, size_t size,
+                 bool* eof_at_start) {
+  size_t got = 0;
+  if (eof_at_start != nullptr) *eof_at_start = false;
+  while (got < size) {
+    AWR_RETURN_IF_ERROR(WaitReadable(fd, wake_fd));
+    ssize_t n = ::recv(fd, buf + got, size - got, 0);
+    if (n == 0) {
+      if (got == 0 && eof_at_start != nullptr) {
+        *eof_at_start = true;
+        return Status::NotFound("wire: peer closed the connection");
+      }
+      return Status::Unavailable("wire: connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("wire: recv");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SendFrame(int fd, const std::vector<uint8_t>& payload) {
+  const std::vector<uint8_t> frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("wire: send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> RecvFrame(int fd, int wake_fd) {
+  uint8_t header[4];
+  bool eof = false;
+  AWR_RETURN_IF_ERROR(RecvExact(fd, wake_fd, header, sizeof header, &eof));
+  auto len = DecodeFrameLength(header);
+  if (!len.ok()) return len.status();
+  std::vector<uint8_t> payload(*len);
+  AWR_RETURN_IF_ERROR(RecvExact(fd, wake_fd, payload.data(), payload.size(),
+                                nullptr));
+  return payload;
+}
+
+Result<int> ConnectUnix(const std::string& socket_path) {
+  struct sockaddr_un addr;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("wire: socket path too long: " +
+                                   socket_path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Unavailable("wire: socket");
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    Status st = Unavailable("wire: connect to " + socket_path);
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ListenUnix(const std::string& socket_path, int backlog) {
+  struct sockaddr_un addr;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("wire: socket path too long: " +
+                                   socket_path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Unavailable("wire: socket");
+  ::unlink(socket_path.c_str());
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    Status st = Unavailable("wire: bind " + socket_path);
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status st = Unavailable("wire: listen on " + socket_path);
+    ::close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace awr::service

@@ -1,0 +1,39 @@
+#ifndef AWR_SERVICE_WIRE_H_
+#define AWR_SERVICE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+
+namespace awr::service {
+
+/// Blocking framed I/O over connected fds, shared by the server's
+/// session loops and the client library.  All failures are reported as
+/// kUnavailable — at this layer every problem (peer gone, fd shut down,
+/// short read) means "this connection is no longer usable", which is
+/// exactly the retryable classification the client's retry loop keys
+/// on.  EOF at a frame boundary is reported as kNotFound so a server
+/// session can distinguish an orderly hang-up from a torn frame.
+///
+/// `wake_fd` (optional, -1 to disable) is the read end of a pipe; when
+/// it becomes readable the call aborts with kUnavailable — the server
+/// uses this to unblock session reads during Stop without closing fds
+/// from another thread.
+
+Status SendFrame(int fd, const std::vector<uint8_t>& payload);
+
+Result<std::vector<uint8_t>> RecvFrame(int fd, int wake_fd = -1);
+
+/// Connects to a Unix domain socket path.  Returns the fd.
+Result<int> ConnectUnix(const std::string& socket_path);
+
+/// Creates, binds and listens on a Unix domain socket path, replacing
+/// any stale socket file.  Returns the listening fd.
+Result<int> ListenUnix(const std::string& socket_path, int backlog);
+
+}  // namespace awr::service
+
+#endif  // AWR_SERVICE_WIRE_H_

@@ -58,6 +58,7 @@ TEST(StatusTest, CodeStringRoundTripAllCodes) {
       StatusCode::kNotFound,     StatusCode::kUndefined,
       StatusCode::kInternal,     StatusCode::kNotImplemented,
       StatusCode::kCancelled,    StatusCode::kDeadlineExceeded,
+      StatusCode::kUnavailable,
   };
   for (StatusCode code : kAll) {
     std::string_view name = StatusCodeToString(code);
@@ -69,6 +70,42 @@ TEST(StatusTest, CodeStringRoundTripAllCodes) {
   StatusCode unused;
   EXPECT_FALSE(StatusCodeFromString("NoSuchCode", &unused));
   EXPECT_FALSE(StatusCodeFromString("", &unused));
+}
+
+TEST(StatusTest, UnavailableFactoryAndPredicate) {
+  Status st = Status::Unavailable("server draining");
+  EXPECT_TRUE(st.IsUnavailable());
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(st.IsCancelled());
+  EXPECT_EQ(st.ToString(), "Unavailable: server draining");
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_FALSE(Status::Internal("x").IsUnavailable());
+}
+
+// The retryable/terminal split is the contract the service client's
+// retry loop is built on: only failures that a later identical attempt
+// can fix are retryable.  kDeadlineExceeded is deliberately terminal —
+// retrying with the same deadline would exceed it again; the caller
+// must decide on a longer one.
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(StatusCodeIsRetryable(StatusCode::kResourceExhausted));
+
+  constexpr StatusCode kTerminal[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kFailedPrecondition, StatusCode::kNotFound,
+      StatusCode::kUndefined,    StatusCode::kInternal,
+      StatusCode::kNotImplemented,     StatusCode::kCancelled,
+      StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : kTerminal) {
+    EXPECT_FALSE(StatusCodeIsRetryable(code)) << StatusCodeToString(code);
+  }
+
+  EXPECT_TRUE(Status::Unavailable("x").IsRetryable());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("x").IsRetryable());
 }
 
 TEST(StatusTest, CopySemantics) {

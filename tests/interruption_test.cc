@@ -243,6 +243,82 @@ std::vector<EngineCase> AllEngines() {
 }
 
 // ----------------------------------------------------------------------
+// 0. FaultInjector::TripWithProbability — the chaos-mode injector: one
+//    independent Bernoulli draw per governance charge, one-shot per
+//    arming, fully determined by (p, seed).
+
+// Drives charges through a context until the injector trips; 0 = no
+// trip within `budget` charges.
+size_t TripChargeIndex(double p, uint64_t seed, size_t budget = 10000) {
+  FaultInjector injector;
+  injector.TripWithProbability(p, seed);
+  ExecutionContext ctx;
+  ctx.set_fault_injector(&injector);
+  for (size_t i = 1; i <= budget; ++i) {
+    if (!ctx.CheckInterrupt("probe").ok()) return i;
+  }
+  return 0;
+}
+
+TEST(InterruptionTest, TripWithProbabilityZeroNeverTrips) {
+  EXPECT_EQ(TripChargeIndex(0.0, 42, 2000), 0u);
+}
+
+TEST(InterruptionTest, TripWithProbabilityOneTripsImmediatelyThenDisarms) {
+  FaultInjector injector;
+  injector.TripWithProbability(1.0, 7, Status::Unavailable("chaos"));
+  ExecutionContext ctx;
+  ctx.set_fault_injector(&injector);
+  Status st = ctx.CheckInterrupt("first");
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_NE(st.message().find("chaos"), std::string::npos) << st;
+  // One-shot: the fault fires once per arming, like TripAt.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ctx.CheckInterrupt("after").ok());
+  }
+}
+
+TEST(InterruptionTest, TripWithProbabilityIsDeterministicInSeed) {
+  for (uint64_t seed : {0ull, 1ull, 42ull, 0xdeadbeefull}) {
+    size_t first = TripChargeIndex(0.1, seed);
+    EXPECT_EQ(TripChargeIndex(0.1, seed), first) << "seed " << seed;
+  }
+}
+
+TEST(InterruptionTest, TripWithProbabilityVariesAcrossSeedsWithSaneMean) {
+  // At p = 0.1 the trip charge is geometric with mean 10; across 64
+  // seeds the sample mean lands well inside [2, 50] and the seeds do
+  // not all agree — loose bounds, so this never flakes, but a
+  // constant-output or out-of-range implementation fails.
+  std::set<size_t> distinct;
+  size_t total = 0;
+  const size_t kSeeds = 64;
+  for (uint64_t seed = 0; seed < kSeeds; ++seed) {
+    size_t trip = TripChargeIndex(0.1, seed * 977 + 13);
+    ASSERT_GT(trip, 0u) << "seed " << seed << " never tripped";
+    distinct.insert(trip);
+    total += trip;
+  }
+  EXPECT_GT(distinct.size(), 3u);
+  const double mean = static_cast<double>(total) / kSeeds;
+  EXPECT_GT(mean, 2.0);
+  EXPECT_LT(mean, 50.0);
+}
+
+TEST(InterruptionTest, TripWithProbabilityStopsEngineWithConfiguredFault) {
+  // End to end through a real engine: a p=1 injector with a retryable
+  // fault stops evaluation with exactly that status.
+  for (const EngineCase& engine : AllEngines()) {
+    FaultInjector injector;
+    injector.TripWithProbability(1.0, 3, Status::Unavailable("injected"));
+    ExecutionContext ctx;
+    ctx.set_fault_injector(&injector);
+    Status st = engine.run(&ctx);
+    EXPECT_TRUE(st.IsUnavailable()) << engine.name << ": " << st;
+  }
+}
+
+// ----------------------------------------------------------------------
 // 1. A pre-signalled cancellation token stops every engine with
 //    kCancelled before it does any work.
 

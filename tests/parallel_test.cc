@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -165,6 +166,51 @@ TEST(ParallelGovernorTest, ConcurrentPollsTripExactlyOnce) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 1u);
   EXPECT_EQ(injector.charges_seen(), kThreads * kPollsPerThread);
+}
+
+// Regression test for the deadline-vs-cancel race: four threads poll a
+// shared governor while the context's deadline expires mid-round AND a
+// fifth thread concurrently requests cancellation.  Either interruption
+// is a correct outcome; what must never happen is a data race (this is
+// one of the cases scripts/tier1.sh runs under ThreadSanitizer), a
+// missed interruption, or a status that is neither of the two.
+TEST(ParallelGovernorTest, ConcurrentCancelWhileDeadlineExpires) {
+  constexpr size_t kThreads = 4;
+  constexpr int kRepeats = 25;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    CancelSource source;
+    ExecutionContext ctx;
+    ctx.set_cancel_token(source.token());
+    ctx.set_deadline(ExecutionContext::Clock::now() +
+                     std::chrono::microseconds(500 + 100 * (rep % 7)));
+    ParallelGovernor governor(&ctx);
+
+    std::vector<StatusCode> observed(kThreads, StatusCode::kOk);
+    std::vector<std::thread> threads;
+    for (size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&governor, &observed, t] {
+        // Poll until interrupted; record what interrupted us.
+        for (int i = 0; i < 2'000'000; ++i) {
+          Status st = governor.CheckInterrupt("race-probe");
+          if (!st.ok()) {
+            observed[t] = st.code();
+            return;
+          }
+        }
+      });
+    }
+    // Race the cancellation against the expiring deadline.
+    std::this_thread::sleep_for(std::chrono::microseconds(400));
+    source.RequestCancel();
+    for (auto& t : threads) t.join();
+
+    for (size_t t = 0; t < kThreads; ++t) {
+      EXPECT_TRUE(observed[t] == StatusCode::kCancelled ||
+                  observed[t] == StatusCode::kDeadlineExceeded)
+          << "rep " << rep << " thread " << t << " saw "
+          << StatusCodeToString(observed[t]);
+    }
+  }
 }
 
 TEST(ParallelGovernorTest, ChargeMemoryForwardsToParent) {
