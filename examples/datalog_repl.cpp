@@ -33,6 +33,7 @@
 #include <unistd.h>
 
 #include "awr/common/intern.h"
+#include "awr/datalog/eval_core.h"
 #include "awr/datalog/inflationary.h"
 #include "awr/datalog/parser.h"
 #include "awr/datalog/stable.h"
@@ -166,14 +167,44 @@ void ShowStats(const datalog::Interpretation& last_model) {
             << (StructuralInterningEnabled() ? "structural (hash-consing)"
                                              : "per-instance (legacy)")
             << "\n";
+  std::cout << "columnar mode:  "
+            << (ColumnarStorageEnabled() ? "enabled (flat extents promote)"
+                                         : "disabled (AWR_NO_COLUMNAR=1)")
+            << "\n";
   size_t preds = 0, facts = 0, indexes = 0;
+  size_t columnar_preds = 0, column_bytes = 0;
   for (const auto& [pred, extent] : last_model) {
     ++preds;
     facts += extent.size();
     indexes += extent.index_count();
+    if (extent.columnar_eligible()) {
+      // Materialize the view so the report shows what evaluation (or a
+      // follow-up query) would pay for this relation.
+      extent.BuildColumns();
+    }
+    if (extent.columnar_built()) {
+      ++columnar_preds;
+      column_bytes += extent.column_bytes();
+    }
   }
   std::cout << "last model:     " << preds << " predicate(s), " << facts
             << " fact(s), " << indexes << " position-subset index(es)\n";
+  std::cout << "storage:        " << columnar_preds << " columnar / "
+            << (preds - columnar_preds) << " row relation(s), ~"
+            << column_bytes << " column bytes\n";
+  const datalog::ColumnarExecStats es = datalog::GetColumnarExecStats();
+  std::cout << "batch executor: " << es.batch_rules_fired
+            << " batched / " << es.row_rules_fired << " row rule firings, "
+            << es.batch_probe_hits << "/" << es.batch_probes
+            << " probe hits, " << es.batch_facts << " facts emitted\n";
+  for (const auto& [pred, extent] : last_model) {
+    std::cout << "  " << pred << ": " << extent.size() << " fact(s), "
+              << (extent.columnar_built() ? "columnar" : "row") << " storage";
+    if (extent.columnar_built()) {
+      std::cout << ", ~" << extent.column_bytes() << " column bytes";
+    }
+    std::cout << "\n";
+  }
 }
 
 }  // namespace

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite — run four times: on the
+# Tier-1 verification: full build + test suite — run five times: on the
 # default hash-indexed join path, with AWR_FORCE_SCAN_JOINS=1 so the
 # scan oracle stays green, with AWR_EVAL_THREADS=4 so every engine
-# exercises the work-partitioned parallel rounds, and with
+# exercises the work-partitioned parallel rounds, with
 # AWR_NO_VALUE_INTERN=1 so the legacy per-instance value/term
-# representation (the hash-consing differential oracle) stays green.
+# representation (the hash-consing differential oracle) stays green,
+# and with AWR_NO_COLUMNAR=1 so the row-at-a-time storage/join oracle
+# (the columnar differential baseline) stays green.
 # Then the interruption tests again under AddressSanitizer/UBSan
 # (injected-fault unwinding is checked for leaks and UB) and the
 # parallel + property suites under ThreadSanitizer at 4 threads (data
@@ -43,6 +45,9 @@ cmake --build build -j"$(nproc)"
 (cd build && AWR_FORCE_SCAN_JOINS=1 ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_EVAL_THREADS=4 ctest --output-on-failure -j"$(nproc)")
 (cd build && AWR_NO_VALUE_INTERN=1 ctest --output-on-failure -j"$(nproc)")
+# Row-storage oracle: AWR_NO_COLUMNAR=1 disables the columnar layout and
+# batch executor entirely, so the row-at-a-time path stays green.
+(cd build && AWR_NO_COLUMNAR=1 ctest --output-on-failure -j"$(nproc)")
 
 # Service smoke against the plain build: real awrd process lifecycle
 # (SIGTERM drain, warm restart, SIGKILL mid-fixpoint + recovery).
@@ -51,7 +56,8 @@ scripts/service_smoke.sh build/src/awr/service/awrd plain
 cmake -B build-asan -S . -DAWR_SANITIZE=address,undefined
 cmake --build build-asan -j"$(nproc)" \
   --target awr_interruption_test --target awr_snapshot_test \
-  --target awr_property_test --target awr_service_test \
+  --target awr_property_test --target awr_value_test \
+  --target awr_eval_core_test --target awr_service_test \
   --target awr_service_chaos_test --target awrd
 (cd build-asan && ctest --output-on-failure -R Interruption)
 (cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
@@ -62,6 +68,10 @@ cmake --build build-asan -j"$(nproc)" \
   ctest --output-on-failure -R 'Snapshot|ValueCodec')
 (cd build-asan && AWR_CRASH_SWEEP_STRIDE=7 \
   ctest --output-on-failure -R CrashPointRecovery)
+# Columnar storage + batch executor under ASan/UBSan (columnar is on by
+# default): column-store maintenance across promotion/demotion and the
+# batch gather/probe/emit loops are pointer-heavy by design.
+(cd build-asan && ctest --output-on-failure -R 'Columnar')
 # Service + thinned chaos under ASan/UBSan: socket lifecycle, executor
 # unwinding and the durable store under injected faults.
 (cd build-asan && AWR_CHAOS_TRACES=12 \
@@ -73,6 +83,10 @@ cmake --build build-tsan -j"$(nproc)" \
   --target awr_parallel_test --target awr_property_test \
   --target awr_service_test --target awr_service_chaos_test --target awrd
 (cd build-tsan && AWR_EVAL_THREADS=4 ctest --output-on-failure -R 'Parallel')
+# Columnar batch execution under TSan: the driver-side column/index
+# pre-build vs worker-side const reads is exactly the discipline TSan
+# can falsify (the differential runs each engine at 1 and 4 threads).
+(cd build-tsan && ctest --output-on-failure -R 'Columnar')
 # Service + thinned chaos under TSan: concurrent sessions, the
 # in-flight dedup table, drain-vs-execute and deadline-vs-cancel races.
 (cd build-tsan && AWR_CHAOS_TRACES=12 \

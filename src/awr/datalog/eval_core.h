@@ -72,6 +72,14 @@ struct BodyContext {
   /// context, so the total number of interrupt polls per round is
   /// identical for every thread count (see ParallelGovernor).
   ParallelGovernor* governor = nullptr;
+  /// When true (and use_join_index), FireRuleFacts runs the batch
+  /// columnar executor for rules whose bodies are all positive atoms
+  /// over flat columnar extents (DESIGN.md §12); the row-at-a-time
+  /// enumerator remains the fallback for everything else and the
+  /// differential oracle (AWR_NO_COLUMNAR=1 / EvalOptions::use_columnar
+  /// = false).  Both paths deliver the same fact multiset and poll the
+  /// interrupt hook once per body match.
+  bool use_columnar = true;
 };
 
 /// Enumerates every satisfying assignment of `rule`'s body (processed in
@@ -94,6 +102,62 @@ struct PlannedRule {
 
 /// Plans every rule of `program`; fails if any rule is unsafe.
 Result<std::vector<PlannedRule>> PlanProgram(const Program& program);
+
+/// Fires `rule` once: enumerates its body matches and delivers the
+/// derived head facts to `on_fact`.  The row path delivers one fact per
+/// match (duplicates included — the caller dedups, exactly as with
+/// ForEachBodyMatch + EvalHead); the batch path additionally suppresses
+/// duplicate head projections WITHIN the firing at the raw-word level,
+/// before any tuple is materialized.  Since every caller treats
+/// duplicate facts as no-ops (set insert / Holds check), the two
+/// deliveries are observationally equivalent.
+///
+/// When the body is all positive atoms with variable/inline-constant
+/// arguments over columnar-eligible extents (and ctx.use_columnar /
+/// ctx.use_join_index are set), the batch executor runs instead of the
+/// per-tuple enumerator: per plan step it gathers probe-key words from
+/// the current batch columns, bulk-hashes them, probes the extent's
+/// column index, and emits the joined batch as new columns — head
+/// tuples are only materialized per distinct final match.  Fallbacks
+/// (nested values, negation, comparisons, function applications, arity
+/// mismatches, oversized batches) run the row path.  Both paths
+/// deliver the same fact set and poll the governor/context interrupt
+/// hook once per match, so models, charge counts, and fault/deadline/
+/// cancel statuses are identical.
+///
+/// `known` is an optional duplicate filter: an extent whose facts the
+/// caller treats as already derived (the set backing its Holds check,
+/// or any subset of it).  It MUST NOT change while the rule fires.  The
+/// batch path then skips known facts by probing that extent's
+/// full-arity column index at the word level — never materializing the
+/// tuple at all; the row path ignores it (its callers' Holds checks
+/// already dedup).  Since every skipped fact would have been a caller
+/// no-op, delivery with and without `known` is observationally
+/// equivalent.
+Status FireRuleFacts(const PlannedRule& planned, const BodyContext& ctx,
+                     const std::function<Status(Value)>& on_fact,
+                     const ValueSet* known = nullptr);
+
+/// Driver-side pre-build for parallel rounds: materializes every column
+/// store and column index the batch executor would read when firing
+/// `planned` under `ctx` — including the full-arity dedup index on
+/// `known` when given — so workers only perform const reads (the
+/// columnar analogue of ValueSet::BuildIndex pre-building).  Returns
+/// true when the rule is batch-eligible against the current extents.
+bool PrepareColumnarFire(const PlannedRule& planned, const BodyContext& ctx,
+                         const ValueSet* known = nullptr);
+
+/// Process-wide counters of the batch executor, for the REPL's :stats
+/// and the benchmarks.  Updated atomically (workers fire rules too).
+struct ColumnarExecStats {
+  uint64_t batch_rules_fired = 0;  ///< firings served by the batch path
+  uint64_t row_rules_fired = 0;    ///< firings that took the row path
+  uint64_t batch_probes = 0;       ///< key probes issued by batch joins
+  uint64_t batch_probe_hits = 0;   ///< probes matching at least one row
+  uint64_t batch_facts = 0;        ///< facts emitted by the batch path
+};
+ColumnarExecStats GetColumnarExecStats();
+void ResetColumnarExecStats();
 
 }  // namespace awr::datalog
 

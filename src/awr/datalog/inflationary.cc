@@ -84,6 +84,7 @@ Result<Interpretation> EvalInflationaryImpl(
           return !frozen.Holds(pred, fact);
         },
         pool != nullptr ? nullptr : ctx, opts.use_join_index};
+    body_ctx.use_columnar = opts.use_columnar;
     size_t added = 0;
     if (pool != nullptr) {
       // Because rules read the frozen snapshot and insertions are
@@ -102,16 +103,19 @@ Result<Interpretation> EvalInflationaryImpl(
       added = *merged;
     } else {
       for (const PlannedRule& pr : rules) {
-        Status fired = ForEachBodyMatch(
-            pr.rule, pr.plan, body_ctx, [&](const Env& env) -> Status {
-              AWR_ASSIGN_OR_RETURN(Value fact,
-                                   EvalHead(pr.rule, env, opts.functions));
+        // The dedup filter must stay frozen while the rule fires, so it
+        // is the pre-round snapshot — facts added to `interp` this
+        // round pass through and AddFactTuple dedups them.
+        Status fired = FireRuleFacts(
+            pr, body_ctx,
+            [&](Value fact) -> Status {
               if (interp.AddFactTuple(pr.rule.head.predicate,
                                       std::move(fact))) {
                 ++added;
               }
               return Status::OK();
-            });
+            },
+            /*known=*/&frozen.Extent(pr.rule.head.predicate));
         if (!fired.ok()) {
           driver.OnInterrupt([&] { return build(frozen, rounds); });
           return fired;

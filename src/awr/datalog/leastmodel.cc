@@ -21,6 +21,8 @@ bool JoinIndexEnabledByDefault() {
   return enabled;
 }
 
+bool ColumnarEnabledByDefault() { return ColumnarStorageEnabled(); }
+
 size_t DefaultEvalThreads() {
   static const size_t threads = [] {
     const char* env = std::getenv("AWR_EVAL_THREADS");
@@ -36,19 +38,23 @@ size_t DefaultEvalThreads() {
 namespace {
 
 // Derives all heads of `rule` under `ctx` into `out` (skipping facts
-// already in `existing`); returns the number of new facts.
+// already in `existing`); returns the number of new facts.  Dispatches
+// through FireRuleFacts, so flat-relation rules run the batch columnar
+// executor and everything else the row enumerator — same fact multiset
+// and poll sites either way.
 Result<size_t> FireRule(const PlannedRule& pr, const BodyContext& ctx,
                         const Interpretation& existing, Interpretation* out) {
   size_t added = 0;
-  AWR_RETURN_IF_ERROR(ForEachBodyMatch(
-      pr.rule, pr.plan, ctx, [&](const Env& env) -> Status {
-        AWR_ASSIGN_OR_RETURN(Value fact, EvalHead(pr.rule, env, *ctx.fns));
+  AWR_RETURN_IF_ERROR(FireRuleFacts(
+      pr, ctx,
+      [&](Value fact) -> Status {
         if (!existing.Holds(pr.rule.head.predicate, fact) &&
             out->AddFactTuple(pr.rule.head.predicate, std::move(fact))) {
           ++added;
         }
         return Status::OK();
-      }));
+      },
+      /*known=*/&existing.Extent(pr.rule.head.predicate)));
   return added;
 }
 
@@ -115,6 +121,7 @@ Result<Interpretation> LeastModelParallel(
         return interp.Extent(pred);
       },
       neg_holds, /*context=*/nullptr, opts.use_join_index};
+  body_ctx.use_columnar = opts.use_columnar;
 
   if (!opts.seminaive) {
     if (control.resume != nullptr) {
@@ -246,6 +253,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
             return interp.Extent(pred);
           },
           neg_holds, ctx, opts.use_join_index};
+      body_ctx.use_columnar = opts.use_columnar;
       size_t added = 0;
       for (const PlannedRule& pr : rules) {
         auto n = FireRule(pr, body_ctx, interp, &delta);
@@ -293,6 +301,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
           return interp.Extent(pred);
         },
         neg_holds, ctx, opts.use_join_index};
+    body_ctx.use_columnar = opts.use_columnar;
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
       auto n = FireRule(pr, body_ctx, interp, &delta);
@@ -333,6 +342,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
                                        : interp.Extent(pred);
             },
             neg_holds, ctx, opts.use_join_index};
+        body_ctx.use_columnar = opts.use_columnar;
         auto n = FireRule(pr, body_ctx, interp, &next_delta);
         if (!n.ok()) return bar.Interrupted(n.status());
         added += *n;

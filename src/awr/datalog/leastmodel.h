@@ -29,6 +29,13 @@ bool JoinIndexEnabledByDefault();
 /// the test suite with AWR_EVAL_THREADS=4 as one of its passes.
 size_t DefaultEvalThreads();
 
+/// True unless the environment variable AWR_NO_COLUMNAR is set to a
+/// non-empty value other than "0" (the value-layer switch,
+/// ColumnarStorageEnabled).  The default for
+/// EvalOptions::use_columnar; scripts/tier1.sh runs the test suite
+/// both ways.
+bool ColumnarEnabledByDefault();
+
 /// Shared evaluation configuration for all datalog evaluators.
 struct EvalOptions {
   FunctionRegistry functions = FunctionRegistry::Default();
@@ -44,6 +51,13 @@ struct EvalOptions {
   /// differential-test oracle.  Env-overridable: AWR_FORCE_SCAN_JOINS=1
   /// flips the default to false process-wide.
   bool use_join_index = JoinIndexEnabledByDefault();
+  /// Run the batch columnar executor (DESIGN.md §12) for rules over
+  /// flat scalar relations; the row-at-a-time enumerator handles
+  /// everything else and remains the differential-test oracle.  Models,
+  /// charge counts and interrupt statuses are identical either way.
+  /// Env-overridable: AWR_NO_COLUMNAR=1 flips the default to false
+  /// process-wide (and disables the columnar ValueSet layout itself).
+  bool use_columnar = ColumnarEnabledByDefault();
   /// Optional resource governance (borrowed, may outlive the call but
   /// not vice versa).  When set, the evaluator charges this context —
   /// deadline, cancellation, fault injection and memory accounting all

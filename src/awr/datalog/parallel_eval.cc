@@ -1,21 +1,38 @@
 #include "awr/datalog/parallel_eval.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
 #include <future>
 #include <utility>
 
 namespace awr::datalog {
 
+size_t MinPartitionGrain() {
+  static const size_t grain = [] {
+    const char* env = std::getenv("AWR_PARTITION_GRAIN");
+    if (env == nullptr || *env == '\0') return kMinPartitionGrain;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || parsed < 1) return kMinPartitionGrain;
+    return std::min<size_t>(static_cast<size_t>(parsed), size_t{1} << 20);
+  }();
+  return grain;
+}
+
 std::vector<ValueSet> PartitionExtent(const ValueSet& extent,
                                       size_t max_parts) {
-  size_t parts =
-      std::min(max_parts, std::max<size_t>(1, extent.size() / kMinPartitionGrain));
+  size_t parts = std::min(
+      max_parts, std::max<size_t>(1, extent.size() / MinPartitionGrain()));
   if (parts <= 1) return {};
+  // Contiguous runs of the iteration order: chunk c takes rows
+  // [c*per, (c+1)*per), so each chunk's column store is a dense
+  // cache-friendly range of the parent extent.
   std::vector<ValueSet> out(parts);
+  const size_t per = (extent.size() + parts - 1) / parts;
   size_t i = 0;
   for (const Value& fact : extent) {
-    out[i % parts].Insert(fact);
+    out[i / per].Insert(fact);
     ++i;
   }
   return out;
@@ -144,20 +161,32 @@ Result<size_t> RunFireTasks(const std::vector<FireTask>& tasks,
     contexts[i] = std::move(ctx);
   }
 
+  // Columnar pre-build, also driver-side: materialize the column
+  // stores and column indexes each task's batch plan will read (on the
+  // base extents and the override chunks).  Workers then only perform
+  // const reads; a task the batch executor cannot serve falls back to
+  // the row path over the indexes pre-built above.
+  if (base_ctx.use_columnar) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      PrepareColumnarFire(*tasks[i].rule, contexts[i],
+                          &existing.Extent(tasks[i].rule->rule.head.predicate));
+    }
+  }
+
   auto run_task = [&existing, &contexts, &results](size_t i,
                                                    const FireTask& t) {
     const PlannedRule& pr = *t.rule;
     TaskResult& result = results[i];
-    result.status = ForEachBodyMatch(
-        pr.rule, pr.plan, contexts[i], [&](const Env& env) -> Status {
-          AWR_ASSIGN_OR_RETURN(Value fact,
-                               EvalHead(pr.rule, env, *contexts[i].fns));
+    result.status = FireRuleFacts(
+        pr, contexts[i],
+        [&](Value fact) -> Status {
           if (!existing.Holds(pr.rule.head.predicate, fact)) {
             result.derived.AddFactTuple(pr.rule.head.predicate,
                                         std::move(fact));
           }
           return Status::OK();
-        });
+        },
+        /*known=*/&existing.Extent(pr.rule.head.predicate));
   };
 
   if (pool == nullptr) {

@@ -52,12 +52,25 @@ struct FireTask {
 
 /// Minimum facts per partition chunk: splitting finer than this costs
 /// more in chunk copies and task overhead than the parallelism returns.
+/// The default when AWR_PARTITION_GRAIN is unset; see MinPartitionGrain.
 inline constexpr size_t kMinPartitionGrain = 8;
 
+/// The effective partition grain: the value of the environment variable
+/// AWR_PARTITION_GRAIN clamped to [1, 1 << 20], or kMinPartitionGrain
+/// when unset or unparsable.  Read once.  Larger grains give workers
+/// longer contiguous column chunks (better cache behavior, less chunk-
+/// copy overhead); smaller grains spread skewed extents more evenly.
+size_t MinPartitionGrain();
+
 /// Splits `extent` into at most `max_parts` disjoint chunks of at least
-/// kMinPartitionGrain facts each (round-robin over iteration order).
-/// Returns an EMPTY vector when one part suffices — the caller then
-/// points the task at `extent` directly, avoiding the copy.
+/// MinPartitionGrain() facts each.  Chunks are CONTIGUOUS runs of the
+/// extent's iteration order, so a chunk's column store is a dense copy
+/// of a cache-friendly range rather than a strided sample — the batch
+/// executor then streams each chunk's columns sequentially.  (Any
+/// disjoint cover computes the same round: matches are a set union over
+/// chunks, and merge order at the barrier is task order, not chunk
+/// content.)  Returns an EMPTY vector when one part suffices — the
+/// caller then points the task at `extent` directly, avoiding the copy.
 std::vector<ValueSet> PartitionExtent(const ValueSet& extent,
                                       size_t max_parts);
 

@@ -362,6 +362,13 @@ bool Value::SetContains(const Value& element) const {
   return it != elems.end() && *it == element;
 }
 
+int Value::CompareInlineBits(uintptr_t a, uintptr_t b) {
+  if (a == b) return 0;  // inline words are canonical: same word => equal
+  const Value va = FromInlineBits(a);
+  const Value vb = FromInlineBits(b);
+  return Compare(va, vb);
+}
+
 int Value::Compare(const Value& a, const Value& b) {
   if (a.bits_ == b.bits_) return 0;  // identity: same word => equal
   const ValueKind ak = a.kind();

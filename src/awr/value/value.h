@@ -2,6 +2,7 @@
 #define AWR_VALUE_VALUE_H_
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -171,6 +172,27 @@ class Value {
 
   /// True iff this value is an inline scalar (no heap record at all).
   bool is_inline() const { return (bits_ & kTagMask) > kTagOwned; }
+
+  /// Raw tagged word of an inline scalar.  Inline words are canonical —
+  /// equal scalars have equal words — so columnar storage (value_set.h)
+  /// can compare, hash, and rebuild scalars from bare words without
+  /// touching refcounts.  Requires is_inline().
+  uintptr_t inline_bits() const {
+    assert(is_inline());
+    return bits_;
+  }
+
+  /// Rebuilds an inline scalar from a word previously obtained via
+  /// inline_bits().  O(1), no heap traffic, no refcounting.
+  static Value FromInlineBits(uintptr_t bits) {
+    assert((bits & kTagMask) > kTagOwned);
+    return Value(bits);
+  }
+
+  /// Compare(FromInlineBits(a), FromInlineBits(b)) without materializing
+  /// the values: same kind rank and payload order as Compare, so sorts
+  /// over raw columns agree with sorts over Values.
+  static int CompareInlineBits(uintptr_t a, uintptr_t b);
 
   /// True iff this value shares the canonical interned Rep for its
   /// structure (inline scalars are trivially canonical).

@@ -1,7 +1,10 @@
 #ifndef AWR_VALUE_VALUE_SET_H_
 #define AWR_VALUE_VALUE_SET_H_
 
+#include <cstdint>
+#include <deque>
 #include <initializer_list>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -9,6 +12,11 @@
 #include "awr/value/value.h"
 
 namespace awr {
+
+/// False when AWR_NO_COLUMNAR=1: the columnar layout is disabled
+/// process-wide and every extent stays on the row representation (the
+/// differential-test oracle).  Unset or "0" means enabled.  Read once.
+bool ColumnarStorageEnabled();
 
 /// A mutable extent of values: the working representation of a database
 /// relation, an algebra set, or a predicate's derived facts.
@@ -25,6 +33,21 @@ namespace awr {
 /// rebuilds its own on demand), and excluded from approx_bytes so that
 /// memory governance observes identical figures on the indexed and
 /// scan evaluation paths.
+///
+/// Columnar acceleration (DESIGN.md §12).  An extent whose facts are
+/// all *flat* tuples of one arity — every component an inline tagged
+/// scalar (value.h) — can additionally materialize a structure-of-
+/// arrays ColumnStore: one contiguous word column per argument
+/// position, plus chained hash indexes over raw words for batch join
+/// probes.  Like the position indexes this is derived state: selected
+/// adaptively (eligibility is tracked by the shape histogram), built
+/// lazily on the evaluating thread, appended to on flat Insert,
+/// dropped whenever the extent leaves the flat regime (promotion /
+/// demotion is automatic), never copied, and excluded from
+/// approx_bytes so memory charges are identical with columnar storage
+/// on or off.  The row structures (items_) stay authoritative, which
+/// is what keeps hashing, iteration order, set equality, and snapshot
+/// bytes byte-identical across the two layouts.
 class ValueSet {
  public:
   ValueSet() = default;
@@ -41,14 +64,17 @@ class ValueSet {
       : items_(other.items_),
         bytes_(other.bytes_),
         non_tuple_count_(other.non_tuple_count_),
+        flat_tuple_count_(other.flat_tuple_count_),
         tuple_arity_counts_(other.tuple_arity_counts_) {}
   ValueSet& operator=(const ValueSet& other) {
     if (this != &other) {
       items_ = other.items_;
       bytes_ = other.bytes_;
       non_tuple_count_ = other.non_tuple_count_;
+      flat_tuple_count_ = other.flat_tuple_count_;
       tuple_arity_counts_ = other.tuple_arity_counts_;
       indexes_.clear();
+      columns_.reset();
     }
     return *this;
   }
@@ -61,10 +87,12 @@ class ValueSet {
     bytes_ += v.ApproxBytes() + kSlotOverhead;
     if (v.is_tuple()) {
       ++tuple_arity_counts_[v.size()];
+      if (IsFlatTuple(v)) ++flat_tuple_count_;
     } else {
       ++non_tuple_count_;
     }
     for (PositionIndex& index : indexes_) IndexInsert(index, v);
+    if (columns_ != nullptr) ColumnsOnInsert(v);
     return true;
   }
 
@@ -75,10 +103,14 @@ class ValueSet {
     if (v.is_tuple()) {
       auto it = tuple_arity_counts_.find(v.size());
       if (--it->second == 0) tuple_arity_counts_.erase(it);
+      if (IsFlatTuple(v)) --flat_tuple_count_;
     } else {
       --non_tuple_count_;
     }
     for (PositionIndex& index : indexes_) IndexErase(index, v);
+    // Columns are append-only; deletion invalidates row numbering, so
+    // the store rebuilds on next demand (erase is off the hot path).
+    columns_.reset();
     return true;
   }
 
@@ -89,8 +121,10 @@ class ValueSet {
     items_.clear();
     bytes_ = 0;
     non_tuple_count_ = 0;
+    flat_tuple_count_ = 0;
     tuple_arity_counts_.clear();
     indexes_.clear();
+    columns_.reset();
   }
 
   /// Approximate heap footprint of the extent (element values plus a
@@ -162,6 +196,83 @@ class ValueSet {
   /// (introspection for tests and benchmarks).
   size_t index_count() const { return indexes_.size(); }
 
+  /// Columnar layout ---------------------------------------------------
+
+  /// Structure-of-arrays view of a flat-tuple extent: `cols[c][r]` is
+  /// the raw inline word (Value::inline_bits) of component c of row r,
+  /// and `rows[r]` is the original tuple Value (shared Rep, so
+  /// materializing a match result is a refcount bump, not a rebuild).
+  /// Row order is the items_ iteration order at build time; appends
+  /// keep the two in sync.
+  struct ColumnStore {
+    /// Chained hash index over the raw words at `positions`: bucket
+    /// heads (power-of-two table, -1 empty) and per-row chain links.
+    /// Probing is gather → HashWords → walk chain with word equality —
+    /// valid because inline words are canonical (equal scalars have
+    /// equal words), and allocation-free unlike the row-path Probe,
+    /// which packs each key into a fresh tuple Value.
+    struct Index {
+      std::vector<size_t> positions;
+      std::vector<int32_t> heads;
+      std::vector<int32_t> next;
+      size_t mask = 0;
+    };
+
+    size_t arity = 0;
+    std::vector<std::vector<uintptr_t>> cols;
+    std::vector<Value> rows;
+    // Deque for pointer stability: building one index must not move
+    // the others (the batch executor holds Index* across a rule plan).
+    std::deque<Index> indexes;
+
+    size_t row_count() const { return rows.size(); }
+    /// Hash of the words at `positions` in row `r` (the build side of
+    /// the probe's HashWords over gathered key words).
+    size_t HashRow(const std::vector<size_t>& positions, size_t r) const;
+    static size_t HashWords(const uintptr_t* words, size_t n);
+  };
+
+  /// True iff this extent currently qualifies for the columnar layout:
+  /// columnar storage enabled process-wide, at least one fact, every
+  /// fact a flat tuple (all components inline scalars) of one shared
+  /// arity >= 1.  O(1) from the shape histogram.
+  bool columnar_eligible() const;
+
+  /// The columnar view, built on first demand; nullptr when the extent
+  /// is ineligible.  Same concurrency contract as EnsureIndex: once
+  /// built (or when returning nullptr) this is a pure read, but the
+  /// lazy build asserts it is not on a pool worker — parallel rounds
+  /// pre-build via BuildColumns/ColumnIndex before fanning out.
+  const ColumnStore* columns() const;
+
+  /// The column index over `positions`, built on demand (building the
+  /// store first if needed); nullptr when the extent is ineligible.
+  const ColumnStore::Index* ColumnIndex(
+      const std::vector<size_t>& positions) const;
+
+  /// The column index over `positions` if it is already built, else
+  /// nullptr.  Never builds — a pure read, safe on worker threads.
+  const ColumnStore::Index* FindColumnIndex(
+      const std::vector<size_t>& positions) const {
+    if (columns_ == nullptr) return nullptr;
+    for (const ColumnStore::Index& index : columns_->indexes) {
+      if (index.positions == positions) return &index;
+    }
+    return nullptr;
+  }
+
+  /// Force-builds the columnar view (driver-side pre-build, tests).
+  /// Returns false when the extent is ineligible.
+  bool BuildColumns() const { return columns() != nullptr; }
+
+  /// True iff the columnar view is currently materialized.
+  bool columnar_built() const { return columns_ != nullptr; }
+
+  /// Heap bytes held by the columnar view and its indexes (0 when not
+  /// built).  Reported by the REPL's :stats; excluded from
+  /// approx_bytes like the position indexes.
+  size_t column_bytes() const;
+
   /// Elements in the canonical total order.
   std::vector<Value> Sorted() const;
 
@@ -188,19 +299,38 @@ class ValueSet {
   static void IndexInsert(PositionIndex& index, const Value& fact);
   static void IndexErase(PositionIndex& index, const Value& fact);
 
+  /// True iff `v` is a tuple whose components are all inline scalars.
+  static bool IsFlatTuple(const Value& v) {
+    if (!v.is_tuple()) return false;
+    for (const Value& item : v.items()) {
+      if (!item.is_inline()) return false;
+    }
+    return true;
+  }
+
+  /// Insert-side column maintenance: append the new fact if it keeps
+  /// the extent flat, otherwise drop the store (demotion).
+  void ColumnsOnInsert(const Value& v);
+
   /// Returns the index for `positions`, building it if absent (asserts,
   /// in debug builds, that builds never happen on a pool worker).
   const PositionIndex& EnsureIndex(const std::vector<size_t>& positions) const;
 
   std::unordered_set<Value> items_;
   size_t bytes_ = 0;
-  // Shape histogram for UniformTupleArity.
+  // Shape histogram for UniformTupleArity / columnar_eligible.
   size_t non_tuple_count_ = 0;
+  size_t flat_tuple_count_ = 0;
   std::unordered_map<size_t, size_t> tuple_arity_counts_;
   // Built lazily in the const Probe (or eagerly via BuildIndex);
   // mutation of this derived cache happens only on the evaluating
   // thread — parallel regions pre-build and then only read.
   mutable std::vector<PositionIndex> indexes_;
+  // Columnar view; invariant: columns_ != nullptr implies the extent
+  // is eligible and the store mirrors items_ exactly (appends keep it
+  // in sync, any other mutation resets it).  Lazy build / pre-build
+  // follow the same thread contract as indexes_.
+  mutable std::unique_ptr<ColumnStore> columns_;
 };
 
 /// Set-algebra primitives, the semantics of the paper's operators.

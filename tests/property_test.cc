@@ -1349,5 +1349,207 @@ TEST(InternVsLegacySnapshot, SnapshotBytesIdenticalAndCrossResumable) {
   }
 }
 
+// ----------------------------------------------------------------------
+// Columnar-vs-row differential oracle.  EvalOptions::use_columnar =
+// false is the row-at-a-time enumerator (the pre-columnar evaluator,
+// the oracle); the batch executor must produce the identical model,
+// charge sequence, and interruption statuses for every program,
+// semantics and thread count — the column store is a derived cache and
+// the batch plan enumerates the same match multiset in an order the
+// set-valued model cannot observe.
+
+datalog::EvalOptions StorageOpts(size_t threads, bool columnar) {
+  datalog::EvalOptions o = ThreadOpts(threads);
+  o.use_columnar = columnar;  // pinned: overrides AWR_NO_COLUMNAR
+  return o;
+}
+
+/// Runs one engine with row storage (oracle) and then columnar batch
+/// execution, requiring identical status codes and — on success —
+/// identical results.  Returns the columnar-run result.
+template <typename Fn>
+auto EvalBothStorage(const Fn& eval, size_t threads,
+                     const std::string& what) {
+  auto row = eval(StorageOpts(threads, false));
+  auto columnar = eval(StorageOpts(threads, true));
+  EXPECT_EQ(row.status().code(), columnar.status().code())
+      << what << "\nrow:      " << row.status()
+      << "\ncolumnar: " << columnar.status();
+  if (row.ok() && columnar.ok()) {
+    ExpectSameResult(*columnar, *row, what);
+  }
+  return columnar;
+}
+
+class ColumnarVsRowDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnarVsRowDifferential, PositiveSemanticsAgreeAcrossStorage) {
+  GenOptions gen;
+  gen.allow_negation = false;
+  Generated g = GenerateProgram(GetParam() * 16807 + 37, gen);
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string where = what + "\n(threads=" + std::to_string(threads) +
+                              ")";
+    EvalBothStorage(
+        [&](datalog::EvalOptions o) {
+          o.seminaive = false;
+          return datalog::EvalMinimalModel(g.program, g.edb, o);
+        },
+        threads, where);
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalMinimalModel(g.program, g.edb, o);
+        },
+        threads, where);
+  }
+}
+
+TEST_P(ColumnarVsRowDifferential, GeneralSemanticsAgreeAcrossStorage) {
+  // Random general programs may be unstratifiable or have no stable
+  // model; EvalBothStorage still checks that both storage modes fail
+  // (or succeed) identically.
+  Generated g = GenerateProgram(GetParam() * 22695477 + 41, GenOptions{});
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    const std::string where = what + "\n(threads=" + std::to_string(threads) +
+                              ")";
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalInflationary(g.program, g.edb, o);
+        },
+        threads, where);
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalWellFounded(g.program, g.edb, o);
+        },
+        threads, where);
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalStratified(g.program, g.edb, o);
+        },
+        threads, where);
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::EvalStableModels(g.program, g.edb, o);
+        },
+        threads, where);
+    EvalBothStorage(
+        [&](const datalog::EvalOptions& o) {
+          return datalog::GroundProgramFor(g.program, g.edb, o);
+        },
+        threads, where);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarVsRowDifferential,
+                         ::testing::Range<uint64_t>(1, 201));
+
+// The rendered model text must be byte-identical across storage modes:
+// canonical ordering goes through ValueSet::Sorted, whose columnar
+// permutation sort must agree with the row sort exactly.
+TEST(ColumnarVsRowDifferential, RenderedModelsAreByteIdentical) {
+  for (const CpEngine& engine : CrashPointEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      ExecutionContext row_ctx(EvalLimits::Default());
+      auto row = engine.run(&row_ctx, StorageOpts(threads, false));
+      ExecutionContext col_ctx(EvalLimits::Default());
+      auto columnar = engine.run(&col_ctx, StorageOpts(threads, true));
+      ASSERT_TRUE(row.ok() && columnar.ok())
+          << engine.name << "\nrow:      " << row.status()
+          << "\ncolumnar: " << columnar.status();
+      EXPECT_EQ(*row, *columnar) << engine.name << " threads=" << threads;
+    }
+  }
+}
+
+// Governance charge sequences are storage-independent: the batch
+// executor polls CheckInterrupt("body-match") once per complete body
+// match, exactly like the row enumerator, so disarmed charge counts
+// match for every engine and thread count.
+TEST(ColumnarVsRowGovernance, ChargeCountsIdenticalBothStorage) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      size_t counts[2] = {0, 0};
+      int slot = 0;
+      for (bool columnar : {false, true}) {
+        FaultInjector injector;
+        injector.Disarm();
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        ASSERT_TRUE(
+            engine.run_with(&ctx, StorageOpts(threads, columnar)).ok())
+            << engine.name;
+        counts[slot++] = injector.charges_seen();
+      }
+      EXPECT_EQ(counts[0], counts[1])
+          << engine.name << " threads=" << threads
+          << ": row charges=" << counts[0]
+          << " columnar charges=" << counts[1];
+    }
+  }
+}
+
+// A fault tripped at charge i surfaces the identical status (code and
+// message, which embeds the trip coordinates) in both storage modes.
+TEST(ColumnarVsRowGovernance, FaultTripStatusesIdenticalBothStorage) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    // Learn the charge count with columnar on; the previous test proves
+    // it is the same number in row mode.
+    FaultInjector probe;
+    probe.Disarm();
+    ExecutionContext probe_ctx(EvalLimits::Default());
+    probe_ctx.set_fault_injector(&probe);
+    ASSERT_TRUE(engine.run_with(&probe_ctx, StorageOpts(1, true)).ok())
+        << engine.name;
+    const size_t n = probe.charges_seen();
+    ASSERT_GT(n, 0u) << engine.name;
+
+    for (size_t k : {size_t{1}, (n + 1) / 2, n}) {
+      Status statuses[2];
+      int slot = 0;
+      for (bool columnar : {false, true}) {
+        FaultInjector injector;
+        injector.TripAt(k, Status::Internal("injected fault"));
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        statuses[slot++] = engine.run_with(&ctx, StorageOpts(1, columnar));
+      }
+      EXPECT_EQ(statuses[0].code(), statuses[1].code())
+          << engine.name << " trip at " << k << "/" << n;
+      EXPECT_EQ(statuses[0].ToString(), statuses[1].ToString())
+          << engine.name << " trip at " << k << "/" << n;
+    }
+  }
+}
+
+// Pre-cancelled contexts and already-expired deadlines surface the same
+// terminal statuses whichever storage mode enumerates the bodies, at
+// both thread counts.
+TEST(ColumnarVsRowGovernance, PreCancelledAndExpiredDeadlineParity) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool columnar : {false, true}) {
+        CancelSource source;
+        source.RequestCancel();
+        ExecutionContext cancelled;
+        cancelled.set_cancel_token(source.token());
+        EXPECT_TRUE(engine.run_with(&cancelled, StorageOpts(threads, columnar))
+                        .IsCancelled())
+            << engine.name << " threads=" << threads
+            << " columnar=" << columnar;
+
+        ExecutionContext expired;
+        expired.set_deadline(ExecutionContext::Clock::now() -
+                             std::chrono::milliseconds(1));
+        EXPECT_TRUE(engine.run_with(&expired, StorageOpts(threads, columnar))
+                        .IsDeadlineExceeded())
+            << engine.name << " threads=" << threads
+            << " columnar=" << columnar;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace awr

@@ -320,5 +320,152 @@ TEST(ValueSetTest, SubsetChecks) {
   EXPECT_TRUE(a.IsSubsetOf(a));
 }
 
+TEST(ValueTest, InlineBitsRoundTripAndCompare) {
+  const Value scalars[] = {Value::Boolean(false), Value::Boolean(true),
+                           Value::Int(-3), Value::Int(0), Value::Int(42),
+                           Value::Atom("a"), Value::Atom("b")};
+  for (const Value& v : scalars) {
+    ASSERT_TRUE(v.is_inline()) << v.ToString();
+    EXPECT_EQ(Value::FromInlineBits(v.inline_bits()), v);
+  }
+  // CompareInlineBits must agree in sign with Value::Compare for every
+  // scalar pair — it is the comparator behind the columnar Sorted path.
+  for (const Value& a : scalars) {
+    for (const Value& b : scalars) {
+      const int expected = Value::Compare(a, b);
+      const int got = Value::CompareInlineBits(a.inline_bits(),
+                                               b.inline_bits());
+      EXPECT_EQ(got < 0, expected < 0) << a.ToString() << " vs "
+                                       << b.ToString();
+      EXPECT_EQ(got == 0, expected == 0) << a.ToString() << " vs "
+                                         << b.ToString();
+    }
+  }
+}
+
+ValueSet FlatPairs(int n) {
+  ValueSet s;
+  for (int i = 0; i < n; ++i) {
+    s.Insert(Value::Pair(Value::Int(i), Value::Int(i + 1)));
+  }
+  return s;
+}
+
+TEST(ValueSetColumnarTest, EligibilityTracksShapeHistogram) {
+  ValueSet s;
+  EXPECT_FALSE(s.columnar_eligible());  // empty: nothing to lay out
+  s.Insert(Value::Pair(Value::Int(1), Value::Int(2)));
+  // Uniform flat pairs are the eligible shape — unless the layout is
+  // globally disabled (AWR_NO_COLUMNAR=1), which vetoes everything.
+  EXPECT_EQ(s.columnar_eligible(), ColumnarStorageEnabled());
+  s.Insert(Value::Tuple({Value::Int(1), Value::Int(2), Value::Int(3)}));
+  EXPECT_FALSE(s.columnar_eligible());  // mixed arity
+  ValueSet scalars{Value::Int(1)};
+  EXPECT_FALSE(scalars.columnar_eligible());  // non-tuple member
+  ValueSet nested{Value::Pair(Value::Int(1),
+                              Value::Tuple({Value::Int(2), Value::Int(3)}))};
+  EXPECT_FALSE(nested.columnar_eligible());  // non-inline argument
+}
+
+TEST(ValueSetColumnarTest, ColumnarAndRowSetsCompareEqual) {
+  ValueSet columnar = FlatPairs(20);
+  ValueSet row = FlatPairs(20);
+  ASSERT_EQ(columnar.BuildColumns(), ColumnarStorageEnabled());
+  EXPECT_EQ(columnar, row);
+  EXPECT_EQ(row, columnar);
+  EXPECT_TRUE(columnar.IsSubsetOf(row) && row.IsSubsetOf(columnar));
+  // Building the view never changes the set's size or membership.
+  EXPECT_EQ(columnar.size(), 20u);
+  EXPECT_TRUE(columnar.Contains(Value::Pair(Value::Int(7), Value::Int(8))));
+}
+
+TEST(ValueSetColumnarTest, IterationOrderUnchangedByBuild) {
+  ValueSet s = FlatPairs(50);
+  std::vector<Value> before(s.begin(), s.end());
+  s.BuildColumns();
+  std::vector<Value> after(s.begin(), s.end());
+  EXPECT_EQ(before, after);
+  // Sorted() must also agree byte-for-byte with the row sort — the
+  // columnar path sorts a permutation over the word columns.
+  ValueSet plain = FlatPairs(50);
+  EXPECT_EQ(s.Sorted(), plain.Sorted());
+}
+
+TEST(ValueSetColumnarTest, PromotionAndDemotionOnMutation) {
+  if (!ColumnarStorageEnabled()) GTEST_SKIP() << "AWR_NO_COLUMNAR=1";
+  ValueSet s = FlatPairs(10);
+  ASSERT_TRUE(s.BuildColumns());
+  EXPECT_TRUE(s.columnar_built());
+  EXPECT_GT(s.column_bytes(), 0u);
+
+  // Flat inserts append to the live columns.
+  s.Insert(Value::Pair(Value::Int(100), Value::Int(101)));
+  EXPECT_TRUE(s.columnar_built());
+  EXPECT_EQ(s.columns()->row_count(), 11u);
+
+  // A non-flat insert demotes the extent back to row storage.
+  s.Insert(Value::Int(7));
+  EXPECT_FALSE(s.columnar_built());
+  EXPECT_EQ(s.column_bytes(), 0u);
+  EXPECT_FALSE(s.columnar_eligible());
+
+  // Removing the offender restores eligibility; a fresh build works.
+  s.Erase(Value::Int(7));
+  EXPECT_TRUE(s.columnar_eligible());
+  ASSERT_TRUE(s.BuildColumns());
+  EXPECT_EQ(s.columns()->row_count(), 11u);
+
+  // Erase always resets the derived view (rows are append-only).
+  s.Erase(Value::Pair(Value::Int(0), Value::Int(1)));
+  EXPECT_FALSE(s.columnar_built());
+}
+
+TEST(ValueSetColumnarTest, ColumnIndexProbesMatchRowLookups) {
+  if (!ColumnarStorageEnabled()) GTEST_SKIP() << "AWR_NO_COLUMNAR=1";
+  ValueSet s = FlatPairs(64);
+  const ValueSet::ColumnStore* store = s.columns();
+  ASSERT_NE(store, nullptr);
+  const ValueSet::ColumnStore::Index* index = s.ColumnIndex({0});
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(s.FindColumnIndex({0}), index);
+  // Every key present: exactly one chain hit whose row decodes back to
+  // the original tuple.
+  for (int i = 0; i < 64; ++i) {
+    const uintptr_t key = Value::Int(i).inline_bits();
+    const size_t h = ValueSet::ColumnStore::HashWords(&key, 1);
+    size_t hits = 0;
+    for (int32_t row = index->heads[h & index->mask]; row >= 0;
+         row = index->next[row]) {
+      if (store->cols[0][row] == key) {
+        ++hits;
+        EXPECT_EQ(store->rows[row],
+                  Value::Pair(Value::Int(i), Value::Int(i + 1)));
+      }
+    }
+    EXPECT_EQ(hits, 1u) << "key " << i;
+  }
+  // Absent keys find no chain entry with a matching word.
+  const uintptr_t missing = Value::Int(999).inline_bits();
+  const size_t h = ValueSet::ColumnStore::HashWords(&missing, 1);
+  for (int32_t row = index->heads[h & index->mask]; row >= 0;
+       row = index->next[row]) {
+    EXPECT_NE(store->cols[0][row], missing);
+  }
+}
+
+TEST(ValueSetColumnarTest, CopyDropsDerivedColumnsButKeepsContents) {
+  if (!ColumnarStorageEnabled()) GTEST_SKIP() << "AWR_NO_COLUMNAR=1";
+  ValueSet s = FlatPairs(12);
+  ASSERT_TRUE(s.BuildColumns());
+  ValueSet copied(s);
+  EXPECT_FALSE(copied.columnar_built());  // derived cache is not copied
+  EXPECT_EQ(copied, s);
+  EXPECT_TRUE(copied.columnar_eligible());
+  ValueSet assigned;
+  assigned = s;
+  EXPECT_FALSE(assigned.columnar_built());
+  EXPECT_EQ(assigned, s);
+}
+
 }  // namespace
 }  // namespace awr
