@@ -1,0 +1,176 @@
+// Experiment E21: the price of power-loss durability at the storage
+// seam.
+//
+// Measures per-write latency of storage::Fs::WriteFileAtomic for the
+// two payload shapes the request store actually produces — result-sized
+// (~hundreds of bytes) and snapshot-sized (tens of KB) — under the full
+// fsync discipline (flush + fsync(file) + rename + fsync(dir)) versus
+// the AWR_NO_FSYNC escape hatch (atomic temp+rename only).  The delta
+// is what a deployment buys with AWR_NO_FSYNC=1, and what it gives up:
+// without the fsyncs, a power cut (not a mere process crash) can lose
+// or tear acknowledged state.
+//
+// Also reports the end-to-end effect on a checkpointing request: one
+// transitive-closure evaluation with checkpoint_every=1 through
+// RequestStore, both ways.
+//
+// Writes BENCH_store_durability.json (override with argv[1]).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "awr/service/executor.h"
+#include "awr/service/protocol.h"
+#include "awr/service/store.h"
+#include "awr/storage/fs.h"
+
+using namespace awr;           // NOLINT
+using namespace awr::service;  // NOLINT
+
+namespace {
+
+struct WriteStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double mean_us = 0;
+};
+
+WriteStats MeasureWrites(storage::Fs& fs, const std::string& dir,
+                         size_t payload_bytes, int iters) {
+  std::vector<uint8_t> payload(payload_bytes, 0x5a);
+  std::vector<double> us;
+  us.reserve(iters);
+  const std::string path = dir + "/probe.bin";
+  for (int i = 0; i < iters; ++i) {
+    payload[0] = static_cast<uint8_t>(i);  // defeat content dedup, if any
+    auto t0 = std::chrono::steady_clock::now();
+    if (!fs.WriteFileAtomic(path, payload).ok()) {
+      std::fprintf(stderr, "FATAL: probe write failed\n");
+      std::exit(1);
+    }
+    us.push_back(std::chrono::duration<double, std::micro>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  }
+  std::sort(us.begin(), us.end());
+  WriteStats stats;
+  stats.p50_us = us[us.size() / 2];
+  stats.p99_us = us[us.size() * 99 / 100];
+  double sum = 0;
+  for (double v : us) sum += v;
+  stats.mean_us = sum / us.size();
+  return stats;
+}
+
+double CheckpointedRequestMs(storage::Fs* fs, const std::string& dir) {
+  RequestStore store(dir, fs);
+  SubmitRequest req;
+  req.id = "bench";
+  req.semantics = Semantics::kMinimalModel;
+  req.program =
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Z) :- edge(X,Y), path(Y,Z).\n";
+  for (int i = 0; i < 24; ++i) {
+    req.edb += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+               ").\n";
+  }
+  ExecOptions opts;
+  opts.checkpoint_every = 1;
+  auto t0 = std::chrono::steady_clock::now();
+  ResultRecord res = ExecuteRequest(req, &store, opts);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  if (res.code != StatusCode::kOk) {
+    std::fprintf(stderr, "FATAL: bench request failed: %s\n",
+                 res.message.c_str());
+    std::exit(1);
+  }
+  store.Purge(req.id);
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      argc > 1 ? argv[1] : "BENCH_store_durability.json";
+  const std::string dir =
+      "/tmp/awr_bench_durability_" + std::to_string(::getpid());
+  std::string cleanup = "rm -rf '" + dir + "'";
+  [[maybe_unused]] int rc = std::system(cleanup.c_str());
+  ::mkdir(dir.c_str(), 0755);
+
+  storage::PosixFs durable(/*no_fsync=*/false);
+  storage::PosixFs fast(/*no_fsync=*/true);
+
+  struct Row {
+    const char* name;
+    size_t bytes;
+    int iters;
+    WriteStats with_fsync;
+    WriteStats no_fsync;
+  };
+  std::vector<Row> rows = {
+      {"result_sized", 256, 200, {}, {}},
+      {"snapshot_sized", 32 * 1024, 200, {}, {}},
+  };
+  for (Row& row : rows) {
+    row.with_fsync = MeasureWrites(durable, dir, row.bytes, row.iters);
+    row.no_fsync = MeasureWrites(fast, dir, row.bytes, row.iters);
+  }
+
+  const double e2e_fsync_ms = CheckpointedRequestMs(&durable, dir);
+  const double e2e_fast_ms = CheckpointedRequestMs(&fast, dir);
+
+  std::printf("E21: fsync cost at the storage seam\n");
+  std::printf("%-16s %8s %12s %12s %12s %12s %8s\n", "payload", "bytes",
+              "fsync_p50us", "fsync_p99us", "nofs_p50us", "nofs_p99us",
+              "ratio");
+  for (const Row& row : rows) {
+    std::printf("%-16s %8zu %12.1f %12.1f %12.1f %12.1f %7.1fx\n", row.name,
+                row.bytes, row.with_fsync.p50_us, row.with_fsync.p99_us,
+                row.no_fsync.p50_us, row.no_fsync.p99_us,
+                row.with_fsync.p50_us /
+                    std::max(row.no_fsync.p50_us, 0.001));
+  }
+  std::printf("checkpointed_request_ms: fsync=%.2f no_fsync=%.2f\n",
+              e2e_fsync_ms, e2e_fast_ms);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"store_durability\",\n");
+  std::fprintf(out, "  \"writes\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"bytes\": %zu, "
+                 "\"fsync_p50_us\": %.1f, \"fsync_p99_us\": %.1f, "
+                 "\"fsync_mean_us\": %.1f, "
+                 "\"no_fsync_p50_us\": %.1f, \"no_fsync_p99_us\": %.1f, "
+                 "\"no_fsync_mean_us\": %.1f}%s\n",
+                 row.name, row.bytes, row.with_fsync.p50_us,
+                 row.with_fsync.p99_us, row.with_fsync.mean_us,
+                 row.no_fsync.p50_us, row.no_fsync.p99_us,
+                 row.no_fsync.mean_us, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"checkpointed_request\": {\"fsync_ms\": %.2f, "
+               "\"no_fsync_ms\": %.2f}\n}\n",
+               e2e_fsync_ms, e2e_fast_ms);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  rc = std::system(cleanup.c_str());
+  return 0;
+}

@@ -11,7 +11,13 @@
 #      dir replays stored results byte-identically;
 #   4. SIGKILL mid-fixpoint (slow-round knob stretches the run), then
 #      warm restart: the recovered result must be byte-identical to the
-#      local oracle (`awrd eval`) with the exact same charge total.
+#      local oracle (`awrd eval`) with the exact same charge total;
+#   5. torn state dir: tear a round-barrier checkpoint mid-byte (the
+#      torn-prefix shape a power cut leaves without the fsync
+#      discipline) and plant a stale write temp, then restart — the
+#      startup scrub must quarantine the torn .snap and remove the
+#      temp, and recovery must degrade to a fresh evaluation that
+#      still matches the oracle's model and exact charge total.
 #
 # Usage: scripts/service_smoke.sh <path-to-awrd> [tag]
 set -euo pipefail
@@ -153,6 +159,59 @@ diff <(model_of "$WORK/oracle.txt") <(model_of "$WORK/recovered.txt") \
 grep -q "^resumed: 1" "$WORK/recovered.txt" || {
   echo "FAIL($TAG): recovery did not resume from the checkpoint" >&2
   exit 1; }
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL($TAG): final drain" >&2; exit 1; }
+SERVER_PID=""
+
+# ---- 5. torn checkpoint on disk: scrub + degraded-to-fresh recovery -
+# Manufacture unfinished journaled work with a checkpoint again, as in
+# step 4, but this time tear the .snap before restarting.
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" \
+  --checkpoint-every 1 --slow-round-us 200000 &
+SERVER_PID=$!
+wait_for_socket
+"$AWRD" query --socket "$SOCK" --id q_torn --semantics minimal \
+  --program-file "$PROG" --edb-file "$EDB" --retries 1 \
+  > "$WORK/torn_client.txt" 2>&1 &
+CLIENT_PID=$!
+sleep 0.8
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+wait "$CLIENT_PID" 2>/dev/null || true
+
+[[ -f "$STATE/q_torn.req" && -f "$STATE/q_torn.snap" ]] || {
+  echo "FAIL($TAG): no checkpoint on disk to tear" >&2; exit 1; }
+
+# Tear the checkpoint mid-byte (keep half) and plant a stale write
+# temp, mimicking what a power cut leaves behind without fsync.
+SNAP_BYTES=$(wc -c < "$STATE/q_torn.snap")
+truncate -s $((SNAP_BYTES / 2)) "$STATE/q_torn.snap"
+printf 'debris' > "$STATE/q_torn.res.tmp.999.0"
+
+"$AWRD" serve --socket "$SOCK" --state-dir "$STATE" &
+SERVER_PID=$!
+wait_for_socket
+
+# The scrub must have quarantined the torn .snap (never deleted it)
+# and removed the orphaned temp before recovery started.
+[[ -f "$STATE/quarantine/q_torn.snap" ]] || {
+  echo "FAIL($TAG): torn checkpoint was not quarantined" >&2; exit 1; }
+[[ ! -e "$STATE/q_torn.res.tmp.999.0" ]] || {
+  echo "FAIL($TAG): stale temp survived the scrub" >&2; exit 1; }
+"$AWRD" stats --socket "$SOCK" | grep -q "^store_scrub_quarantined [1-9]" || {
+  echo "FAIL($TAG): scrub_quarantined counter not reported" >&2; exit 1; }
+
+# With the checkpoint gone, recovery degrades to a fresh evaluation —
+# which must still produce the oracle's model and exact charge total.
+"$AWRD" fetch --socket "$SOCK" --id q_torn > "$WORK/torn_recovered.txt"
+diff <(model_of "$WORK/oracle.txt") <(model_of "$WORK/torn_recovered.txt") \
+  > /dev/null || {
+  echo "FAIL($TAG): degraded recovery diverged from oracle" >&2; exit 1; }
+[[ "$(charges_of "$WORK/torn_recovered.txt")" == \
+   "$(charges_of "$WORK/oracle.txt")" ]] || {
+  echo "FAIL($TAG): degraded recovery broke charge parity" >&2; exit 1; }
 
 kill -TERM "$SERVER_PID"
 wait "$SERVER_PID" || { echo "FAIL($TAG): final drain" >&2; exit 1; }

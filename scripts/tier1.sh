@@ -31,9 +31,17 @@
 #     serve / SIGTERM-drain / warm-restart / SIGKILL-mid-fixpoint
 #     against the plain, ASan and TSan builds, diffing models and
 #     charge totals against a local oracle.
+# The crash-consistent storage seam (DESIGN.md §13) adds two suites:
+# the storage unit tests (PosixFs durability discipline, FaultFs
+# injection, startup scrub/quarantine) and the power-cut recovery
+# oracle, which reruns its trace once per filesystem op with a
+# simulated power cut at that op.  The plain ctest passes above run
+# the full stride-1 sweep (it is fast un-sanitized); the ASan pass
+# reruns it with AWR_POWER_CUT_STRIDE=3 to stay inside the budget.
 # Finally bench_service emits BENCH_service.json (QPS, p50/p99 latency,
 # shed rate under an undersized admission budget, restart-to-first-
-# result time).
+# result time) and bench_store_durability emits
+# BENCH_store_durability.json (the E21 fsync-cost table).
 #
 # Usage: scripts/tier1.sh
 set -euo pipefail
@@ -58,7 +66,8 @@ cmake --build build-asan -j"$(nproc)" \
   --target awr_interruption_test --target awr_snapshot_test \
   --target awr_property_test --target awr_value_test \
   --target awr_eval_core_test --target awr_service_test \
-  --target awr_service_chaos_test --target awrd
+  --target awr_service_chaos_test --target awr_storage_test \
+  --target awr_powercut_test --target awrd
 (cd build-asan && ctest --output-on-failure -R Interruption)
 (cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
 # The snapshot corruption fuzz again on the legacy representation: the
@@ -76,6 +85,14 @@ cmake --build build-asan -j"$(nproc)" \
 # unwinding and the durable store under injected faults.
 (cd build-asan && AWR_CHAOS_TRACES=12 \
   ctest --output-on-failure -R 'Service|SocketServer')
+# The storage seam under ASan/UBSan: PosixFs error-path unwinding,
+# FaultFs tear injection, and the scrub/quarantine paths.
+(cd build-asan && \
+  ctest --output-on-failure -R 'PosixFs|Storage|FaultFs|StoreScrub')
+# The power-cut oracle, thinned to every 3rd filesystem op (the plain
+# passes above already ran the exhaustive stride-1 sweep).
+(cd build-asan && AWR_POWER_CUT_STRIDE=3 \
+  ctest --output-on-failure -R 'PowerCutOracle')
 scripts/service_smoke.sh build-asan/src/awr/service/awrd asan
 
 cmake -B build-tsan -S . -DAWR_SANITIZE=thread
@@ -97,3 +114,8 @@ scripts/service_smoke.sh build-tsan/src/awr/service/awrd tsan
 # rate under an undersized budget, restart-to-first-result).
 cmake --build build -j"$(nproc)" --target bench_service
 ./build/bench/bench_service BENCH_service.json
+
+# The durability benchmark emits BENCH_store_durability.json (E21:
+# fsync-discipline cost per write and on a checkpointing request).
+cmake --build build -j"$(nproc)" --target bench_store_durability
+./build/bench/bench_store_durability BENCH_store_durability.json

@@ -3,12 +3,63 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 
 #include "awr/service/wire.h"
 
 namespace awr::service {
+
+Backoff::Backoff(const RetryPolicy& policy, uint64_t seed)
+    : base_(policy.base_backoff_ms == 0 ? 1 : policy.base_backoff_ms),
+      max_(std::max(policy.max_backoff_ms, base_)),
+      prev_(base_),
+      rng_state_(seed + 0x9e3779b97f4a7c15ull) {
+  if (rng_state_ == 0) rng_state_ = 1;
+}
+
+uint64_t Backoff::NextDraw() {
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+uint64_t Backoff::NextDelayMs() {
+  // Decorrelated jitter: U(base, 3*prev), clamped to [base, max].
+  const uint64_t upper = std::min(max_, std::max(base_, prev_ * 3));
+  uint64_t delay = base_;
+  if (upper > base_) delay = base_ + NextDraw() % (upper - base_ + 1);
+  if (delay < hint_floor_) delay = hint_floor_;
+  hint_floor_ = 0;
+  prev_ = std::min(delay, max_);
+  return delay;
+}
+
+void Backoff::ObserveServerHint(uint64_t retry_after_ms) {
+  hint_floor_ = std::max(hint_floor_, retry_after_ms);
+}
+
+namespace {
+
+/// Per-client seed when the policy leaves jitter_seed at 0: distinct
+/// across processes and across clients within one, which is the whole
+/// point of jitter — a fleet that failed together must not retry
+/// together.
+uint64_t DeriveJitterSeed(const void* self) {
+  static std::atomic<uint64_t> counter{0};
+  uint64_t h = static_cast<uint64_t>(::getpid());
+  h = h * 0x100000001b3ull ^ reinterpret_cast<uintptr_t>(self);
+  h = h * 0x100000001b3ull ^ counter.fetch_add(1, std::memory_order_relaxed);
+  h = h * 0x100000001b3ull ^ static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  return h;
+}
+
+}  // namespace
 
 Status Client::Connect() {
   if (fd_ >= 0) return Status::OK();
@@ -113,12 +164,14 @@ Status Client::Drain() {
 
 template <typename Op>
 Result<ResultRecord> Client::RetryLoop(Op op, const RetryPolicy& policy) {
-  uint64_t backoff_ms = policy.base_backoff_ms;
+  const uint64_t seed = policy.jitter_seed != 0 ? policy.jitter_seed
+                                                : DeriveJitterSeed(this);
+  Backoff backoff(policy, seed);
   Status last = Status::Unavailable("client: no attempts made");
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
     if (attempt > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff.NextDelayMs()));
     }
     Result<ResultRecord> r = op();
     if (!r.ok()) {
@@ -133,9 +186,9 @@ Result<ResultRecord> Client::RetryLoop(Op op, const RetryPolicy& policy) {
       return r;  // success or terminal failure: done either way
     }
     last = r->ToStatus();
-    // The server knows its own pressure: a retry-after hint overrides
-    // a smaller local backoff.
-    if (r->retry_after_ms > backoff_ms) backoff_ms = r->retry_after_ms;
+    // The server knows its own pressure: a retry-after hint floors the
+    // next (jittered) delay.
+    backoff.ObserveServerHint(r->retry_after_ms);
   }
   return last;
 }

@@ -10,8 +10,8 @@
 
 namespace awr::service {
 
-/// How a client retries transient failures (DESIGN.md §11): exponential
-/// backoff from `base_backoff_ms`, doubled per attempt up to
+/// How a client retries transient failures (DESIGN.md §11):
+/// decorrelated-jitter backoff between `base_backoff_ms` and
 /// `max_backoff_ms`, always deferring to a server retry-after hint when
 /// one is larger.  Only retryable outcomes re-attempt
 /// (StatusCodeIsRetryable: kUnavailable, kResourceExhausted);
@@ -21,6 +21,37 @@ struct RetryPolicy {
   int max_attempts = 10;
   uint64_t base_backoff_ms = 10;
   uint64_t max_backoff_ms = 2000;
+  /// Seed for the jitter stream.  0 (the default) derives a per-client
+  /// seed, so a fleet of identical clients spreads out; any nonzero
+  /// value makes the delay sequence fully deterministic — what the
+  /// chaos harness fixes to keep traces reproducible.
+  uint64_t jitter_seed = 0;
+};
+
+/// The delay sequence behind RetryLoop, exposed for tests: seeded
+/// decorrelated jitter.  Each delay is drawn uniformly from
+/// [base, 3 * previous], clamped to [base, max] — retries spread apart
+/// on average (exponential-ish growth) without the thundering herd a
+/// deterministic doubling schedule produces when many clients fail
+/// together.  A server retry-after hint floors the NEXT delay only
+/// (the server knows its own pressure; later delays re-jitter).
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, uint64_t seed);
+
+  /// The next sleep, in ms; advances the stream.
+  uint64_t NextDelayMs();
+  /// Floors the next delay at a server-provided hint.
+  void ObserveServerHint(uint64_t retry_after_ms);
+
+ private:
+  uint64_t NextDraw();  // xorshift64*
+
+  uint64_t base_;
+  uint64_t max_;
+  uint64_t prev_;
+  uint64_t hint_floor_ = 0;
+  uint64_t rng_state_;
 };
 
 /// A connection to one awrd server.  Requests on a Client are serial

@@ -1,6 +1,7 @@
 #include "awr/service/executor.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -19,9 +20,11 @@ namespace awr::service {
 namespace {
 
 /// Checkpoint sink that persists every capture to the request's .snap
-/// file.  Persistence failures are swallowed after the first (the
+/// file.  The first persistence failure (disk full, EIO) DISABLES
+/// persistence for the rest of the run with one stderr warning: the
 /// evaluation itself must not fail because the disk did — the request
-/// merely loses resumability).
+/// merely loses resumability — and hammering a full disk once per
+/// barrier helps no one.
 class PersistingSink : public snapshot::CheckpointSink {
  public:
   PersistingSink(const RequestStore* store, std::string id,
@@ -41,8 +44,16 @@ class PersistingSink : public snapshot::CheckpointSink {
     // a request interrupted twice would under-report on its second
     // resume and break the charge-parity oracle.
     s.charges_at_barrier += base_charges_;
-    if (store_ != nullptr) {
-      store_->WriteSnapshot(id_, s);
+    if (store_ != nullptr && !disabled_) {
+      Status st = store_->WriteSnapshot(id_, s);
+      if (!st.ok()) {
+        disabled_ = true;
+        store_->NoteSnapshotWriteFailure();
+        std::fprintf(stderr,
+                     "awr: warning: checkpoint persistence disabled for "
+                     "request %s: %s\n",
+                     id_.c_str(), st.message().c_str());
+      }
     }
     CheckpointSink::Store(std::move(s));
   }
@@ -52,6 +63,7 @@ class PersistingSink : public snapshot::CheckpointSink {
   std::string id_;
   uint64_t slow_round_us_;
   uint64_t base_charges_;
+  bool disabled_ = false;
 };
 
 snapshot::EngineKind EngineFor(Semantics s) {

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <utility>
 
 #include "awr/service/wire.h"
@@ -33,8 +34,23 @@ QueryService::QueryService(ServiceConfig config)
     : config_(std::move(config)),
       store_(config_.state_dir.empty()
                  ? nullptr
-                 : std::make_unique<RequestStore>(config_.state_dir)),
+                 : std::make_unique<RequestStore>(config_.state_dir,
+                                                  config_.fs)),
       admission_(config_.budget_bytes) {
+  if (store_ != nullptr) {
+    // Scrub BEFORE recovery scans the directory: stale temp files go
+    // away, corrupt records move to quarantine, and the .req/.res
+    // lifecycle invariant holds for everything recovery will look at.
+    ScrubReport scrubbed = store_->Scrub();
+    if (scrubbed.tmp_removed > 0 || scrubbed.quarantined > 0) {
+      std::fprintf(stderr,
+                   "awr: startup scrub: removed %llu stale temp file(s), "
+                   "quarantined %llu corrupt file(s) under %s\n",
+                   static_cast<unsigned long long>(scrubbed.tmp_removed),
+                   static_cast<unsigned long long>(scrubbed.quarantined),
+                   store_->QuarantineDir().c_str());
+    }
+  }
   if (store_ != nullptr && config_.recover_on_start) {
     recovery_ = std::thread([this] { RecoveryLoop(); });
   }
@@ -154,7 +170,12 @@ ResultRecord QueryService::ExecuteAdmitted(const SubmitRequest& req,
   if (!journal.ok()) {
     // A request we cannot journal we also refuse to run: otherwise a
     // crash mid-run would strand a checkpoint with no way to finish it.
-    res = FailRecord(req.semantics, journal);
+    // Shed it RETRYABLY — nothing executed, so a blind retry after the
+    // disk recovers (ENOSPC cleared, mount fixed) is safe and correct.
+    res = FailRecord(req.semantics,
+                     Status::Unavailable("journal write failed: " +
+                                         journal.message()),
+                     config_.drain_retry_after_ms);
   } else {
     ExecOptions exec = config_.exec;
     exec.cancel = entry->cancel.token();
@@ -167,9 +188,16 @@ ResultRecord QueryService::ExecuteAdmitted(const SubmitRequest& req,
     if (store_ != nullptr && ShouldStoreResult(res)) {
       Status stored = store_->WriteResult(req.id, res);
       if (!stored.ok()) {
+        // The outcome exists but is not durable, so it must not be
+        // acknowledged: an acknowledged result the client can never
+        // fetch again after a restart would break idempotent replay.
+        // Shed as retryable — the journal entry survives, so a retry
+        // (or the next warm restart) finishes the work.
+        store_->NoteResultWriteFailure();
         res = FailRecord(req.semantics,
-                         Status::Internal("result not durable: " +
-                                          stored.message()));
+                         Status::Unavailable("result not durable: " +
+                                             stored.message()),
+                         config_.drain_retry_after_ms);
       }
     }
   }
@@ -232,6 +260,16 @@ StatsReply QueryService::Stats() const {
       {"reserved_bytes", admission_.reserved_bytes()},
       {"high_water_bytes", admission_.high_water_bytes()},
   };
+  if (store_ != nullptr) {
+    stats.counters.emplace_back("store_scrub_tmp_removed",
+                                store_->scrub_tmp_removed());
+    stats.counters.emplace_back("store_scrub_quarantined",
+                                store_->scrub_quarantined());
+    stats.counters.emplace_back("store_snapshot_write_failures",
+                                store_->snapshot_write_failures());
+    stats.counters.emplace_back("store_result_write_failures",
+                                store_->result_write_failures());
+  }
   return stats;
 }
 

@@ -34,6 +34,10 @@ struct ServiceConfig {
   /// Finish journaled-but-unfinished requests in the background after a
   /// (re)start — the warm-restart worker.
   bool recover_on_start = true;
+  /// Filesystem the store writes through; borrowed, must outlive the
+  /// service.  nullptr = storage::DefaultFs().  Tests hand in a FaultFs
+  /// to exercise disk failures and power cuts.
+  storage::Fs* fs = nullptr;
 };
 
 /// The transport-independent heart of awrd: admission, execution,

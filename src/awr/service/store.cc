@@ -1,13 +1,6 @@
 #include "awr/service/store.h"
 
-#include <dirent.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <cstdio>
-#include <cstring>
 
 #include "awr/snapshot/snapshot.h"
 
@@ -15,73 +8,26 @@ namespace awr::service {
 
 namespace {
 
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
-}
-
-std::string ErrnoMessage(const std::string& what) {
-  return what + ": " + std::strerror(errno);
-}
-
-std::vector<std::string> ListDir(const std::string& dir) {
-  std::vector<std::string> names;
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return names;
-  while (struct dirent* e = ::readdir(d)) {
-    if (e->d_name[0] == '.') continue;
-    names.emplace_back(e->d_name);
-  }
-  ::closedir(d);
-  return names;
+bool HasSuffix(const std::string& name, const std::string& suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
 
 Status AtomicWriteFile(const std::string& path,
                        const std::vector<uint8_t>& bytes) {
-  // The temp file lives in the target directory so the rename cannot
-  // cross filesystems; the pid+address suffix keeps concurrent writers
-  // of *different* paths from colliding.
-  std::string tmp = path + ".tmp." + std::to_string(::getpid());
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Internal(ErrnoMessage("store: cannot create " + tmp));
-  }
-  const size_t written =
-      bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != bytes.size() || !close_ok) {
-    std::remove(tmp.c_str());
-    return Status::Internal("store: short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::Internal(ErrnoMessage("store: cannot rename into " + path));
-  }
-  return Status::OK();
+  return storage::DefaultFs()->WriteFileAtomic(path, bytes);
 }
 
 Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("store: no such file: " + path);
-  }
-  std::vector<uint8_t> bytes;
-  uint8_t buf[1 << 16];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
-    bytes.insert(bytes.end(), buf, buf + n);
-  }
-  const bool err = std::ferror(f) != 0;
-  std::fclose(f);
-  if (err) return Status::Internal("store: read error on " + path);
-  return bytes;
+  return storage::DefaultFs()->ReadFile(path);
 }
 
-RequestStore::RequestStore(std::string dir) : dir_(std::move(dir)) {
-  ::mkdir(dir_.c_str(), 0755);  // EEXIST is fine; other errors surface
-                                // on the first write.
+RequestStore::RequestStore(std::string dir, storage::Fs* fs)
+    : dir_(std::move(dir)), fs_(fs != nullptr ? fs : storage::DefaultFs()) {
+  // EEXIST is fine; other errors surface on the first write.
+  (void)fs_->MkDir(dir_);
 }
 
 std::string RequestStore::Path(const std::string& id, const char* ext) const {
@@ -90,63 +36,62 @@ std::string RequestStore::Path(const std::string& id, const char* ext) const {
 
 Status RequestStore::WriteRequest(const SubmitRequest& req) const {
   AWR_RETURN_IF_ERROR(ValidateRequestId(req.id));
-  return AtomicWriteFile(Path(req.id, ".req"), EncodeSubmit(req));
+  return fs_->WriteFileAtomic(Path(req.id, ".req"), EncodeSubmit(req));
 }
 
 Result<SubmitRequest> RequestStore::ReadRequest(const std::string& id) const {
-  auto bytes = ReadWholeFile(Path(id, ".req"));
+  auto bytes = fs_->ReadFile(Path(id, ".req"));
   if (!bytes.ok()) return bytes.status();
   return DecodeSubmit(*bytes);
 }
 
 bool RequestStore::HasRequest(const std::string& id) const {
-  return FileExists(Path(id, ".req"));
+  return fs_->FileExists(Path(id, ".req"));
 }
 
 Status RequestStore::WriteSnapshot(const std::string& id,
                                    const snapshot::EvalSnapshot& snap) const {
   auto bytes = snapshot::Serialize(snap);
   if (!bytes.ok()) return bytes.status();
-  return AtomicWriteFile(Path(id, ".snap"), *bytes);
+  return fs_->WriteFileAtomic(Path(id, ".snap"), *bytes);
 }
 
 Result<snapshot::EvalSnapshot> RequestStore::ReadSnapshot(
     const std::string& id) const {
-  auto bytes = ReadWholeFile(Path(id, ".snap"));
+  auto bytes = fs_->ReadFile(Path(id, ".snap"));
   if (!bytes.ok()) return bytes.status();
   return snapshot::Deserialize(*bytes);
 }
 
 void RequestStore::DeleteSnapshot(const std::string& id) const {
-  std::remove(Path(id, ".snap").c_str());
+  (void)fs_->Remove(Path(id, ".snap"));
 }
 
 Status RequestStore::WriteResult(const std::string& id,
                                  const ResultRecord& res) const {
-  AWR_RETURN_IF_ERROR(AtomicWriteFile(Path(id, ".res"), EncodeResult(res)));
+  AWR_RETURN_IF_ERROR(
+      fs_->WriteFileAtomic(Path(id, ".res"), EncodeResult(res)));
   DeleteSnapshot(id);
   return Status::OK();
 }
 
 Result<ResultRecord> RequestStore::ReadResult(const std::string& id) const {
-  auto bytes = ReadWholeFile(Path(id, ".res"));
+  auto bytes = fs_->ReadFile(Path(id, ".res"));
   if (!bytes.ok()) return bytes.status();
   return DecodeResult(*bytes);
 }
 
 bool RequestStore::HasResult(const std::string& id) const {
-  return FileExists(Path(id, ".res"));
+  return fs_->FileExists(Path(id, ".res"));
 }
 
 std::vector<std::string> RequestStore::UnfinishedRequests() const {
   std::vector<std::string> ids;
-  for (const std::string& name : ListDir(dir_)) {
-    const std::string suffix = ".req";
-    if (name.size() <= suffix.size() ||
-        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
-    }
-    std::string id = name.substr(0, name.size() - suffix.size());
+  auto names = fs_->List(dir_);
+  if (!names.ok()) return ids;
+  for (const std::string& name : *names) {
+    if (!HasSuffix(name, ".req")) continue;
+    std::string id = name.substr(0, name.size() - 4);
     if (!HasResult(id)) ids.push_back(std::move(id));
   }
   std::sort(ids.begin(), ids.end());
@@ -154,9 +99,53 @@ std::vector<std::string> RequestStore::UnfinishedRequests() const {
 }
 
 void RequestStore::Purge(const std::string& id) const {
-  std::remove(Path(id, ".req").c_str());
-  std::remove(Path(id, ".snap").c_str());
-  std::remove(Path(id, ".res").c_str());
+  (void)fs_->Remove(Path(id, ".req"));
+  (void)fs_->Remove(Path(id, ".snap"));
+  (void)fs_->Remove(Path(id, ".res"));
+}
+
+ScrubReport RequestStore::Scrub() const {
+  ScrubReport report;
+  auto names = fs_->List(dir_);
+  if (!names.ok()) return report;
+  for (const std::string& name : *names) {
+    const std::string path = dir_ + "/" + name;
+    // Skip anything that is not a regular file — notably the quarantine
+    // directory itself.
+    if (!fs_->FileExists(path)) continue;
+    // An orphaned temp is a write that never reached its rename: by the
+    // atomicity contract it was never acknowledged, so deleting it loses
+    // nothing.
+    if (storage::IsTempFileName(name)) {
+      if (fs_->Remove(path).ok()) ++report.tmp_removed;
+      continue;
+    }
+    // Decode-check the three record kinds; a file we cannot READ (as
+    // opposed to cannot decode) is left alone — we cannot judge it.
+    bool corrupt = false;
+    if (HasSuffix(name, ".req")) {
+      auto bytes = fs_->ReadFile(path);
+      corrupt = bytes.ok() && !DecodeSubmit(*bytes).ok();
+    } else if (HasSuffix(name, ".snap")) {
+      auto bytes = fs_->ReadFile(path);
+      corrupt = bytes.ok() && !snapshot::Deserialize(*bytes).ok();
+    } else if (HasSuffix(name, ".res")) {
+      auto bytes = fs_->ReadFile(path);
+      corrupt = bytes.ok() && !DecodeResult(*bytes).ok();
+    }
+    if (!corrupt) continue;
+    // Quarantine, never delete: the bytes may matter for post-mortem.
+    if (!fs_->MkDir(QuarantineDir()).ok()) continue;
+    if (fs_->Rename(path, QuarantineDir() + "/" + name).ok()) {
+      ++report.quarantined;
+    }
+  }
+  if (report.tmp_removed > 0 || report.quarantined > 0) {
+    (void)fs_->SyncDir(dir_);
+  }
+  scrub_tmp_removed_.fetch_add(report.tmp_removed, std::memory_order_relaxed);
+  scrub_quarantined_.fetch_add(report.quarantined, std::memory_order_relaxed);
+  return report;
 }
 
 }  // namespace awr::service

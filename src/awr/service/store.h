@@ -1,6 +1,8 @@
 #ifndef AWR_SERVICE_STORE_H_
 #define AWR_SERVICE_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,15 +11,24 @@
 #include "awr/common/status.h"
 #include "awr/service/protocol.h"
 #include "awr/snapshot/state.h"
+#include "awr/storage/fs.h"
 
 namespace awr::service {
 
+/// What one Scrub() pass did (cumulative totals live on the store).
+struct ScrubReport {
+  uint64_t tmp_removed = 0;   ///< stale *.tmp.* files deleted
+  uint64_t quarantined = 0;   ///< corrupt .req/.snap/.res moved aside
+};
+
 /// Durable per-request state under one directory (DESIGN.md §11).
 ///
-/// Three files per request id, each written atomically (temp file in
-/// the same directory + rename, so a reader — including a warm-started
-/// server after SIGKILL — sees either the previous complete version or
-/// the new complete version, never a torn write):
+/// Three files per request id, each written through
+/// storage::Fs::WriteFileAtomic (unique same-directory temp file,
+/// write, fsync(file), rename, fsync(parent) — so a reader, including a
+/// warm-started server after SIGKILL or power loss, sees either the
+/// previous complete version or the new complete version, never a torn
+/// write):
 ///
 ///   <id>.req   the SubmitRequest, in its wire encoding — the journal
 ///              entry that lets a restarted server finish the request
@@ -33,15 +44,23 @@ namespace awr::service {
 /// falls back (a bad .snap degrades to a fresh run; a bad .res or .req
 /// reports the request lost).
 ///
-/// Thread-compatibility: the store itself is stateless (all state is
-/// the filesystem); callers serialize per-id access (QueryService's
-/// in-flight table guarantees one writer per id).
+/// Scrub() is the startup pass that makes the invariant true after a
+/// crash: it deletes orphaned `*.tmp.*` files (a write that never
+/// reached its rename) and moves any .req/.snap/.res that fails to
+/// decode into `<dir>/quarantine/` — preserved for post-mortem, out of
+/// the recovery scan's way.  An intact file is never touched.
+///
+/// Thread-compatibility: the store itself holds no per-request state
+/// (all state is the filesystem); callers serialize per-id access
+/// (QueryService's in-flight table guarantees one writer per id).
 class RequestStore {
  public:
-  /// Creates `dir` (one level) if missing.
-  explicit RequestStore(std::string dir);
+  /// Creates `dir` (one level) if missing.  `fs` is borrowed and must
+  /// outlive the store; nullptr means storage::DefaultFs().
+  explicit RequestStore(std::string dir, storage::Fs* fs = nullptr);
 
   const std::string& dir() const { return dir_; }
+  storage::Fs* fs() const { return fs_; }
 
   Status WriteRequest(const SubmitRequest& req) const;
   Result<SubmitRequest> ReadRequest(const std::string& id) const;
@@ -65,13 +84,55 @@ class RequestStore {
   /// Removes all three files of `id` (missing files are fine).
   void Purge(const std::string& id) const;
 
+  /// The startup pass described in the class comment.  Idempotent: a
+  /// second Scrub on an already-clean directory does nothing.  Errors
+  /// on individual files are skipped (never fatal) — a file the scrub
+  /// cannot judge is left in place.
+  ScrubReport Scrub() const;
+
+  /// Cumulative totals across every Scrub() on this store.
+  uint64_t scrub_tmp_removed() const {
+    return scrub_tmp_removed_.load(std::memory_order_relaxed);
+  }
+  uint64_t scrub_quarantined() const {
+    return scrub_quarantined_.load(std::memory_order_relaxed);
+  }
+
+  /// Degradation bookkeeping, surfaced through QueryService::Stats():
+  /// checkpoint writes that failed (evaluation continued without
+  /// resumability) and result writes that failed (request shed as
+  /// retryable).  Noted by the executor/server, owned here because the
+  /// store is the one object both share.
+  void NoteSnapshotWriteFailure() const {
+    snapshot_write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void NoteResultWriteFailure() const {
+    result_write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t snapshot_write_failures() const {
+    return snapshot_write_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t result_write_failures() const {
+    return result_write_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Where Scrub() moves corrupt files: `<dir>/quarantine`.
+  std::string QuarantineDir() const { return dir_ + "/quarantine"; }
+
  private:
   std::string Path(const std::string& id, const char* ext) const;
 
   std::string dir_;
+  storage::Fs* fs_;  // borrowed, never null after construction
+
+  mutable std::atomic<uint64_t> scrub_tmp_removed_{0};
+  mutable std::atomic<uint64_t> scrub_quarantined_{0};
+  mutable std::atomic<uint64_t> snapshot_write_failures_{0};
+  mutable std::atomic<uint64_t> result_write_failures_{0};
 };
 
-/// Atomic whole-file helpers (temp + rename), shared with tests.
+/// Atomic whole-file helpers over storage::DefaultFs(), shared with
+/// tests and the snapshot golden-file reader.
 Status AtomicWriteFile(const std::string& path,
                        const std::vector<uint8_t>& bytes);
 Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path);

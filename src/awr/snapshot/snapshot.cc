@@ -1,8 +1,8 @@
 #include "awr/snapshot/snapshot.h"
 
-#include <cstdio>
 #include <cstring>
 
+#include "awr/storage/fs.h"
 #include "awr/value/value_codec.h"
 
 namespace awr::snapshot {
@@ -195,34 +195,14 @@ Result<EvalSnapshot> Deserialize(const uint8_t* data, size_t size) {
 
 Status WriteSnapshotFile(const EvalSnapshot& snap, const std::string& path) {
   AWR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, Serialize(snap));
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("snapshot write: cannot open " + path);
-  }
-  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  int close_rc = std::fclose(f);
-  if (written != bytes.size() || close_rc != 0) {
-    return Status::Internal("snapshot write: short write to " + path);
-  }
-  return Status::OK();
+  // Through the storage seam: atomic temp+rename plus fsync discipline,
+  // so a golden file is never observed half-written.
+  return storage::DefaultFs()->WriteFileAtomic(path, bytes);
 }
 
 Result<EvalSnapshot> ReadSnapshotFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::NotFound("snapshot read: cannot open " + path);
-  }
-  std::vector<uint8_t> bytes;
-  uint8_t buf[4096];
-  size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    bytes.insert(bytes.end(), buf, buf + n);
-  }
-  bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) {
-    return Status::Internal("snapshot read: I/O error reading " + path);
-  }
+  AWR_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       storage::DefaultFs()->ReadFile(path));
   return Deserialize(bytes);
 }
 

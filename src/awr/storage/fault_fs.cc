@@ -1,0 +1,181 @@
+#include "awr/storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace awr::storage {
+
+uint64_t FaultFs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultFs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+bool FaultFs::power_cut() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cut_;
+}
+
+void FaultFs::FailAt(uint64_t nth, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = ops_ + nth;  // "the nth op from now"
+  fail_status_ = std::move(status);
+}
+
+void FaultFs::FailAllAfter(uint64_t nth, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_all_after_ = ops_ + nth;
+  fail_all_status_ = std::move(status);
+}
+
+void FaultFs::TripWithProbability(double p, uint64_t seed, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  probability_millionths_ = static_cast<uint64_t>(p * 1'000'000.0 + 0.5);
+  prob_status_ = std::move(status);
+  rng_state_ = seed + 0x9e3779b97f4a7c15ull;
+  if (rng_state_ == 0) rng_state_ = 1;
+}
+
+void FaultFs::CutAt(uint64_t nth, uint64_t tear_granularity, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cut_at_ = ops_ + nth;
+  tear_granularity_ = tear_granularity == 0 ? 1 : tear_granularity;
+  cut_rng_ = seed + 0x9e3779b97f4a7c15ull;
+  if (cut_rng_ == 0) cut_rng_ = 1;
+  cut_ = false;
+}
+
+void FaultFs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ops_ = 0;
+  faults_ = 0;
+  fail_at_ = 0;
+  fail_all_after_ = 0;
+  probability_millionths_ = 0;
+  cut_at_ = 0;
+  cut_ = false;
+}
+
+uint64_t FaultFs::NextDraw() {
+  uint64_t x = rng_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  rng_state_ = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+Status FaultFs::ChargeOp(bool is_write, bool* tear_write, uint64_t* tear_len,
+                         size_t write_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *tear_write = false;
+  ++ops_;
+  if (cut_) {
+    ++faults_;
+    return Status::Unavailable("storage: power lost (op " +
+                               std::to_string(ops_) + ")");
+  }
+  if (cut_at_ != 0 && ops_ == cut_at_) {
+    cut_ = true;
+    ++faults_;
+    if (is_write) {
+      // Seeded tear point in [0, size], rounded down to the granularity
+      // so the sweep covers empty, partial and complete-but-unrenamed
+      // temp files.
+      uint64_t x = cut_rng_;
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      cut_rng_ = x;
+      uint64_t draw = (x * 0x2545f4914f6cdd1dull) % (write_size + 1);
+      *tear_len = draw - draw % tear_granularity_;
+      *tear_write = true;
+    }
+    return Status::Unavailable("storage: power cut at op " +
+                               std::to_string(ops_));
+  }
+  if (fail_at_ != 0 && ops_ == fail_at_) {
+    fail_at_ = 0;
+    ++faults_;
+    return fail_status_;
+  }
+  if (fail_all_after_ != 0 && ops_ >= fail_all_after_) {
+    ++faults_;
+    return fail_all_status_;
+  }
+  if (probability_millionths_ != 0 &&
+      (NextDraw() >> 11) % 1'000'000 < probability_millionths_) {
+    probability_millionths_ = 0;
+    ++faults_;
+    return prob_status_;
+  }
+  return Status::OK();
+}
+
+Status FaultFs::WriteFileAtomic(const std::string& path,
+                                const std::vector<uint8_t>& bytes) {
+  bool tear = false;
+  uint64_t tear_len = 0;
+  Status st = ChargeOp(/*is_write=*/true, &tear, &tear_len, bytes.size());
+  if (st.ok()) return inner_->WriteFileAtomic(path, bytes);
+  if (tear) {
+    // The torn artifact a power cut leaves behind: a prefix of the
+    // in-flight bytes under a temp name, target untouched.  Written
+    // through the inner fs so the artifact itself is a complete file —
+    // the *state* is torn, the simulation of it need not be.
+    std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + tear_len);
+    (void)inner_->WriteFileAtomic(path + ".tmp.cut", prefix);
+  }
+  return st;
+}
+
+Result<std::vector<uint8_t>> FaultFs::ReadFile(const std::string& path) {
+  return inner_->ReadFile(path);
+}
+
+Status FaultFs::Rename(const std::string& from, const std::string& to) {
+  bool tear = false;
+  uint64_t tear_len = 0;
+  Status st = ChargeOp(/*is_write=*/false, &tear, &tear_len, 0);
+  if (!st.ok()) return st;
+  return inner_->Rename(from, to);
+}
+
+Status FaultFs::Remove(const std::string& path) {
+  bool tear = false;
+  uint64_t tear_len = 0;
+  Status st = ChargeOp(/*is_write=*/false, &tear, &tear_len, 0);
+  if (!st.ok()) return st;
+  return inner_->Remove(path);
+}
+
+Result<std::vector<std::string>> FaultFs::List(const std::string& dir) {
+  return inner_->List(dir);
+}
+
+Status FaultFs::SyncDir(const std::string& dir) {
+  bool tear = false;
+  uint64_t tear_len = 0;
+  Status st = ChargeOp(/*is_write=*/false, &tear, &tear_len, 0);
+  if (!st.ok()) return st;
+  return inner_->SyncDir(dir);
+}
+
+Status FaultFs::MkDir(const std::string& dir) {
+  bool tear = false;
+  uint64_t tear_len = 0;
+  Status st = ChargeOp(/*is_write=*/false, &tear, &tear_len, 0);
+  if (!st.ok()) return st;
+  return inner_->MkDir(dir);
+}
+
+bool FaultFs::FileExists(const std::string& path) {
+  return inner_->FileExists(path);
+}
+
+}  // namespace awr::storage

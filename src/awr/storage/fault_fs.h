@@ -1,0 +1,105 @@
+#ifndef AWR_STORAGE_FAULT_FS_H_
+#define AWR_STORAGE_FAULT_FS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "awr/storage/fs.h"
+
+namespace awr::storage {
+
+/// Fault-injecting decorator over any Fs — the storage-level sibling of
+/// FaultInjector's charge-indexed trips (context.h).  Every MUTATING
+/// operation (WriteFileAtomic, Rename, Remove, SyncDir, MkDir) counts
+/// as one op, in call order; reads (ReadFile, List, FileExists) always
+/// pass through untouched.  Four arming modes:
+///
+///  * FailAt(k, st): the k-th subsequent mutating op fails with `st`
+///    and leaves no artifact (a clean error return, the way PosixFs
+///    unwinds EIO/ENOSPC itself: temp removed, target untouched).
+///    One-shot — later ops succeed.
+///  * FailAllAfter(k, st): every mutating op from the k-th on fails —
+///    the disk-full regime.  Reads keep working, so stored results
+///    still serve.
+///  * TripWithProbability(p, seed, st): seeded Bernoulli draw per
+///    mutating op, one-shot per arming — the chaos harness's mode,
+///    mirroring FaultInjector::TripWithProbability.
+///  * CutAt(k, granularity, seed): simulated power cut.  Ops before k
+///    take effect normally; op k is TORN — a WriteFileAtomic leaves a
+///    seeded prefix of its bytes (rounded down to `granularity`) in a
+///    `*.tmp.*` file and the target untouched, any other op simply
+///    does not happen — and every mutating op after k fails with
+///    kUnavailable("power lost"): the machine is dead even if the
+///    process limps on.  The resulting directory is exactly a
+///    post-power-cut disk for a PosixFs writer, which is what the
+///    recovery oracle (tests/powercut_test.cc) warm-restarts on.
+///
+/// Determinism: the same arming against the same op sequence injects at
+/// the same op with the same tear point.  Thread-safe; a failed or cut
+/// op still counts.
+class FaultFs : public Fs {
+ public:
+  /// `inner` is borrowed and must outlive this wrapper.
+  explicit FaultFs(Fs* inner) : inner_(inner) {}
+
+  /// Mutating ops observed since construction or Reset().
+  uint64_t ops() const;
+  /// Injected failures (all modes) since construction or Reset().
+  uint64_t faults_injected() const;
+  /// True once a CutAt has fired: all later mutating ops fail.
+  bool power_cut() const;
+
+  void FailAt(uint64_t nth, Status status);
+  void FailAllAfter(uint64_t nth, Status status);
+  void TripWithProbability(double p, uint64_t seed, Status status);
+  void CutAt(uint64_t nth, uint64_t tear_granularity, uint64_t seed);
+  /// Disarms every mode and zeroes the counters.
+  void Reset();
+
+  Status WriteFileAtomic(const std::string& path,
+                         const std::vector<uint8_t>& bytes) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Status MkDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+
+ private:
+  /// Charges one mutating op and decides its fate: OK to delegate, or
+  /// the injected failure.  `tear_write` is set when the op is a
+  /// WriteFileAtomic being power-cut (the caller then writes the torn
+  /// artifact).  Caller does NOT hold mu_.
+  Status ChargeOp(bool is_write, bool* tear_write, uint64_t* tear_len,
+                  size_t write_size);
+
+  uint64_t NextDraw();  // xorshift64*, caller holds mu_
+
+  Fs* inner_;  // borrowed
+
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t faults_ = 0;
+  // One-shot indexed failure.
+  uint64_t fail_at_ = 0;
+  Status fail_status_;
+  // Persistent failure (ENOSPC regime).
+  uint64_t fail_all_after_ = 0;
+  Status fail_all_status_;
+  // Probabilistic one-shot.
+  uint64_t probability_millionths_ = 0;
+  Status prob_status_;
+  uint64_t rng_state_ = 1;
+  // Power cut.
+  uint64_t cut_at_ = 0;
+  uint64_t tear_granularity_ = 1;
+  uint64_t cut_rng_ = 1;
+  bool cut_ = false;
+};
+
+}  // namespace awr::storage
+
+#endif  // AWR_STORAGE_FAULT_FS_H_

@@ -1,0 +1,193 @@
+#include "awr/storage/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace awr::storage {
+
+namespace {
+
+/// Per-process monotone suffix so concurrent writers of the SAME path
+/// (which RequestStore's per-id serialization forbids, but the Fs layer
+/// does not assume) never collide on a temp name.
+std::atomic<uint64_t> g_temp_seq{0};
+
+std::string ParentDir(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string ErrnoMessage(const std::string& what, int err) {
+  return what + ": " + std::strerror(err);
+}
+
+Status ErrnoStatus(const std::string& what, int err) {
+  const std::string msg = ErrnoMessage(what, err);
+  switch (err) {
+    case ENOSPC:
+    case EDQUOT:
+      return Status::ResourceExhausted(msg);
+    case ENOENT:
+      return Status::NotFound(msg);
+    default:
+      return Status::Internal(msg);
+  }
+}
+
+bool FsyncDisabledByEnv() {
+  static const bool disabled = [] {
+    const char* env = std::getenv("AWR_NO_FSYNC");
+    return env != nullptr && *env == '1';
+  }();
+  return disabled;
+}
+
+bool IsTempFileName(std::string_view name) {
+  return name.find(".tmp.") != std::string_view::npos;
+}
+
+Status PosixFs::WriteFileAtomic(const std::string& path,
+                                const std::vector<uint8_t>& bytes) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(g_temp_seq.fetch_add(1, std::memory_order_relaxed));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoStatus("storage: cannot create " + tmp, errno);
+  }
+  // Write loop: ::write may stop short (signals, quotas) without being
+  // an error; only a negative return or zero progress is.
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      const int err = n < 0 ? errno : EIO;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return ErrnoStatus("storage: short write to " + tmp, err);
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync BEFORE the rename: once the new name is visible, its content
+  // must already be on stable media — otherwise a power cut after the
+  // rename could expose a complete-looking name with torn bytes.
+  if (!no_fsync_ && ::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("storage: cannot fsync " + tmp, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("storage: cannot close " + tmp, err);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return ErrnoStatus("storage: cannot rename into " + path, err);
+  }
+  // fsync the parent directory: the rename is a directory-entry update,
+  // and only this makes the *name* durable.
+  if (!no_fsync_) {
+    AWR_RETURN_IF_ERROR(SyncDir(ParentDir(path)));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> PosixFs::ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoStatus("storage: cannot open " + path, errno);
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      const int err = errno;
+      ::close(fd);
+      return ErrnoStatus("storage: read error on " + path, err);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+Status PosixFs::Rename(const std::string& from, const std::string& to) {
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("storage: cannot rename " + from + " -> " + to, errno);
+  }
+  return Status::OK();
+}
+
+Status PosixFs::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    return ErrnoStatus("storage: cannot remove " + path, errno);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> PosixFs::List(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return ErrnoStatus("storage: cannot list " + dir, errno);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    if (e->d_name[0] == '.') continue;
+    names.emplace_back(e->d_name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status PosixFs::SyncDir(const std::string& dir) {
+  if (no_fsync_) return Status::OK();
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return ErrnoStatus("storage: cannot open dir " + dir, errno);
+  }
+  int rc = ::fsync(fd);
+  const int err = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return ErrnoStatus("storage: cannot fsync dir " + dir, err);
+  }
+  return Status::OK();
+}
+
+Status PosixFs::MkDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("storage: cannot mkdir " + dir, errno);
+  }
+  return Status::OK();
+}
+
+bool PosixFs::FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+Fs* DefaultFs() {
+  static PosixFs* fs = new PosixFs();  // immortal; honours AWR_NO_FSYNC
+  return fs;
+}
+
+}  // namespace awr::storage

@@ -1,0 +1,118 @@
+#ifndef AWR_STORAGE_FS_H_
+#define AWR_STORAGE_FS_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "awr/common/result.h"
+#include "awr/common/status.h"
+
+namespace awr::storage {
+
+/// The filesystem seam of the durable layers (DESIGN.md §13).
+///
+/// Everything that persists request state — the service's RequestStore,
+/// the snapshot golden files — goes through this interface instead of
+/// raw stdio, for two reasons:
+///
+///  1. PosixFs owns the full crash-consistency discipline in ONE place:
+///     unique same-directory temp file, write, flush + fsync(file),
+///     rename, fsync(parent directory).  After WriteFileAtomic returns
+///     OK the new content survives power loss, not merely process
+///     death; before the rename lands, a crash leaves at worst a
+///     `*.tmp.*` file (the startup scrub's job) and the previous
+///     version intact.
+///  2. FaultFs (fault_fs.h) can wrap any Fs and inject the storage
+///     failures that are otherwise untestable: short writes, EIO,
+///     ENOSPC, and simulated power cuts that tear the in-flight write —
+///     the substrate of the power-cut recovery oracle
+///     (tests/powercut_test.cc).
+///
+/// Error contract: every method returns a clean non-OK Status on
+/// failure (never throws, never aborts), with the errno text preserved
+/// via ErrnoMessage.  ENOSPC/EDQUOT surface as kResourceExhausted,
+/// missing files as kNotFound, everything else as kInternal.
+///
+/// Implementations are thread-safe: methods may be called concurrently
+/// from session threads (PosixFs is stateless; FaultFs serializes its
+/// injection state internally).
+class Fs {
+ public:
+  virtual ~Fs() = default;
+
+  /// Atomically and durably replaces `path` with `bytes`.  A concurrent
+  /// or crashed reader sees either the old complete content or the new
+  /// complete content, never a torn write.
+  virtual Status WriteFileAtomic(const std::string& path,
+                                 const std::vector<uint8_t>& bytes) = 0;
+
+  /// Reads the whole file; kNotFound when it does not exist.
+  virtual Result<std::vector<uint8_t>> ReadFile(const std::string& path) = 0;
+
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes a file; kNotFound when it does not exist (callers that
+  /// treat missing as fine ignore the status).
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Entry names in `dir` (no "." / ".." / dotfiles), sorted for
+  /// deterministic iteration.  Includes subdirectories; use FileExists
+  /// to distinguish.
+  virtual Result<std::vector<std::string>> List(const std::string& dir) = 0;
+
+  /// fsyncs a directory so a preceding rename/unlink in it is durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Creates one directory level; EEXIST is success.
+  virtual Status MkDir(const std::string& dir) = 0;
+
+  /// True iff `path` names an existing regular file.
+  virtual bool FileExists(const std::string& path) = 0;
+};
+
+/// "<what>: <strerror(err)>" — the one formatting of errno in the tree.
+std::string ErrnoMessage(const std::string& what, int err);
+
+/// True when AWR_NO_FSYNC=1 was set at (first) call: benches and CI on
+/// slow disks may trade power-loss durability for speed.  Read once.
+bool FsyncDisabledByEnv();
+
+/// The real filesystem with the durability discipline above.
+class PosixFs : public Fs {
+ public:
+  /// `no_fsync` skips the fsync calls (NOT the atomic temp+rename);
+  /// defaults to the AWR_NO_FSYNC escape hatch.
+  PosixFs() : PosixFs(FsyncDisabledByEnv()) {}
+  explicit PosixFs(bool no_fsync) : no_fsync_(no_fsync) {}
+
+  Status WriteFileAtomic(const std::string& path,
+                         const std::vector<uint8_t>& bytes) override;
+  Result<std::vector<uint8_t>> ReadFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+  Status MkDir(const std::string& dir) override;
+  bool FileExists(const std::string& path) override;
+
+  bool no_fsync() const { return no_fsync_; }
+
+ private:
+  bool no_fsync_;
+};
+
+/// Process-wide PosixFs (honouring AWR_NO_FSYNC at first use); the
+/// default when a component is handed no explicit Fs.
+Fs* DefaultFs();
+
+/// True iff `name` is a WriteFileAtomic temp ("*.tmp.*" infix) — the
+/// shape the startup scrub deletes.
+bool IsTempFileName(std::string_view name);
+
+/// Maps an errno to the Status taxonomy (see class comment).
+Status ErrnoStatus(const std::string& what, int err);
+
+}  // namespace awr::storage
+
+#endif  // AWR_STORAGE_FS_H_

@@ -1,0 +1,252 @@
+// The power-cut recovery oracle (DESIGN.md §13), in the style of PR 4's
+// crash-point sweep but at the SYSCALL boundary instead of the round
+// barrier:
+//
+//   1. Run a fixed multi-request trace through QueryService on a
+//      FaultFs and count its N mutating filesystem ops.
+//   2. For every k in [1, N]: rerun the trace on a fresh directory with
+//      a simulated power cut at op k (the in-flight write torn at a
+//      seeded offset, every later op dead), then warm-restart a new
+//      QueryService over the torn directory and assert
+//        * no crash, no hang;
+//        * every result acknowledged before the cut replays
+//          BYTE-IDENTICAL (same wire encoding => same model and exact
+//          charge parity);
+//        * every unacknowledged request either recovers to the oracle
+//          outcome (journal replay) or reports cleanly retryable /
+//          not-found — never a wrong answer;
+//        * the startup scrub never quarantines an intact file.
+//
+// Sweep thinning: AWR_POWER_CUT_STRIDE (default 1 = exhaustive);
+// scripts/tier1.sh raises it under the slower sanitizer builds.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awr/service/client.h"
+#include "awr/service/executor.h"
+#include "awr/service/protocol.h"
+#include "awr/service/server.h"
+#include "awr/storage/fault_fs.h"
+#include "awr/storage/fs.h"
+
+namespace awr::service {
+namespace {
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/awr_powercut_" +
+            tag + "_" + std::to_string(::getpid());
+    Clean();
+  }
+  ~ScratchDir() { Clean(); }
+  void Clean() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// The trace: three small requests across three semantics, submitted
+// serially so the op stream is deterministic.  checkpoint_every=1
+// maximizes .snap traffic, putting cut points inside every stage of the
+// req -> snap* -> res lifecycle.
+std::vector<SubmitRequest> TraceRequests() {
+  std::vector<SubmitRequest> reqs;
+  {
+    SubmitRequest req;
+    req.id = "tc";
+    req.semantics = Semantics::kMinimalModel;
+    req.program =
+        "path(X,Y) :- edge(X,Y).\n"
+        "path(X,Z) :- edge(X,Y), path(Y,Z).\n";
+    for (int i = 0; i < 4; ++i) {
+      req.edb += "edge(" + std::to_string(i) + "," + std::to_string(i + 1) +
+                 ").\n";
+    }
+    reqs.push_back(req);
+  }
+  {
+    SubmitRequest req;
+    req.id = "winmove";
+    req.semantics = Semantics::kWellFounded;
+    req.program = "win(X) :- move(X,Y), not win(Y).\n";
+    req.edb = "move(a,b).\nmove(b,a).\nmove(b,c).\nmove(c,d).\n";
+    reqs.push_back(req);
+  }
+  {
+    SubmitRequest req;
+    req.id = "strat";
+    req.semantics = Semantics::kStratified;
+    req.program =
+        "reach(X) :- source(X).\n"
+        "reach(Y) :- reach(X), edge(X,Y).\n"
+        "dead(X) :- node(X), not reach(X).\n";
+    req.edb =
+        "source(0).\nnode(0).\nnode(1).\nnode(2).\nnode(3).\n"
+        "edge(0,1).\nedge(1,2).\n";
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+ServiceConfig TraceConfig(const std::string& dir, storage::Fs* fs) {
+  ServiceConfig config;
+  config.state_dir = dir;
+  config.fs = fs;
+  config.exec.checkpoint_every = 1;
+  // The writing phase must be single-threaded for a deterministic op
+  // count; recovery is exercised explicitly by the warm restart.
+  config.recover_on_start = false;
+  return config;
+}
+
+TEST(PowerCutOracleTest, EveryCutPointRecoversConsistently) {
+  const std::vector<SubmitRequest> requests = TraceRequests();
+  storage::PosixFs posix(/*no_fsync=*/true);
+
+  // ---- Phase 1: fault-free run.  Counts N and records the oracle
+  // outcome (model + exact charge total) per request.
+  std::map<std::string, ResultRecord> oracle;
+  uint64_t total_ops = 0;
+  {
+    ScratchDir dir("baseline");
+    storage::FaultFs fault_fs(&posix);
+    QueryService service(TraceConfig(dir.path(), &fault_fs));
+    for (const SubmitRequest& req : requests) {
+      ResultRecord res = service.Submit(req);
+      ASSERT_EQ(res.code, StatusCode::kOk) << req.id << ": " << res.message;
+      oracle[req.id] = res;
+    }
+    total_ops = fault_fs.ops();
+  }
+  ASSERT_GT(total_ops, 10u) << "trace too small to be a meaningful sweep";
+
+  const char* env = std::getenv("AWR_POWER_CUT_STRIDE");
+  const uint64_t stride =
+      env != nullptr && std::atoi(env) > 0 ? std::atoi(env) : 1;
+
+  // ---- Phase 2: the sweep.
+  for (uint64_t k = 1; k <= total_ops; k += stride) {
+    SCOPED_TRACE("power cut at op " + std::to_string(k));
+    ScratchDir dir("cut" + std::to_string(k));
+
+    // Life 1: the server that dies at op k.
+    std::map<std::string, std::vector<uint8_t>> acked;
+    {
+      storage::FaultFs fault_fs(&posix);
+      fault_fs.CutAt(k, /*tear_granularity=*/7, /*seed=*/0xdead0000 + k);
+      QueryService service(TraceConfig(dir.path(), &fault_fs));
+      for (const SubmitRequest& req : requests) {
+        ResultRecord res = service.Submit(req);
+        if (res.code == StatusCode::kOk) {
+          // Acknowledged: the client saw this exact record.  It MUST
+          // survive the cut.
+          acked[req.id] = EncodeResult(res);
+        } else {
+          // Anything else must be cleanly retryable — a client may
+          // safely resubmit after the machine comes back.
+          EXPECT_TRUE(StatusCodeIsRetryable(res.code))
+              << req.id << " failed terminally across a power cut: "
+              << res.message;
+        }
+      }
+      EXPECT_TRUE(fault_fs.power_cut())
+          << "cut point past the end of the trace";
+    }
+
+    // Life 2: warm restart on the torn directory, disk healthy again.
+    {
+      ServiceConfig config = TraceConfig(dir.path(), &posix);
+      config.recover_on_start = true;
+      QueryService service(config);
+
+      // The scrub must only ever remove temp artifacts; every surviving
+      // non-temp file in the directory is complete by construction.
+      ASSERT_NE(service.store(), nullptr);
+      EXPECT_EQ(service.store()->scrub_quarantined(), 0u)
+          << "scrub quarantined an intact file";
+
+      for (const SubmitRequest& req : requests) {
+        ResultRecord res = service.Fetch(FetchRequest{req.id, /*wait=*/true});
+        auto it = acked.find(req.id);
+        if (it != acked.end()) {
+          // Byte-identical replay: same wire bytes, hence same model
+          // and the exact same charge total.
+          ASSERT_EQ(res.code, StatusCode::kOk)
+              << req.id << " was acknowledged but lost: " << res.message;
+          EXPECT_EQ(EncodeResult(res), it->second)
+              << req.id << ": acknowledged result replayed differently";
+        } else if (res.code == StatusCode::kOk) {
+          // Unacknowledged but journaled: recovery finished it.  The
+          // outcome must match the fault-free oracle exactly.
+          EXPECT_EQ(res.model, oracle[req.id].model)
+              << req.id << ": recovered model diverged";
+          EXPECT_EQ(res.charges, oracle[req.id].charges)
+              << req.id << ": charge parity broken across power cut";
+        } else {
+          // Never journaled (the cut landed before its .req): the only
+          // clean answer is "unknown request".
+          EXPECT_EQ(res.code, StatusCode::kNotFound)
+              << req.id << ": unexpected post-restart state: " << res.message;
+        }
+      }
+    }
+  }
+}
+
+// ENOSPC degradation: after the disk fills, results already stored keep
+// serving, checkpoint persistence disables without failing the
+// evaluation, and new work is shed retryably — the server never
+// crashes and never acknowledges anything it cannot replay.
+TEST(PowerCutOracleTest, DiskFullDegradesGracefully) {
+  const std::vector<SubmitRequest> requests = TraceRequests();
+  storage::PosixFs posix(/*no_fsync=*/true);
+  ScratchDir dir("enospc");
+  storage::FaultFs fault_fs(&posix);
+
+  QueryService service(TraceConfig(dir.path(), &fault_fs));
+
+  // First request completes while the disk is healthy.
+  ResultRecord first = service.Submit(requests[0]);
+  ASSERT_EQ(first.code, StatusCode::kOk) << first.message;
+
+  // Disk full from now on.
+  fault_fs.FailAllAfter(1, Status::ResourceExhausted(
+                               "storage: injected disk full (ENOSPC)"));
+
+  // The stored result still serves, byte-identical.
+  ResultRecord replay = service.Fetch(FetchRequest{requests[0].id, true});
+  ASSERT_EQ(replay.code, StatusCode::kOk) << replay.message;
+  EXPECT_EQ(EncodeResult(replay), EncodeResult(first));
+
+  // New work is shed retryably (journal write fails) — never a crash,
+  // never a terminal failure for a healthy request.
+  ResultRecord shed = service.Submit(requests[1]);
+  EXPECT_NE(shed.code, StatusCode::kOk);
+  EXPECT_TRUE(StatusCodeIsRetryable(shed.code)) << shed.message;
+
+  // Disk recovers: the same submit now completes, and the failure
+  // bookkeeping surfaced through Stats.
+  fault_fs.Reset();
+  ResultRecord retried = service.Submit(requests[1]);
+  EXPECT_EQ(retried.code, StatusCode::kOk) << retried.message;
+  EXPECT_GE(service.Stats().Get("store_result_write_failures") +
+                service.Stats().Get("store_snapshot_write_failures") +
+                service.Stats().Get("transient"),
+            1u);
+}
+
+}  // namespace
+}  // namespace awr::service

@@ -13,7 +13,14 @@
 //
 // Trace count: AWR_CHAOS_TRACES (default 100, the acceptance floor);
 // scripts/tier1.sh thins it under the slower sanitizer builds.
+//
+// Disk-fault dimension: every trace runs on a FaultFs that injects one
+// seeded ENOSPC-style failure into the store's filesystem ops (journal,
+// checkpoint or result write — wherever the draw lands).  The service
+// must shed retryably or degrade, never diverge from the oracle.
 #include <gtest/gtest.h>
+
+#include "awr/storage/fault_fs.h"
 
 #include <atomic>
 #include <cstdint>
@@ -181,6 +188,14 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
 
   int total_transients = 0;
   int total_restarts = 0;
+  uint64_t total_disk_faults = 0;
+
+  // No-fsync filesystem: the chaos harness simulates its crashes
+  // in-process, so paying real fsync latency per checkpoint would only
+  // slow the traces down (and trip the hostile-deadline requests on a
+  // loaded disk).  Power-loss durability has its own oracle
+  // (powercut_test.cc).
+  storage::PosixFs posix_fs(/*no_fsync=*/true);
 
   for (int trace = 0; trace < kTraces; ++trace) {
     const uint64_t trace_seed = 0xc0ffee + 977ull * trace;
@@ -211,8 +226,11 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
                                                 "_r" + std::to_string(name)));
     }
 
+    storage::FaultFs fault_fs(&posix_fs);
+
     ServiceConfig config;
     config.state_dir = state_dir;
+    config.fs = &fault_fs;
     config.budget_bytes = 1ull << 30;
     config.exec.checkpoint_every = 1;
     // Per-charge trip probability.  Checkpoints land at round barriers,
@@ -227,6 +245,13 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
     auto service = std::make_unique<QueryService>(config);
     auto server = std::make_unique<SocketServer>(service.get(), socket_path);
     ASSERT_TRUE(server->Start().ok()) << "trace " << trace;
+
+    // Arm AFTER construction: the state dir's MkDir must not be the op
+    // that fails, or nothing in the trace could ever persist.  From
+    // here one seeded mutating op per trace fails like a full disk.
+    fault_fs.TripWithProbability(
+        0.05, trace_seed ^ 0xd15cull,
+        Status::ResourceExhausted("injected disk full (ENOSPC)"));
 
     std::atomic<bool> stop_retrying{false};
     std::vector<TraceOutcome> outcomes(kWorkers);
@@ -253,6 +278,10 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
       server = std::make_unique<SocketServer>(service.get(), socket_path);
       ASSERT_TRUE(server->Start().ok()) << "trace " << trace << " restart";
       ++total_restarts;
+      // A second one-shot disk fault aimed at the recovery writes.
+      fault_fs.TripWithProbability(
+          0.05, trace_seed ^ 0xab5eull,
+          Status::ResourceExhausted("injected disk full (ENOSPC)"));
     }
 
     for (auto& w : workers) w.join();
@@ -283,6 +312,7 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
     }
 
     for (const TraceOutcome& o : outcomes) total_transients += o.transients;
+    total_disk_faults += fault_fs.faults_injected();
 
     service->BeginDrain();
     service->WaitDrained();
@@ -298,6 +328,9 @@ TEST(ServiceChaosTest, SeededTracesConvergeToSequentialOracle) {
     EXPECT_GT(total_transients + total_restarts, 0)
         << "chaos ran " << kTraces << " traces without a single injected "
         << "interruption; the injector is not wired up";
+    EXPECT_GT(total_disk_faults, 0u)
+        << "chaos ran " << kTraces << " traces without a single injected "
+        << "disk fault; the FaultFs is not wired up";
   }
 }
 

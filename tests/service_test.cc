@@ -745,6 +745,88 @@ TEST(QueryServiceTest, RecoverySkipsCorruptJournalAndSnapshots) {
   service.WaitDrained();
 }
 
+TEST(QueryServiceTest, StartupScrubCleansStaleTempsAndQuarantinesCorruption) {
+  ScratchDir scratch("scrub");
+  {
+    RequestStore store(scratch.path());
+    ASSERT_TRUE(store.WriteRequest(TcRequest("keep")).ok());
+    // A stale temp — the artifact of a write killed before its rename —
+    // and a corrupt result file, planted as a crash would leave them.
+    ASSERT_TRUE(AtomicWriteFile(scratch.path() + "/keep.res.tmp.1234.0",
+                                {0xde, 0xad})
+                    .ok());
+    ASSERT_TRUE(AtomicWriteFile(scratch.path() + "/broken.res", {0x7f}).ok());
+  }
+  ServiceConfig config;
+  config.state_dir = scratch.path();
+  config.recover_on_start = true;
+  QueryService service(config);
+
+  // The temp is gone, the corrupt record is preserved in quarantine,
+  // the intact journal entry survived and still executes.
+  ASSERT_NE(service.store(), nullptr);
+  EXPECT_EQ(service.store()->scrub_tmp_removed(), 1u);
+  EXPECT_EQ(service.store()->scrub_quarantined(), 1u);
+  StatsReply stats = service.Stats();
+  EXPECT_EQ(stats.Get("store_scrub_tmp_removed"), 1u);
+  EXPECT_EQ(stats.Get("store_scrub_quarantined"), 1u);
+
+  ResultRecord res = service.Fetch(FetchRequest{"keep", true});
+  EXPECT_EQ(res.code, StatusCode::kOk) << res.message;
+  ResultRecord broken = service.Fetch(FetchRequest{"broken", true});
+  EXPECT_EQ(broken.code, StatusCode::kNotFound) << broken.message;
+  service.BeginDrain();
+  service.WaitDrained();
+}
+
+// ----------------------------------------------------------------------
+// Client backoff.
+
+TEST(BackoffTest, SeededSequenceIsDeterministic) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 2000;
+  Backoff a(policy, 12345);
+  Backoff b(policy, 12345);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs()) << "attempt " << i;
+  }
+  // A different seed diverges somewhere in the first few draws.
+  Backoff c(policy, 54321);
+  Backoff d(policy, 12345);
+  bool diverged = false;
+  for (int i = 0; i < 8 && !diverged; ++i) {
+    diverged = c.NextDelayMs() != d.NextDelayMs();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, DelaysStayWithinPolicyBounds) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 100;
+  Backoff backoff(policy, 7);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t d = backoff.NextDelayMs();
+    EXPECT_GE(d, policy.base_backoff_ms);
+    EXPECT_LE(d, policy.max_backoff_ms);
+  }
+}
+
+TEST(BackoffTest, ServerHintFloorsOnlyTheNextDelay) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 50;
+  Backoff backoff(policy, 99);
+  backoff.ObserveServerHint(500);
+  EXPECT_GE(backoff.NextDelayMs(), 500u);
+  // The hint is consumed: later delays re-jitter within the policy.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(backoff.NextDelayMs(), 150u)
+        << "a one-shot hint must not raise the ceiling permanently";
+  }
+}
+
 // ----------------------------------------------------------------------
 // Socket front end.
 

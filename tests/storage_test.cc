@@ -1,0 +1,428 @@
+// Unit tests for the storage seam (DESIGN.md §13): PosixFs's
+// atomic-write discipline and error paths, the errno -> Status
+// taxonomy, FaultFs's four injection modes (indexed, persistent,
+// probabilistic, power cut) and their determinism, and RequestStore's
+// startup scrub (stale-temp removal + corrupt-file quarantine).  The
+// full power-cut recovery oracle lives in powercut_test.cc.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "awr/service/protocol.h"
+#include "awr/service/store.h"
+#include "awr/storage/fault_fs.h"
+#include "awr/storage/fs.h"
+
+namespace awr::storage {
+namespace {
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& tag) {
+    const char* base = std::getenv("TMPDIR");
+    path_ = std::string(base != nullptr ? base : "/tmp") + "/awr_storage_" +
+            tag + "_" + std::to_string(::getpid());
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+    ::mkdir(path_.c_str(), 0755);
+  }
+  ~ScratchDir() {
+    std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// ----------------------------------------------------------------------
+// PosixFs: the happy path and the atomicity contract.
+
+TEST(PosixFsTest, WriteReadRoundTrip) {
+  ScratchDir dir("roundtrip");
+  PosixFs fs(/*no_fsync=*/true);
+  const std::string path = dir.path() + "/file.bin";
+
+  std::vector<uint8_t> payload = Bytes("hello, durable world");
+  ASSERT_TRUE(fs.WriteFileAtomic(path, payload).ok());
+  auto read = fs.ReadFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+
+  // Replacement is atomic and complete.
+  std::vector<uint8_t> next = Bytes("v2");
+  ASSERT_TRUE(fs.WriteFileAtomic(path, next).ok());
+  read = fs.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, next);
+}
+
+TEST(PosixFsTest, EmptyFileRoundTrips) {
+  ScratchDir dir("empty");
+  PosixFs fs(/*no_fsync=*/true);
+  const std::string path = dir.path() + "/empty";
+  ASSERT_TRUE(fs.WriteFileAtomic(path, {}).ok());
+  auto read = fs.ReadFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(PosixFsTest, SuccessfulWriteLeavesNoTempDebris) {
+  ScratchDir dir("notemp");
+  PosixFs fs(/*no_fsync=*/true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        fs.WriteFileAtomic(dir.path() + "/f", Bytes(std::to_string(i))).ok());
+  }
+  auto names = fs.List(dir.path());
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "f");
+}
+
+TEST(PosixFsTest, ReadMissingFileIsNotFound) {
+  ScratchDir dir("missing");
+  PosixFs fs(/*no_fsync=*/true);
+  auto read = fs.ReadFile(dir.path() + "/nope");
+  EXPECT_TRUE(read.status().IsNotFound()) << read.status();
+}
+
+TEST(PosixFsTest, RemoveMissingIsNotFoundAndRemoveExistingWorks) {
+  ScratchDir dir("remove");
+  PosixFs fs(/*no_fsync=*/true);
+  EXPECT_TRUE(fs.Remove(dir.path() + "/ghost").IsNotFound());
+  const std::string path = dir.path() + "/real";
+  ASSERT_TRUE(fs.WriteFileAtomic(path, Bytes("x")).ok());
+  EXPECT_TRUE(fs.Remove(path).ok());
+  EXPECT_FALSE(fs.FileExists(path));
+}
+
+TEST(PosixFsTest, ListIsSortedAndSkipsDotfiles) {
+  ScratchDir dir("list");
+  PosixFs fs(/*no_fsync=*/true);
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/b", Bytes("1")).ok());
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/a", Bytes("2")).ok());
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/.hidden", Bytes("3")).ok());
+  auto names = fs.List(dir.path());
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PosixFsTest, MkDirIsIdempotentAndFileExistsIsFilesOnly) {
+  ScratchDir dir("mkdir");
+  PosixFs fs(/*no_fsync=*/true);
+  const std::string sub = dir.path() + "/sub";
+  ASSERT_TRUE(fs.MkDir(sub).ok());
+  EXPECT_TRUE(fs.MkDir(sub).ok());  // EEXIST is success
+  EXPECT_FALSE(fs.FileExists(sub));  // a directory is not a regular file
+  ASSERT_TRUE(fs.WriteFileAtomic(sub + "/f", Bytes("x")).ok());
+  EXPECT_TRUE(fs.FileExists(sub + "/f"));
+}
+
+// ----------------------------------------------------------------------
+// PosixFs: error paths.  Every failure is a clean non-OK status — never
+// a throw or abort — and never leaves temp debris behind.
+
+TEST(PosixFsTest, WriteIntoMissingDirectoryFailsCleanly) {
+  ScratchDir dir("nodir");
+  PosixFs fs(/*no_fsync=*/true);
+  Status st = fs.WriteFileAtomic(dir.path() + "/no/such/dir/f", Bytes("x"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound()) << st;  // ENOENT maps to kNotFound
+}
+
+TEST(PosixFsTest, RenameOntoExistingDirectoryFailsWithoutDebris) {
+  // The first failure mode of the COMMIT step (the rename itself, not
+  // the temp write): the target name is occupied by a directory.
+  ScratchDir dir("renamedir");
+  PosixFs fs(/*no_fsync=*/true);
+  const std::string target = dir.path() + "/occupied";
+  ASSERT_TRUE(fs.MkDir(target).ok());
+  Status st = fs.WriteFileAtomic(target, Bytes("x"));
+  EXPECT_FALSE(st.ok());
+  auto names = fs.List(dir.path());
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"occupied"}))
+      << "failed write left temp debris";
+}
+
+TEST(PosixFsTest, PathUnderRegularFileFailsCleanly) {
+  ScratchDir dir("enotdir");
+  PosixFs fs(/*no_fsync=*/true);
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/plain", Bytes("x")).ok());
+  Status st = fs.WriteFileAtomic(dir.path() + "/plain/child", Bytes("y"));
+  EXPECT_FALSE(st.ok());
+  auto read = fs.ReadFile(dir.path() + "/plain/child");
+  EXPECT_FALSE(read.ok());
+}
+
+TEST(PosixFsTest, ReadOnlyDirectoryFailsWithCleanStatus) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "running as root: EACCES cannot be provoked";
+  }
+  ScratchDir dir("eacces");
+  PosixFs fs(/*no_fsync=*/true);
+  ASSERT_EQ(::chmod(dir.path().c_str(), 0555), 0);
+  Status st = fs.WriteFileAtomic(dir.path() + "/f", Bytes("x"));
+  EXPECT_FALSE(st.ok());
+  ::chmod(dir.path().c_str(), 0755);  // so the scratch dir can be removed
+}
+
+TEST(StorageErrnoTest, MessageFormatAndStatusTaxonomy) {
+  EXPECT_EQ(ErrnoMessage("storage: cannot open /x", ENOENT),
+            std::string("storage: cannot open /x: ") + std::strerror(ENOENT));
+
+  EXPECT_TRUE(ErrnoStatus("w", ENOSPC).IsResourceExhausted());
+  EXPECT_TRUE(ErrnoStatus("w", EDQUOT).IsResourceExhausted());
+  EXPECT_TRUE(ErrnoStatus("w", ENOENT).IsNotFound());
+  EXPECT_TRUE(ErrnoStatus("w", EIO).IsInternal());
+  EXPECT_TRUE(ErrnoStatus("w", EACCES).IsInternal());
+  // The errno text survives into the message.
+  EXPECT_NE(ErrnoStatus("w", ENOSPC).message().find(std::strerror(ENOSPC)),
+            std::string::npos);
+}
+
+TEST(StorageTempNameTest, RecognizesWriteTemps) {
+  EXPECT_TRUE(IsTempFileName("r1.req.tmp.1234.7"));
+  EXPECT_TRUE(IsTempFileName("r1.res.tmp.cut"));
+  EXPECT_FALSE(IsTempFileName("r1.req"));
+  EXPECT_FALSE(IsTempFileName("tmpfile"));
+  EXPECT_FALSE(IsTempFileName("a.tmpx"));
+}
+
+// ----------------------------------------------------------------------
+// FaultFs: injection modes.
+
+TEST(FaultFsTest, FailAtInjectsExactlyOnceAtTheIndexedOp) {
+  ScratchDir dir("failat");
+  PosixFs posix(/*no_fsync=*/true);
+  FaultFs fs(&posix);
+  fs.FailAt(2, Status::Internal("injected EIO"));
+
+  EXPECT_TRUE(fs.WriteFileAtomic(dir.path() + "/a", Bytes("1")).ok());
+  Status st = fs.WriteFileAtomic(dir.path() + "/b", Bytes("2"));
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_NE(st.message().find("injected EIO"), std::string::npos);
+  EXPECT_FALSE(posix.FileExists(dir.path() + "/b"))
+      << "an injected failure must not take effect";
+  EXPECT_TRUE(fs.WriteFileAtomic(dir.path() + "/c", Bytes("3")).ok());
+
+  EXPECT_EQ(fs.ops(), 3u);
+  EXPECT_EQ(fs.faults_injected(), 1u);
+}
+
+TEST(FaultFsTest, FailAllAfterIsTheDiskFullRegime) {
+  ScratchDir dir("enospc");
+  PosixFs posix(/*no_fsync=*/true);
+  FaultFs fs(&posix);
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/pre", Bytes("ok")).ok());
+
+  fs.FailAllAfter(1, Status::ResourceExhausted("disk full"));
+  EXPECT_TRUE(fs.WriteFileAtomic(dir.path() + "/x", Bytes("1"))
+                  .IsResourceExhausted());
+  EXPECT_TRUE(fs.Remove(dir.path() + "/pre").IsResourceExhausted());
+  EXPECT_TRUE(fs.MkDir(dir.path() + "/sub").IsResourceExhausted());
+
+  // Reads keep working: stored results still serve on a full disk.
+  auto read = fs.ReadFile(dir.path() + "/pre");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Bytes("ok"));
+  EXPECT_GE(fs.faults_injected(), 3u);
+}
+
+TEST(FaultFsTest, ProbabilisticTripIsSeededAndOneShot) {
+  ScratchDir dir("prob");
+  PosixFs posix(/*no_fsync=*/true);
+
+  // p=1 fires on the very first op, then never again (one-shot).
+  FaultFs certain(&posix);
+  certain.TripWithProbability(1.0, 42, Status::Unavailable("trip"));
+  EXPECT_FALSE(certain.WriteFileAtomic(dir.path() + "/a", Bytes("1")).ok());
+  EXPECT_TRUE(certain.WriteFileAtomic(dir.path() + "/a", Bytes("1")).ok());
+  EXPECT_EQ(certain.faults_injected(), 1u);
+
+  // Same seed, same op sequence => the trip lands at the same op.
+  auto trip_index = [&](uint64_t seed) -> int {
+    FaultFs fs(&posix);
+    fs.TripWithProbability(0.25, seed, Status::Unavailable("trip"));
+    for (int i = 0; i < 64; ++i) {
+      if (!fs.WriteFileAtomic(dir.path() + "/p", Bytes("x")).ok()) return i;
+    }
+    return -1;
+  };
+  const int first = trip_index(7);
+  EXPECT_EQ(first, trip_index(7));
+  // And p=0 never fires.
+  FaultFs never(&posix);
+  never.TripWithProbability(0.0, 7, Status::Unavailable("trip"));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(never.WriteFileAtomic(dir.path() + "/q", Bytes("x")).ok());
+  }
+}
+
+TEST(FaultFsTest, PowerCutTearsTheInflightWriteAndKillsLaterOps) {
+  ScratchDir dir("cut");
+  PosixFs posix(/*no_fsync=*/true);
+  FaultFs fs(&posix);
+  fs.CutAt(2, /*tear_granularity=*/1, /*seed=*/99);
+
+  ASSERT_TRUE(fs.WriteFileAtomic(dir.path() + "/a", Bytes("before")).ok());
+
+  std::vector<uint8_t> payload = Bytes("the torn payload bytes");
+  Status st = fs.WriteFileAtomic(dir.path() + "/b", payload);
+  EXPECT_TRUE(st.IsUnavailable()) << st;
+  EXPECT_TRUE(fs.power_cut());
+
+  // The target never appeared; at most a *.tmp.* prefix artifact did.
+  EXPECT_FALSE(posix.FileExists(dir.path() + "/b"));
+  auto torn = posix.ReadFile(dir.path() + "/b.tmp.cut");
+  if (torn.ok()) {
+    ASSERT_LE(torn->size(), payload.size());
+    EXPECT_TRUE(std::equal(torn->begin(), torn->end(), payload.begin()))
+        << "torn artifact is not a prefix of the in-flight bytes";
+    EXPECT_TRUE(IsTempFileName("b.tmp.cut"));
+  }
+
+  // The machine is dead: every later mutating op fails...
+  EXPECT_TRUE(fs.WriteFileAtomic(dir.path() + "/c", Bytes("x"))
+                  .IsUnavailable());
+  EXPECT_TRUE(fs.Remove(dir.path() + "/a").IsUnavailable());
+  // ...while reads still pass through (the dying process's page cache).
+  auto read = fs.ReadFile(dir.path() + "/a");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, Bytes("before"));
+}
+
+TEST(FaultFsTest, PowerCutTearIsDeterministicPerSeed) {
+  std::vector<uint8_t> payload(257, 0xab);
+  auto tear_size = [&](uint64_t seed) -> int64_t {
+    ScratchDir dir("cutdet_" + std::to_string(seed));
+    PosixFs posix(/*no_fsync=*/true);
+    FaultFs fs(&posix);
+    fs.CutAt(1, /*tear_granularity=*/8, seed);
+    EXPECT_FALSE(fs.WriteFileAtomic(dir.path() + "/f", payload).ok());
+    auto torn = posix.ReadFile(dir.path() + "/f.tmp.cut");
+    if (!torn.ok()) return -1;
+    return static_cast<int64_t>(torn->size());
+  };
+  const int64_t a = tear_size(5);
+  EXPECT_EQ(a, tear_size(5));
+  if (a > 0) {
+    EXPECT_EQ(a % 8, 0) << "tear not aligned to the configured granularity";
+  }
+}
+
+TEST(FaultFsTest, ResetDisarmsEverything) {
+  ScratchDir dir("reset");
+  PosixFs posix(/*no_fsync=*/true);
+  FaultFs fs(&posix);
+  fs.FailAllAfter(1, Status::ResourceExhausted("disk full"));
+  EXPECT_FALSE(fs.WriteFileAtomic(dir.path() + "/a", Bytes("1")).ok());
+  fs.Reset();
+  EXPECT_TRUE(fs.WriteFileAtomic(dir.path() + "/a", Bytes("1")).ok());
+  EXPECT_EQ(fs.ops(), 1u);
+  EXPECT_EQ(fs.faults_injected(), 0u);
+}
+
+// ----------------------------------------------------------------------
+// RequestStore scrub: stale temps removed, corrupt records quarantined,
+// intact records never touched.
+
+service::SubmitRequest SmallRequest(const std::string& id) {
+  service::SubmitRequest req;
+  req.id = id;
+  req.semantics = service::Semantics::kMinimalModel;
+  req.program = "p(X) :- e(X).\n";
+  req.edb = "e(1).\n";
+  return req;
+}
+
+TEST(StoreScrubTest, RemovesStaleTempFiles) {
+  ScratchDir dir("scrub_tmp");
+  PosixFs fs(/*no_fsync=*/true);
+  service::RequestStore store(dir.path(), &fs);
+  ASSERT_TRUE(store.WriteRequest(SmallRequest("r1")).ok());
+  // Plant the artifact an interrupted write leaves behind.
+  ASSERT_TRUE(
+      fs.WriteFileAtomic(dir.path() + "/r1.res.tmp.9999.0", Bytes("junk"))
+          .ok());
+
+  service::ScrubReport report = store.Scrub();
+  EXPECT_EQ(report.tmp_removed, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_FALSE(fs.FileExists(dir.path() + "/r1.res.tmp.9999.0"));
+  EXPECT_TRUE(store.HasRequest("r1")) << "scrub touched an intact file";
+  EXPECT_EQ(store.scrub_tmp_removed(), 1u);
+}
+
+TEST(StoreScrubTest, QuarantinesCorruptRecords) {
+  ScratchDir dir("scrub_q");
+  PosixFs fs(/*no_fsync=*/true);
+  service::RequestStore store(dir.path(), &fs);
+  ASSERT_TRUE(store.WriteRequest(SmallRequest("good")).ok());
+  // Three corrupt records: garbage bytes that decode as none of the
+  // wire formats.
+  ASSERT_TRUE(
+      fs.WriteFileAtomic(dir.path() + "/bad.req", Bytes("\xff\xfe!")).ok());
+  ASSERT_TRUE(
+      fs.WriteFileAtomic(dir.path() + "/bad.snap", Bytes("notasnap")).ok());
+  ASSERT_TRUE(
+      fs.WriteFileAtomic(dir.path() + "/bad.res", Bytes("\x00junk")).ok());
+
+  service::ScrubReport report = store.Scrub();
+  EXPECT_EQ(report.quarantined, 3u);
+  EXPECT_EQ(report.tmp_removed, 0u);
+
+  // Moved, not deleted: the bytes survive for post-mortem.
+  EXPECT_TRUE(fs.FileExists(store.QuarantineDir() + "/bad.req"));
+  EXPECT_TRUE(fs.FileExists(store.QuarantineDir() + "/bad.snap"));
+  EXPECT_TRUE(fs.FileExists(store.QuarantineDir() + "/bad.res"));
+  EXPECT_FALSE(fs.FileExists(dir.path() + "/bad.req"));
+
+  // The intact record is untouched and the corrupt id is simply gone.
+  EXPECT_TRUE(store.HasRequest("good"));
+  EXPECT_FALSE(store.HasRequest("bad"));
+  EXPECT_TRUE(store.UnfinishedRequests() ==
+              std::vector<std::string>{"good"});
+
+  // Idempotence: a second pass finds a clean directory.
+  service::ScrubReport again = store.Scrub();
+  EXPECT_EQ(again.tmp_removed, 0u);
+  EXPECT_EQ(again.quarantined, 0u);
+  EXPECT_EQ(store.scrub_quarantined(), 3u);
+}
+
+TEST(StoreScrubTest, NeverQuarantinesIntactFiles) {
+  ScratchDir dir("scrub_intact");
+  PosixFs fs(/*no_fsync=*/true);
+  service::RequestStore store(dir.path(), &fs);
+  ASSERT_TRUE(store.WriteRequest(SmallRequest("r1")).ok());
+  service::ResultRecord res;
+  res.code = StatusCode::kOk;
+  res.semantics = service::Semantics::kMinimalModel;
+  res.model = "p = {<1>}\n";
+  res.charges = 12;
+  ASSERT_TRUE(store.WriteResult("r1", res).ok());
+
+  service::ScrubReport report = store.Scrub();
+  EXPECT_EQ(report.tmp_removed, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  auto fetched = store.ReadResult("r1");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->model, res.model);
+}
+
+}  // namespace
+}  // namespace awr::storage
