@@ -38,6 +38,7 @@
 #include "awr/datalog/parser.h"
 #include "awr/datalog/stable.h"
 #include "awr/datalog/stratified.h"
+#include "awr/datalog/vm/vm.h"
 #include "awr/datalog/wellfounded.h"
 #include "awr/service/client.h"
 
@@ -197,6 +198,25 @@ void ShowStats(const datalog::Interpretation& last_model) {
             << " batched / " << es.row_rules_fired << " row rule firings, "
             << es.batch_probe_hits << "/" << es.batch_probes
             << " probe hits, " << es.batch_facts << " facts emitted\n";
+  const datalog::vm::VmExecStats vm = datalog::vm::GetVmExecStats();
+  const uint64_t lookups = vm.cache_hits + vm.cache_misses;
+  std::cout << "bytecode vm:    "
+            << (datalog::BytecodeEnabledByDefault()
+                    ? "enabled"
+                    : "disabled (AWR_NO_BYTECODE=1)")
+            << ", " << vm.vm_rules_fired << " compiled firings, "
+            << vm.ops_dispatched << " ops, " << vm.word_opens << " word / "
+            << vm.row_opens << " row loop opens, " << vm.vm_facts
+            << " facts emitted\n";
+  std::cout << "plan cache:     " << vm.cache_entries << " resident program(s), "
+            << vm.cache_hits << "/" << lookups << " hits ("
+            << std::fixed << std::setprecision(1)
+            << (lookups > 0 ? 100.0 * static_cast<double>(vm.cache_hits) /
+                                  static_cast<double>(lookups)
+                            : 0.0)
+            << "% hit rate), " << vm.cache_evictions << " evicted, "
+            << vm.programs_lowered << " lowered, " << vm.lower_failures
+            << " declined\n";
   for (const auto& [pred, extent] : last_model) {
     std::cout << "  " << pred << ": " << extent.size() << " fact(s), "
               << (extent.columnar_built() ? "columnar" : "row") << " storage";

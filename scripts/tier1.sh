@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite — run five times: on the
+# Tier-1 verification: full build + test suite — run six times: on the
 # default hash-indexed join path, with AWR_FORCE_SCAN_JOINS=1 so the
 # scan oracle stays green, with AWR_EVAL_THREADS=4 so every engine
 # exercises the work-partitioned parallel rounds, with
 # AWR_NO_VALUE_INTERN=1 so the legacy per-instance value/term
 # representation (the hash-consing differential oracle) stays green,
-# and with AWR_NO_COLUMNAR=1 so the row-at-a-time storage/join oracle
-# (the columnar differential baseline) stays green.
+# with AWR_NO_COLUMNAR=1 so the row-at-a-time storage/join oracle
+# (the columnar differential baseline) stays green, and with
+# AWR_NO_BYTECODE=1 so the tree-walking interpreter (the bytecode VM's
+# parity baseline, DESIGN.md §14) stays green.
 # Then the interruption tests again under AddressSanitizer/UBSan
 # (injected-fault unwinding is checked for leaks and UB) and the
 # parallel + property suites under ThreadSanitizer at 4 threads (data
@@ -56,6 +58,10 @@ cmake --build build -j"$(nproc)"
 # Row-storage oracle: AWR_NO_COLUMNAR=1 disables the columnar layout and
 # batch executor entirely, so the row-at-a-time path stays green.
 (cd build && AWR_NO_COLUMNAR=1 ctest --output-on-failure -j"$(nproc)")
+# Interpreter oracle: AWR_NO_BYTECODE=1 disables the compiled bytecode
+# VM (DESIGN.md §14), so the tree-walking enumerator — the differential
+# baseline for the VM parity contract — stays green.
+(cd build && AWR_NO_BYTECODE=1 ctest --output-on-failure -j"$(nproc)")
 
 # Service smoke against the plain build: real awrd process lifecycle
 # (SIGTERM drain, warm restart, SIGKILL mid-fixpoint + recovery).
@@ -67,7 +73,7 @@ cmake --build build-asan -j"$(nproc)" \
   --target awr_property_test --target awr_value_test \
   --target awr_eval_core_test --target awr_service_test \
   --target awr_service_chaos_test --target awr_storage_test \
-  --target awr_powercut_test --target awrd
+  --target awr_powercut_test --target awr_vm_test --target awrd
 (cd build-asan && ctest --output-on-failure -R Interruption)
 (cd build-asan && ctest --output-on-failure -R 'Snapshot|ValueCodec')
 # The snapshot corruption fuzz again on the legacy representation: the
@@ -93,12 +99,19 @@ cmake --build build-asan -j"$(nproc)" \
 # passes above already ran the exhaustive stride-1 sweep).
 (cd build-asan && AWR_POWER_CUT_STRIDE=3 \
   ctest --output-on-failure -R 'PowerCutOracle')
+# The bytecode VM under ASan/UBSan: the wire-codec corruption fuzz
+# (truncation, byte flips, cross-program splices) feeds the decoder +
+# verifier — the sole safety boundary before the bounds-check-free
+# dispatch loop — and the execution/verifier suites drive both dispatch
+# flavors over handcrafted programs.
+(cd build-asan && ctest --output-on-failure -R 'Vm')
 scripts/service_smoke.sh build-asan/src/awr/service/awrd asan
 
 cmake -B build-tsan -S . -DAWR_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" \
   --target awr_parallel_test --target awr_property_test \
-  --target awr_service_test --target awr_service_chaos_test --target awrd
+  --target awr_service_test --target awr_service_chaos_test \
+  --target awr_vm_test --target awrd
 (cd build-tsan && AWR_EVAL_THREADS=4 ctest --output-on-failure -R 'Parallel')
 # Columnar batch execution under TSan: the driver-side column/index
 # pre-build vs worker-side const reads is exactly the discipline TSan
@@ -108,6 +121,13 @@ cmake --build build-tsan -j"$(nproc)" \
 # in-flight dedup table, drain-vs-execute and deadline-vs-cancel races.
 (cd build-tsan && AWR_CHAOS_TRACES=12 \
   ctest --output-on-failure -R 'Service|SocketServer')
+# Bytecode VM under TSan: the global compiled-plan cache is shared by
+# parallel workers (lookup + LRU mutation under its mutex, shared
+# immutable programs executed concurrently) and the bytecode-vs-
+# interpreter differential runs each engine at 1 and 4 threads via
+# awr_property_test.
+(cd build-tsan && AWR_EVAL_THREADS=4 \
+  ctest --output-on-failure -R 'Vm|Bytecode')
 scripts/service_smoke.sh build-tsan/src/awr/service/awrd tsan
 
 # The service benchmark emits BENCH_service.json (QPS, p50/p99, shed

@@ -3,10 +3,22 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "awr/common/thread_pool.h"
+#include "awr/datalog/vm/cache.h"
+#include "awr/datalog/vm/vm.h"
 
 namespace awr::datalog {
+
+bool BytecodeEnabledByDefault() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("AWR_NO_BYTECODE");
+    return env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0;
+  }();
+  return enabled;
+}
 
 Result<Value> EvalTerm(const TermExpr& term, const Env& env,
                        const FunctionRegistry& fns) {
@@ -471,10 +483,8 @@ bool RunColumnarJoin(const ColumnarFirePlan& cp,
   return true;
 }
 
-/// Resolves the word-level duplicate filter over `known` for a head of
-/// `arity` all-inline components: the extent's full-arity column index,
-/// or nullptr when unavailable (non-flat extent, arity mismatch, worker
-/// thread without a pre-built index, >8 positions).
+}  // namespace
+
 const ValueSet::ColumnStore::Index* KnownFactsIndex(
     const ValueSet* known, size_t arity, bool allow_build,
     const ValueSet::ColumnStore** store_out) {
@@ -493,8 +503,6 @@ const ValueSet::ColumnStore::Index* KnownFactsIndex(
   return index;
 }
 
-}  // namespace
-
 Status FireRuleFacts(const PlannedRule& planned, const BodyContext& ctx,
                      const std::function<Status(Value)>& on_fact,
                      const ValueSet* known) {
@@ -503,8 +511,25 @@ Status FireRuleFacts(const PlannedRule& planned, const BodyContext& ctx,
   // PrepareColumnarFire, so a worker either finds everything ready or
   // falls back to the row path over pre-built row indexes.
   const bool allow_build = !ThreadPool::OnWorkerThread();
+  // Resolve the compiled program first (a cache hit after round 1):
+  // its static analysis tells us whether the batch columnar executor
+  // can ever serve this rule, so statically ineligible rules skip the
+  // per-firing PlanColumnarFire body walk entirely.  Skipping the walk
+  // also skips its kEmpty short-circuit, which is unobservable: kEmpty
+  // only arises when every step up to the empty extent is a clean
+  // positive atom, and there the VM/row enumeration finds zero matches
+  // — zero polls, zero facts, zero errors — identically.
+  std::shared_ptr<const vm::CompiledRule> compiled;
+  if (ctx.use_bytecode) {
+    compiled = vm::CompiledPlanCache::Global().Get(planned, ctx.use_join_index);
+  }
   ColumnarFirePlan cp;
+  if (compiled != nullptr && !compiled->may_batch) {
+    StatCounters().row_rules.fetch_add(1, std::memory_order_relaxed);
+    return vm::ExecuteCompiledRule(*compiled, ctx, on_fact, allow_build, known);
+  }
   switch (PlanColumnarFire(planned, ctx, allow_build, &cp)) {
+
     case ColumnarPlanResult::kEmpty:
       // Some body extent is empty: the row path would enumerate zero
       // complete matches — zero polls, zero facts.
@@ -632,6 +657,12 @@ Status FireRuleFacts(const PlannedRule& planned, const BodyContext& ctx,
       break;
   }
   StatCounters().row_rules.fetch_add(1, std::memory_order_relaxed);
+  if (compiled != nullptr) {
+    // Batch-ineligible on the current extents (or batch overflow,
+    // before anything was observed): the compiled program replaces the
+    // tree-walking enumerator below, with identical observables.
+    return vm::ExecuteCompiledRule(*compiled, ctx, on_fact, allow_build, known);
+  }
   return ForEachBodyMatch(
       planned.rule, planned.plan, ctx, [&](const Env& env) -> Status {
         AWR_ASSIGN_OR_RETURN(Value fact,
@@ -695,7 +726,9 @@ Result<std::vector<PlannedRule>> PlanProgram(const Program& program) {
   out.reserve(program.rules.size());
   for (const Rule& rule : program.rules) {
     AWR_ASSIGN_OR_RETURN(RulePlan plan, PlanRule(rule));
-    out.push_back(PlannedRule{rule, std::move(plan)});
+    PlannedRule planned{rule, std::move(plan)};
+    planned.cache_key = vm::PlanCacheFingerprint(planned.rule, planned.plan);
+    out.push_back(std::move(planned));
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef AWR_DATALOG_EVAL_CORE_H_
 #define AWR_DATALOG_EVAL_CORE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -38,6 +39,12 @@ class Env {
 /// interpreted-function errors.
 Result<Value> EvalTerm(const TermExpr& term, const Env& env,
                        const FunctionRegistry& fns);
+
+/// Process-wide default for BodyContext::use_bytecode /
+/// EvalOptions::use_bytecode: true unless AWR_NO_BYTECODE is set to a
+/// non-empty value other than "0" (the interpreter then remains the
+/// oracle, as with AWR_NO_COLUMNAR / AWR_FORCE_SCAN_JOINS).
+bool BytecodeEnabledByDefault();
 
 /// The evaluation context abstracts *which* extents a rule body reads,
 /// so the same join machinery serves naive, semi-naive, inflationary and
@@ -80,6 +87,12 @@ struct BodyContext {
   /// = false).  Both paths deliver the same fact multiset and poll the
   /// interrupt hook once per body match.
   bool use_columnar = true;
+  /// When true, FireRuleFacts executes rules through compiled bytecode
+  /// programs (src/awr/datalog/vm/, DESIGN.md §14) instead of the
+  /// tree-walking enumerator, with the same observable behavior; rules
+  /// the VM declines fall back to the interpreter.  The batch columnar
+  /// executor keeps precedence for the rules it covers.
+  bool use_bytecode = BytecodeEnabledByDefault();
 };
 
 /// Enumerates every satisfying assignment of `rule`'s body (processed in
@@ -98,6 +111,10 @@ Result<Value> EvalHead(const Rule& rule, const Env& env,
 struct PlannedRule {
   Rule rule;
   RulePlan plan;
+  /// Compiled-plan cache fingerprint (vm::PlanCacheFingerprint), filled
+  /// in by PlanProgram; 0 means "not yet computed" and the cache
+  /// fingerprints on the fly.
+  uint64_t cache_key = 0;
 };
 
 /// Plans every rule of `program`; fails if any rule is unsafe.
@@ -146,6 +163,15 @@ Status FireRuleFacts(const PlannedRule& planned, const BodyContext& ctx,
 /// true when the rule is batch-eligible against the current extents.
 bool PrepareColumnarFire(const PlannedRule& planned, const BodyContext& ctx,
                          const ValueSet* known = nullptr);
+
+/// Resolves the word-level duplicate filter over `known` for a head of
+/// `arity` all-inline components: the extent's full-arity column index,
+/// or nullptr when unavailable (non-flat extent, arity mismatch, worker
+/// thread without a pre-built index, >8 positions).  Shared by the
+/// batch columnar executor and the bytecode VM's emit path.
+const ValueSet::ColumnStore::Index* KnownFactsIndex(
+    const ValueSet* known, size_t arity, bool allow_build,
+    const ValueSet::ColumnStore** store_out);
 
 /// Process-wide counters of the batch executor, for the REPL's :stats
 /// and the benchmarks.  Updated atomically (workers fire rules too).

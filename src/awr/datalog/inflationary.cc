@@ -85,6 +85,7 @@ Result<Interpretation> EvalInflationaryImpl(
         },
         pool != nullptr ? nullptr : ctx, opts.use_join_index};
     body_ctx.use_columnar = opts.use_columnar;
+    body_ctx.use_bytecode = opts.use_bytecode;
     size_t added = 0;
     if (pool != nullptr) {
       // Because rules read the frozen snapshot and insertions are

@@ -122,6 +122,7 @@ Result<Interpretation> LeastModelParallel(
       },
       neg_holds, /*context=*/nullptr, opts.use_join_index};
   body_ctx.use_columnar = opts.use_columnar;
+  body_ctx.use_bytecode = opts.use_bytecode;
 
   if (!opts.seminaive) {
     if (control.resume != nullptr) {
@@ -254,6 +255,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
           },
           neg_holds, ctx, opts.use_join_index};
       body_ctx.use_columnar = opts.use_columnar;
+      body_ctx.use_bytecode = opts.use_bytecode;
       size_t added = 0;
       for (const PlannedRule& pr : rules) {
         auto n = FireRule(pr, body_ctx, interp, &delta);
@@ -302,6 +304,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
         },
         neg_holds, ctx, opts.use_join_index};
     body_ctx.use_columnar = opts.use_columnar;
+    body_ctx.use_bytecode = opts.use_bytecode;
     size_t added = 0;
     for (const PlannedRule& pr : rules) {
       auto n = FireRule(pr, body_ctx, interp, &delta);
@@ -343,6 +346,7 @@ Result<Interpretation> LeastModelWithFrozenNegation(
             },
             neg_holds, ctx, opts.use_join_index};
         body_ctx.use_columnar = opts.use_columnar;
+        body_ctx.use_bytecode = opts.use_bytecode;
         auto n = FireRule(pr, body_ctx, interp, &next_delta);
         if (!n.ok()) return bar.Interrupted(n.status());
         added += *n;

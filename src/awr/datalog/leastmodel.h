@@ -58,6 +58,12 @@ struct EvalOptions {
   /// Env-overridable: AWR_NO_COLUMNAR=1 flips the default to false
   /// process-wide (and disables the columnar ValueSet layout itself).
   bool use_columnar = ColumnarEnabledByDefault();
+  /// Execute rules through compiled bytecode programs (DESIGN.md §14)
+  /// instead of the tree-walking enumerator; the interpreter remains
+  /// the differential-test oracle.  Models, charge counts and interrupt
+  /// statuses are identical either way.  Env-overridable:
+  /// AWR_NO_BYTECODE=1 flips the default to false process-wide.
+  bool use_bytecode = BytecodeEnabledByDefault();
   /// Optional resource governance (borrowed, may outlive the call but
   /// not vice versa).  When set, the evaluator charges this context —
   /// deadline, cancellation, fault injection and memory accounting all

@@ -6,6 +6,8 @@
 #include <future>
 #include <utility>
 
+#include "awr/datalog/vm/vm.h"
+
 namespace awr::datalog {
 
 size_t MinPartitionGrain() {
@@ -170,6 +172,17 @@ Result<size_t> RunFireTasks(const std::vector<FireTask>& tasks,
     for (size_t i = 0; i < tasks.size(); ++i) {
       PrepareColumnarFire(*tasks[i].rule, contexts[i],
                           &existing.Extent(tasks[i].rule->rule.head.predicate));
+    }
+  }
+
+  // Bytecode pre-lowering, also driver-side: resolve each task's
+  // compiled program from the global cache (lowering on first use) and
+  // materialize the columnar state its word-level cursors would read.
+  // Workers then execute read-only programs; their cache lookups are
+  // guaranteed hits.
+  if (base_ctx.use_bytecode) {
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      vm::PrepareVmFire(*tasks[i].rule, contexts[i]);
     }
   }
 

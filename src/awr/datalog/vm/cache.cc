@@ -1,0 +1,118 @@
+#include "awr/datalog/vm/cache.h"
+
+#include "awr/value/value_codec.h"
+
+namespace awr::datalog::vm {
+
+namespace {
+
+// Distinguishes the two options shapes a rule can be lowered for
+// without widening the key.
+constexpr uint64_t kJoinIndexSalt = 0x9e3779b97f4a7c15ull;
+
+// Resident-program cap.  Programs are small (a few hundred bytes), so
+// this comfortably covers every workload in the repo while bounding a
+// pathological stream of distinct programs (e.g. a fuzzing session).
+constexpr size_t kMaxEntries = 1024;
+
+}  // namespace
+
+uint64_t PlanCacheFingerprint(const Rule& rule, const RulePlan& plan) {
+  auto mix_u64 = [](uint64_t h, uint64_t v) {
+    uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<uint8_t>(v >> (8 * i));
+    return Fnv1a(bytes, sizeof(bytes), h);
+  };
+  uint64_t h = Fnv1a(rule.ToString());
+  h = mix_u64(h, plan.size());
+  for (const PlanStep& step : plan.steps) {
+    h = mix_u64(h, step.literal);
+    h = mix_u64(h, step.bound_positions.size());
+    for (size_t pos : step.bound_positions) h = mix_u64(h, pos);
+  }
+  return h == 0 ? 1 : h;
+}
+
+CompiledPlanCache& CompiledPlanCache::Global() {
+  static CompiledPlanCache cache;
+  return cache;
+}
+
+std::shared_ptr<const CompiledRule> CompiledPlanCache::Get(
+    const PlannedRule& planned, bool use_join_index) {
+  const uint64_t base = planned.cache_key != 0
+                            ? planned.cache_key
+                            : PlanCacheFingerprint(planned.rule, planned.plan);
+  const uint64_t key = use_join_index ? base ^ kJoinIndexSalt : base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++counters_.hits;
+      it->second.last_used = ++tick_;
+      return it->second.program;
+    }
+    ++counters_.misses;
+  }
+  // Lower outside the lock: deterministic, so concurrent duplicates
+  // produce identical programs and the losing insert is a no-op.
+  LowerOptions opts;
+  opts.use_join_index = use_join_index;
+  Result<std::shared_ptr<const CompiledRule>> lowered =
+      LowerRule(planned.rule, planned.plan, opts);
+  std::shared_ptr<const CompiledRule> program =
+      lowered.ok() ? *std::move(lowered) : nullptr;
+  if (program != nullptr) {
+    // The cached program remembers its own key so a later session can
+    // re-associate a serialized image without re-fingerprinting.
+    const_cast<CompiledRule*>(program.get())->cache_key = key;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key);
+  if (!inserted) return it->second.program;  // lost the race; identical
+  it->second.program = program;
+  it->second.last_used = ++tick_;
+  if (program != nullptr) {
+    ++counters_.lowered;
+  } else {
+    ++counters_.lower_failures;
+  }
+  if (entries_.size() > kMaxEntries) {
+    auto victim = entries_.end();
+    for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+      if (e == it) continue;
+      if (victim == entries_.end() ||
+          e->second.last_used < victim->second.last_used) {
+        victim = e;
+      }
+    }
+    if (victim != entries_.end()) {
+      entries_.erase(victim);
+      ++counters_.evictions;
+    }
+  }
+  counters_.entries = entries_.size();
+  return program;
+}
+
+CompiledPlanCache::Counters CompiledPlanCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Counters out = counters_;
+  out.entries = entries_.size();
+  return out;
+}
+
+void CompiledPlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  counters_.entries = 0;
+}
+
+void CompiledPlanCache::ResetCounters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t entries = entries_.size();
+  counters_ = Counters{};
+  counters_.entries = entries;
+}
+
+}  // namespace awr::datalog::vm

@@ -1,0 +1,72 @@
+#ifndef AWR_DATALOG_VM_CACHE_H_
+#define AWR_DATALOG_VM_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "awr/datalog/eval_core.h"
+#include "awr/datalog/vm/bytecode.h"
+
+namespace awr::datalog::vm {
+
+/// Fingerprint of a planned rule for compiled-plan caching: an FNV-1a
+/// hash over the rule's canonical rendering and the plan's step/bound-
+/// position structure (the same interning scheme as the snapshot
+/// codec's program fingerprint).  Never zero, so callers can use 0 as
+/// "not yet computed".
+uint64_t PlanCacheFingerprint(const Rule& rule, const RulePlan& plan);
+
+/// Process-wide cache of lowered rule programs, shared across fixpoint
+/// rounds, evaluations, and awrd sessions.  Keyed on the plan
+/// fingerprint salted with the EvalOptions shape the program was
+/// lowered for (use_join_index bakes probe-vs-scan into the code).
+/// Lowering failures are cached negatively, so a rule the VM cannot
+/// cover is analyzed once, not once per firing.  Entries are immutable
+/// shared_ptrs; eviction (least-recently-used, fixed cap) never
+/// invalidates a program still executing.
+class CompiledPlanCache {
+ public:
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;         ///< current resident programs
+    uint64_t lowered = 0;         ///< successful lowerings performed
+    uint64_t lower_failures = 0;  ///< rules the VM declined (negative entries)
+  };
+
+  static CompiledPlanCache& Global();
+
+  /// Returns the compiled program for `planned` under the given options
+  /// shape, lowering and inserting on first use.  Returns nullptr when
+  /// the rule is not lowerable (the caller falls back to the
+  /// interpreter).  Thread-safe; lowering runs outside the lock (it is
+  /// deterministic, so a racing duplicate is identical and harmless).
+  std::shared_ptr<const CompiledRule> Get(const PlannedRule& planned,
+                                          bool use_join_index);
+
+  Counters counters() const;
+
+  /// Drops every entry (tests; counters are kept).
+  void Clear();
+
+  /// Zeroes the hit/miss/eviction/lowering counters (tests, benchmarks).
+  void ResetCounters();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledRule> program;  ///< null = negative entry
+    uint64_t last_used = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t tick_ = 0;
+  Counters counters_;
+};
+
+}  // namespace awr::datalog::vm
+
+#endif  // AWR_DATALOG_VM_CACHE_H_

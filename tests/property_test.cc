@@ -1551,5 +1551,266 @@ TEST(ColumnarVsRowGovernance, PreCancelledAndExpiredDeadlineParity) {
   }
 }
 
+// ----------------------------------------------------------------------
+// Bytecode-vs-interpreter differential oracle.  EvalOptions::use_bytecode
+// = false is the tree-walking enumerator (the oracle); the compiled
+// register-VM path (DESIGN.md §14) must produce the identical model,
+// charge sequence and interruption statuses for every program, engine,
+// thread count and storage mode — a compiled program is just the plan
+// flattened, drawing candidate facts from the same enumeration sources.
+
+datalog::EvalOptions EngineOpts(size_t threads, bool columnar,
+                                bool bytecode) {
+  datalog::EvalOptions o = ThreadOpts(threads);
+  o.use_columnar = columnar;  // pinned: overrides AWR_NO_COLUMNAR
+  o.use_bytecode = bytecode;  // pinned: overrides AWR_NO_BYTECODE
+  return o;
+}
+
+/// Runs one evaluation with the interpreter (oracle) and then the
+/// bytecode VM, requiring identical status codes and — on success —
+/// identical results.
+template <typename Fn>
+void EvalBothExecutors(const Fn& eval, size_t threads, bool columnar,
+                       const std::string& what) {
+  auto interpreted = eval(EngineOpts(threads, columnar, false));
+  auto compiled = eval(EngineOpts(threads, columnar, true));
+  EXPECT_EQ(interpreted.status().code(), compiled.status().code())
+      << what << "\ninterpreter: " << interpreted.status()
+      << "\nbytecode:    " << compiled.status();
+  if (interpreted.ok() && compiled.ok()) {
+    ExpectSameResult(*compiled, *interpreted, what);
+  }
+}
+
+class BytecodeVsInterpreterDifferential
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BytecodeVsInterpreterDifferential, PositiveSemanticsAgree) {
+  GenOptions gen;
+  gen.allow_negation = false;
+  Generated g = GenerateProgram(GetParam() * 48271 + 19, gen);
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (bool columnar : {false, true}) {
+      const std::string where = what + "\n(threads=" +
+                                std::to_string(threads) +
+                                " columnar=" + std::to_string(columnar) + ")";
+      EvalBothExecutors(
+          [&](datalog::EvalOptions o) {
+            o.seminaive = false;
+            return datalog::EvalMinimalModel(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+      EvalBothExecutors(
+          [&](const datalog::EvalOptions& o) {
+            return datalog::EvalMinimalModel(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+    }
+  }
+}
+
+TEST_P(BytecodeVsInterpreterDifferential, GeneralSemanticsAgree) {
+  // Random general programs may be unstratifiable or have no stable
+  // model; both executors must then fail (or succeed) identically.
+  Generated g = GenerateProgram(GetParam() * 69621 + 59, GenOptions{});
+  const std::string what = g.program.ToString();
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    for (bool columnar : {false, true}) {
+      const std::string where = what + "\n(threads=" +
+                                std::to_string(threads) +
+                                " columnar=" + std::to_string(columnar) + ")";
+      EvalBothExecutors(
+          [&](const datalog::EvalOptions& o) {
+            return datalog::EvalInflationary(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+      EvalBothExecutors(
+          [&](const datalog::EvalOptions& o) {
+            return datalog::EvalWellFounded(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+      EvalBothExecutors(
+          [&](const datalog::EvalOptions& o) {
+            return datalog::EvalStratified(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+      EvalBothExecutors(
+          [&](const datalog::EvalOptions& o) {
+            return datalog::EvalStableModels(g.program, g.edb, o);
+          },
+          threads, columnar, where);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytecodeVsInterpreterDifferential,
+                         ::testing::Range<uint64_t>(1, 201));
+
+// The rendered model text must be byte-identical across executors for
+// the crash-point engines, at both thread counts and storage modes.
+TEST(BytecodeVsInterpreterDifferential, RenderedModelsAreByteIdentical) {
+  for (const CpEngine& engine : CrashPointEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool columnar : {false, true}) {
+        ExecutionContext interp_ctx(EvalLimits::Default());
+        auto interpreted =
+            engine.run(&interp_ctx, EngineOpts(threads, columnar, false));
+        ExecutionContext vm_ctx(EvalLimits::Default());
+        auto compiled =
+            engine.run(&vm_ctx, EngineOpts(threads, columnar, true));
+        ASSERT_TRUE(interpreted.ok() && compiled.ok())
+            << engine.name << "\ninterpreter: " << interpreted.status()
+            << "\nbytecode:    " << compiled.status();
+        EXPECT_EQ(*interpreted, *compiled)
+            << engine.name << " threads=" << threads
+            << " columnar=" << columnar;
+      }
+    }
+  }
+}
+
+// Charge sequences are executor-independent: compiled programs poll
+// CheckInterrupt("body-match") once per complete body match, exactly
+// like the enumerator, so disarmed charge counts match everywhere.
+TEST(BytecodeVsInterpreterGovernance, ChargeCountsIdentical) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool columnar : {false, true}) {
+        size_t counts[2] = {0, 0};
+        int slot = 0;
+        for (bool bytecode : {false, true}) {
+          FaultInjector injector;
+          injector.Disarm();
+          ExecutionContext ctx(EvalLimits::Default());
+          ctx.set_fault_injector(&injector);
+          ASSERT_TRUE(
+              engine.run_with(&ctx, EngineOpts(threads, columnar, bytecode))
+                  .ok())
+              << engine.name;
+          counts[slot++] = injector.charges_seen();
+        }
+        EXPECT_EQ(counts[0], counts[1])
+            << engine.name << " threads=" << threads
+            << " columnar=" << columnar
+            << ": interpreter charges=" << counts[0]
+            << " bytecode charges=" << counts[1];
+      }
+    }
+  }
+}
+
+// A fault tripped at charge i surfaces the identical status (code and
+// message, which embeds the trip coordinates) under both executors.
+TEST(BytecodeVsInterpreterGovernance, FaultTripStatusesIdentical) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    FaultInjector probe;
+    probe.Disarm();
+    ExecutionContext probe_ctx(EvalLimits::Default());
+    probe_ctx.set_fault_injector(&probe);
+    ASSERT_TRUE(engine.run_with(&probe_ctx, EngineOpts(1, true, true)).ok())
+        << engine.name;
+    const size_t n = probe.charges_seen();
+    ASSERT_GT(n, 0u) << engine.name;
+
+    for (size_t k : {size_t{1}, (n + 1) / 2, n}) {
+      Status statuses[2];
+      int slot = 0;
+      for (bool bytecode : {false, true}) {
+        FaultInjector injector;
+        injector.TripAt(k, Status::Internal("injected fault"));
+        ExecutionContext ctx(EvalLimits::Default());
+        ctx.set_fault_injector(&injector);
+        statuses[slot++] = engine.run_with(&ctx, EngineOpts(1, true, bytecode));
+      }
+      EXPECT_EQ(statuses[0].code(), statuses[1].code())
+          << engine.name << " trip at " << k << "/" << n;
+      EXPECT_EQ(statuses[0].ToString(), statuses[1].ToString())
+          << engine.name << " trip at " << k << "/" << n;
+    }
+  }
+}
+
+// Pre-cancelled contexts and already-expired deadlines surface the same
+// terminal statuses whichever executor enumerates the bodies.
+TEST(BytecodeVsInterpreterGovernance, PreCancelledAndExpiredDeadlineParity) {
+  for (const GovernedEngine& engine : GovernedEngines()) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      for (bool bytecode : {false, true}) {
+        CancelSource source;
+        source.RequestCancel();
+        ExecutionContext cancelled;
+        cancelled.set_cancel_token(source.token());
+        EXPECT_TRUE(
+            engine.run_with(&cancelled, EngineOpts(threads, true, bytecode))
+                .IsCancelled())
+            << engine.name << " threads=" << threads
+            << " bytecode=" << bytecode;
+
+        ExecutionContext expired;
+        expired.set_deadline(ExecutionContext::Clock::now() -
+                             std::chrono::milliseconds(1));
+        EXPECT_TRUE(
+            engine.run_with(&expired, EngineOpts(threads, true, bytecode))
+                .IsDeadlineExceeded())
+            << engine.name << " threads=" << threads
+            << " bytecode=" << bytecode;
+      }
+    }
+  }
+}
+
+// On-interrupt snapshots capture the identical bytes under both
+// executors: a fault tripped at the same charge interrupts the same
+// barrier state, and the snapshot stores structure the executor choice
+// cannot reach.
+TEST(BytecodeVsInterpreterSnapshot, SnapshotBytesIdentical) {
+  for (const CpEngine& engine : CrashPointEngines()) {
+    FaultInjector probe;
+    probe.Disarm();
+    ExecutionContext probe_ctx(EvalLimits::Default());
+    probe_ctx.set_fault_injector(&probe);
+    auto oracle = engine.run(&probe_ctx, EngineOpts(1, true, true));
+    ASSERT_TRUE(oracle.ok()) << engine.name << ": " << oracle.status();
+    const size_t n = probe.charges_seen();
+    ASSERT_GT(n, 1u) << engine.name;
+    const size_t k = (n + 1) / 2;
+
+    std::vector<uint8_t> captured_bytes[2];
+    int slot = 0;
+    for (bool bytecode : {false, true}) {
+      SCOPED_TRACE(engine.name + (bytecode ? " bytecode" : " interpreter") +
+                   " crash at charge " + std::to_string(k) + "/" +
+                   std::to_string(n));
+      FaultInjector injector;
+      injector.TripAt(k, Status::Internal("injected fault"));
+      ExecutionContext ctx(EvalLimits::Default());
+      ctx.set_fault_injector(&injector);
+      snapshot::CheckpointSink sink;
+      datalog::EvalOptions opts = EngineOpts(1, true, bytecode);
+      opts.checkpoint.sink = &sink;
+      opts.checkpoint.on_interrupt = true;
+      opts.checkpoint.every_n_rounds = 0;
+      auto crashed = engine.run(&ctx, opts);
+      ASSERT_FALSE(crashed.ok());
+      ASSERT_TRUE(sink.latest.has_value());
+      auto bytes = snapshot::Serialize(*sink.latest);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      captured_bytes[slot++] = *bytes;
+
+      // Resume under the OPPOSITE executor; the final model must match
+      // the oracle rendering byte for byte.
+      auto loaded = snapshot::Deserialize(*bytes);
+      ASSERT_TRUE(loaded.ok()) << loaded.status();
+      auto resumed = engine.resume(*loaded, EngineOpts(1, true, !bytecode));
+      ASSERT_TRUE(resumed.ok()) << resumed.status();
+      EXPECT_EQ(*resumed, *oracle);
+    }
+    EXPECT_EQ(captured_bytes[0], captured_bytes[1])
+        << engine.name << ": snapshot bytes differ between executors";
+  }
+}
+
 }  // namespace
 }  // namespace awr
